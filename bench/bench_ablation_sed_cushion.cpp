@@ -1,0 +1,50 @@
+// Ablation (SED design choice, §6.2): sensitivity of the symptom detector
+// to its cushion parameter (the paper fixes 10%) and to the size of the
+// learning set. Precision should rise and recall fall as the cushion
+// widens; a handful of learning inputs should already saturate coverage.
+#include "bench_util.h"
+#include "dnnfi/mitigate/sed.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  const std::size_t n = samples();
+  banner("Ablation — SED cushion and learning-set size (AlexNet-S, FLOAT16)", n);
+
+  const NetContext ctx = load_net(NetworkId::kAlexNetS);
+  const auto dt = numeric::DType::kFloat16;
+  fault::Campaign campaign(ctx.model.spec, ctx.model.blob, dt, ctx.inputs);
+
+  Table t("SED cushion sweep (learning set = 40 inputs, n=" +
+          std::to_string(n) + ")");
+  t.header({"cushion", "precision", "recall"});
+  for (const double cushion : {0.0, 0.05, 0.10, 0.25, 0.50, 1.00}) {
+    const auto det = mitigate::learn_sed(ctx.model.spec, ctx.model.blob, dt,
+                                         train_source(ctx.id), 0, 40, cushion);
+    fault::CampaignOptions opt;
+    opt.trials = n;
+    opt.seed = 31016;
+    opt.detector = det.as_predicate();
+    const auto ev = mitigate::evaluate_sed(campaign.run(opt));
+    t.row({Table::pct(cushion, 0), Table::pct(ev.precision.p),
+           Table::pct(ev.recall.p)});
+  }
+  emit(t, "ablation_sed_cushion");
+
+  Table t2("SED learning-set sweep (cushion = 10%)");
+  t2.header({"learning inputs", "precision", "recall"});
+  for (const std::size_t count : {2UL, 5UL, 10UL, 40UL, 100UL}) {
+    const auto det = mitigate::learn_sed(ctx.model.spec, ctx.model.blob, dt,
+                                         train_source(ctx.id), 0, count);
+    fault::CampaignOptions opt;
+    opt.trials = n;
+    opt.seed = 31016;
+    opt.detector = det.as_predicate();
+    const auto ev = mitigate::evaluate_sed(campaign.run(opt));
+    t2.row({std::to_string(count), Table::pct(ev.precision.p),
+            Table::pct(ev.recall.p)});
+  }
+  emit(t2, "ablation_sed_learning");
+  return 0;
+}

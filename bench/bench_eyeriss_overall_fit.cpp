@@ -1,0 +1,86 @@
+// §5.2 + §6 headline: the overall FIT rate of an Eyeriss-class accelerator
+// per network, unprotected vs protected, against the ISO 26262 budget.
+//
+// Unprotected = datapath + all four buffers (Eq. 1 with measured SDCs).
+// Protected   = SED on buffers and datapath (residual SDC = undetected
+// fraction), SLH (100x target) on datapath latches, and — as the
+// alternative the paper discusses — SEC-DED ECC on the global buffer.
+// Paper shape: unprotected FIT can exceed the 10-FIT SoC budget (which the
+// accelerator should only consume a small fraction of); the combined
+// protections bring it back within the standard.
+#include "bench_util.h"
+#include "dnnfi/fit/fit.h"
+#include "dnnfi/mitigate/ecc.h"
+#include "dnnfi/mitigate/sed.h"
+#include "dnnfi/mitigate/slh.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  const std::size_t n = samples();
+  const auto dt = numeric::DType::kFloat16;  // §6.2 reports FLOAT16 Eyeriss
+  banner("Eyeriss overall FIT vs ISO 26262 (FLOAT16 deployment)", n);
+
+  const auto cfg = accel::eyeriss_16nm();
+  // The accelerator is a small fraction of the SoC; give it 10% of the
+  // 10-FIT SoC budget as its allowance (the paper argues it should be a
+  // "tiny fraction").
+  const double accel_budget = fit::kIso26262SocBudgetFit * 0.1;
+
+  Table t("Eyeriss FIT per network: unprotected vs protected (n=" +
+          std::to_string(n) + "/cell, budget " + Table::num(accel_budget, 1) +
+          " FIT)");
+  t.header({"network", "unprotected FIT", "with SED", "SED+SLH+ECC",
+            "verdict (unprot)", "verdict (protected)"});
+
+  for (const auto id : dnn::zoo::kAllNetworks) {
+    const NetContext ctx = load_net(id);
+    fault::Campaign campaign(ctx.model.spec, ctx.model.blob, dt, ctx.inputs);
+    const auto fp = accel::analyze(ctx.model.spec);
+    const auto detector = mitigate::learn_sed(ctx.model.spec, ctx.model.blob,
+                                              dt, train_source(id), 0, 40);
+
+    double unprotected = 0, with_sed = 0, full = 0;
+    for (const auto site : fault::kAllSiteClasses) {
+      fault::CampaignOptions opt;
+      opt.trials = n;
+      opt.seed = 31013;
+      opt.site = site;
+      opt.detector = detector.as_predicate();
+      const auto r = campaign.run(opt);
+      const double sdc = r.sdc1().p;
+      // Undetected SDC rate: SDC trials the detector missed.
+      const auto caught = r.rate([](const fault::TrialRecord& tr) {
+        return tr.outcome.sdc1 && tr.detected;
+      });
+      const double residual_sdc = std::max(0.0, sdc - caught.p);
+
+      double raw_fit, sed_fit, full_fit;
+      if (site == fault::SiteClass::kDatapathLatch) {
+        raw_fit = fit::datapath_fit(dt, cfg.num_pes, sdc);
+        sed_fit = fit::datapath_fit(dt, cfg.num_pes, residual_sdc);
+        // SLH at a 100x target on top of SED's residual.
+        full_fit = sed_fit / 100.0;
+      } else {
+        const auto buffer = fault::buffer_of(site);
+        raw_fit = fit::buffer_fit(fp, buffer, cfg, sdc);
+        sed_fit = fit::buffer_fit(fp, buffer, cfg, residual_sdc);
+        if (buffer == accel::BufferKind::kGlobalBuffer) {
+          // ECC on the large SRAM: single-bit upsets corrected.
+          full_fit = mitigate::ecc_residual_fit(raw_fit, 64, 24.0);
+        } else {
+          full_fit = sed_fit;
+        }
+      }
+      unprotected += raw_fit;
+      with_sed += sed_fit;
+      full += full_fit;
+    }
+    t.row({ctx.name, Table::num(unprotected, 3), Table::num(with_sed, 3),
+           Table::num(full, 4), fit::iso_verdict(unprotected, accel_budget),
+           fit::iso_verdict(full, accel_budget)});
+  }
+  emit(t, "eyeriss_overall_fit");
+  return 0;
+}

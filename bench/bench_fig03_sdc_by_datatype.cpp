@@ -1,0 +1,39 @@
+// Figure 3: SDC probability of PE datapath-latch faults, for every network
+// and data type, under all four SDC criteria.
+//
+// Paper shape to reproduce: SDC varies strongly with data type (32b_rb10 and
+// the wide FP types are worst, 32b_rb26/16b_rb10 best); ConvNet is far more
+// vulnerable than the deeper nets; for the 100-class nets the four SDC
+// criteria nearly coincide, while ConvNet's SDC-5 is much lower than its
+// SDC-1. NiN reports no SDC-10%/20% (no softmax scores).
+#include "bench_util.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  const std::size_t n = samples();
+  banner("Figure 3 — SDC probability by network and data type (datapath faults)", n);
+
+  Table t("Fig 3: datapath SDC probability (n=" + std::to_string(n) + "/cell)");
+  t.header({"network", "dtype", "SDC-1", "SDC-5", "SDC-10%", "SDC-20%"});
+
+  for (const auto id : dnn::zoo::kAllNetworks) {
+    const NetContext ctx = load_net(id);
+    for (const auto dt : numeric::kAllDTypes) {
+      fault::Campaign campaign(ctx.model.spec, ctx.model.blob, dt, ctx.inputs);
+      fault::CampaignOptions opt;
+      opt.trials = n;
+      opt.seed = 31003;
+      const auto r = campaign.run(opt);
+      const bool conf = ctx.model.spec.has_softmax();
+      t.row({ctx.name, std::string(numeric::dtype_name(dt)),
+             Table::pct_ci(r.sdc1().p, r.sdc1().ci95),
+             Table::pct_ci(r.sdc5().p, r.sdc5().ci95),
+             conf ? Table::pct_ci(r.sdc10().p, r.sdc10().ci95) : "N/A",
+             conf ? Table::pct_ci(r.sdc20().p, r.sdc20().ci95) : "N/A"});
+    }
+  }
+  emit(t, "fig03_sdc_by_datatype");
+  return 0;
+}

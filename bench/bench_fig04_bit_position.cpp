@@ -1,0 +1,55 @@
+// Figure 4: per-bit SDC probability. The paper shows NiN under FLOAT and
+// FLOAT16 (only high exponent bits are vulnerable, 0->1 flips worse than
+// 1->0) and CaffeNet under 32b_rb26 and 32b_rb10 (only integer bits are
+// vulnerable, and the wide-range 32b_rb10 far more so).
+#include "bench_util.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+namespace {
+
+void per_bit_study(const NetContext& ctx, numeric::DType dt, std::size_t n_bit) {
+  fault::Campaign campaign(ctx.model.spec, ctx.model.blob, dt, ctx.inputs);
+  const int width = numeric::dtype_width(dt);
+
+  Table t("Fig 4: per-bit SDC-1, " + ctx.name + " / " +
+          std::string(numeric::dtype_name(dt)) + " (n=" + std::to_string(n_bit) +
+          "/bit; bits omitted when zero)");
+  t.header({"bit", "SDC-1", "SDC-1 (0->1 flips)", "SDC-1 (1->0 flips)"});
+
+  for (int bit = width - 1; bit >= 0; --bit) {
+    fault::CampaignOptions opt;
+    opt.trials = n_bit;
+    opt.seed = 31004;
+    opt.constraint.fixed_bit = bit;
+    const auto r = campaign.run(opt);
+    const auto all = r.sdc1();
+    if (all.hits == 0) continue;  // the paper omits zero-SDC bits
+    const auto zto = r.rate_if(
+        [](const fault::TrialRecord& tr) { return tr.record.zero_to_one; },
+        [](const fault::TrialRecord& tr) { return tr.outcome.sdc1; });
+    const auto otz = r.rate_if(
+        [](const fault::TrialRecord& tr) { return !tr.record.zero_to_one; },
+        [](const fault::TrialRecord& tr) { return tr.outcome.sdc1; });
+    t.row({std::to_string(bit), Table::pct_ci(all.p, all.ci95),
+           Table::pct(zto.p), Table::pct(otz.p)});
+  }
+  emit(t, "fig04_bits_" + ctx.name + "_" + std::string(numeric::dtype_name(dt)));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n_bit = std::max<std::size_t>(50, samples() / 3);
+  banner("Figure 4 — SDC probability by corrupted bit position", n_bit);
+
+  const NetContext nin = load_net(NetworkId::kNiNS);
+  per_bit_study(nin, numeric::DType::kFloat, n_bit);     // Fig 4a
+  per_bit_study(nin, numeric::DType::kFloat16, n_bit);   // Fig 4b
+
+  const NetContext caffe = load_net(NetworkId::kCaffeNetS);
+  per_bit_study(caffe, numeric::DType::kFx32r26, n_bit);  // Fig 4c
+  per_bit_study(caffe, numeric::DType::kFx32r10, n_bit);  // Fig 4d
+  return 0;
+}

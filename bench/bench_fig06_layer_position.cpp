@@ -1,0 +1,40 @@
+// Figure 6: SDC probability by the position of the injected layer, FLOAT16.
+// Shapes to reproduce: AlexNet/CaffeNet show depressed SDC rates in layers
+// 1-2 (pre-LRN injection sites get normalized) and elevated rates in the
+// fully-connected layers; NiN and ConvNet are comparatively flat across
+// their conv layers.
+#include "bench_util.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  const std::size_t n = std::max<std::size_t>(100, samples() / 2);
+  banner("Figure 6 — SDC probability by injected layer (FLOAT16)", n);
+
+  for (const auto id : dnn::zoo::kAllNetworks) {
+    const NetContext ctx = load_net(id);
+    fault::Campaign campaign(ctx.model.spec, ctx.model.blob,
+                             numeric::DType::kFloat16, ctx.inputs);
+    Table t("Fig 6: per-layer SDC-1, " + ctx.name + " FLOAT16 (n=" +
+            std::to_string(n) + "/layer)");
+    t.header({"layer", "kind", "SDC-1"});
+    const int blocks = ctx.model.spec.num_blocks();
+    for (int b = 1; b <= blocks; ++b) {
+      fault::CampaignOptions opt;
+      opt.trials = n;
+      opt.seed = 31006;
+      opt.constraint.fixed_block = b;
+      const auto r = campaign.run(opt);
+      // Report whether the block is conv or FC for readability.
+      std::string kind = "conv";
+      for (const auto& l : ctx.model.spec.layers)
+        if (l.block == b && l.kind == dnn::LayerKind::kFullyConnected)
+          kind = "fc";
+      const auto e = r.sdc1();
+      t.row({std::to_string(b), kind, Table::pct_ci(e.p, e.ci95)});
+    }
+    emit(t, "fig06_layers_" + ctx.name);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 9 + Figure 9: Selective Latch Hardening for AlexNet under FLOAT16
+// and 16b_rb10. Measures the per-bit SDC sensitivity profile by stratified
+// injection, then:
+//   Fig 9a — FIT reduction vs fraction of (perfectly) protected latches,
+//            with the fitted beta asymmetry coefficient;
+//   Fig 9b/c — latch area overhead vs target FIT reduction for RCC, SEUT,
+//            TMR, and the optimal multi-technique mix.
+// Paper headline: ~100x latch-FIT reduction at ~20-25% latch area overhead.
+#include "bench_util.h"
+#include "dnnfi/mitigate/slh.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+namespace {
+
+mitigate::BitProfile measure_profile(const NetContext& ctx, numeric::DType dt,
+                                     std::size_t n_bit) {
+  fault::Campaign campaign(ctx.model.spec, ctx.model.blob, dt, ctx.inputs);
+  const int width = numeric::dtype_width(dt);
+  mitigate::BitProfile profile(static_cast<std::size_t>(width), 0.0);
+  for (int bit = 0; bit < width; ++bit) {
+    fault::CampaignOptions opt;
+    opt.trials = n_bit;
+    opt.seed = 31012;
+    opt.constraint.fixed_bit = bit;
+    // Per-bit FIT is proportional to the per-bit SDC probability (equal raw
+    // rate and equal latch count per bit position).
+    profile[static_cast<std::size_t>(bit)] = campaign.run(opt).sdc1().p;
+  }
+  return profile;
+}
+
+void slh_study(const NetContext& ctx, numeric::DType dt, std::size_t n_bit) {
+  const std::string dt_name(numeric::dtype_name(dt));
+  const auto profile = measure_profile(ctx, dt, n_bit);
+
+  // Fig 9a: perfect-protection coverage curve + beta.
+  const auto curve = mitigate::perfect_protection_curve(profile);
+  const double beta = mitigate::fit_beta(curve);
+  Table a("Fig 9a: FIT reduction vs protected fraction, " + ctx.name + " " +
+          dt_name + " (beta=" + Table::num(beta, 2) + ")");
+  a.header({"fraction protected", "FIT removed"});
+  for (std::size_t k = 0; k < curve.size();
+       k += std::max<std::size_t>(1, curve.size() / 16)) {
+    a.row({Table::pct(curve[k].protected_fraction, 0),
+           Table::pct(curve[k].fit_removed_fraction, 1)});
+  }
+  a.row({Table::pct(1.0, 0), Table::pct(curve.back().fit_removed_fraction, 1)});
+  emit(a, "fig09a_coverage_" + dt_name);
+
+  // Fig 9b/c: overhead vs target reduction per technique.
+  Table bc("Fig 9b/c: latch area overhead vs target FIT reduction, " +
+           ctx.name + " " + dt_name);
+  bc.header({"target", "RCC", "SEUT", "TMR", "Multi"});
+  for (const double target : {2.0, 6.3, 10.0, 37.0, 100.0}) {
+    std::vector<std::string> row = {Table::num(target, 1) + "x"};
+    for (std::size_t d = 1; d < mitigate::latch_designs().size(); ++d) {
+      const auto plan =
+          mitigate::harden_single(profile, mitigate::latch_designs()[d], target);
+      row.push_back(plan.feasible ? Table::pct(plan.area_overhead, 1)
+                                  : "infeasible");
+    }
+    const auto multi = mitigate::harden_multi(profile, target);
+    row.push_back(multi.feasible ? Table::pct(multi.area_overhead, 1)
+                                 : "infeasible");
+    bc.row(row);
+  }
+  emit(bc, "fig09bc_overhead_" + dt_name);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n_bit = std::max<std::size_t>(60, samples() / 3);
+  banner("Table 9 + Figure 9 — Selective Latch Hardening (AlexNet-S)", n_bit);
+
+  Table t9("Table 9: hardened latch design points (Sullivan et al.)");
+  t9.header({"latch type", "area overhead", "FIT reduction"});
+  for (const auto& d : mitigate::latch_designs())
+    t9.row({d.name, Table::num(d.area, 2) + "x",
+            d.fit_reduction >= 1e6 ? "1,000,000x"
+                                   : Table::num(d.fit_reduction, 1) + "x"});
+  emit(t9, "table9_latch_designs");
+
+  const NetContext ctx = load_net(NetworkId::kAlexNetS);
+  slh_study(ctx, numeric::DType::kFloat16, n_bit);
+  slh_study(ctx, numeric::DType::kFx16r10, n_bit);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks: inference latency per network and data
+// type, injection fast-path overhead (golden-trace reuse), and campaign
+// throughput. These quantify the engineering claims of the harness itself
+// rather than a paper table.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+namespace {
+
+/// Cached contexts so model loading happens once per process.
+const NetContext& ctx_for(NetworkId id) {
+  static std::map<NetworkId, NetContext> cache;
+  auto it = cache.find(id);
+  if (it == cache.end()) it = cache.emplace(id, load_net(id, 2)).first;
+  return it->second;
+}
+
+template <typename T>
+void run_inference(benchmark::State& state, NetworkId id) {
+  const NetContext& ctx = ctx_for(id);
+  const auto net = dnn::instantiate<T>(ctx.model.spec, ctx.model.blob);
+  const auto input = tensor::convert<T>(ctx.inputs[0].image);
+  for (auto _ : state) {
+    auto out = net.forward(input);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.total_macs()));
+}
+
+void BM_Inference_ConvNet_Float(benchmark::State& s) {
+  run_inference<float>(s, NetworkId::kConvNet);
+}
+void BM_Inference_ConvNet_Half(benchmark::State& s) {
+  run_inference<numeric::Half>(s, NetworkId::kConvNet);
+}
+void BM_Inference_ConvNet_Fx16(benchmark::State& s) {
+  run_inference<numeric::Fx16r10>(s, NetworkId::kConvNet);
+}
+void BM_Inference_AlexNetS_Float(benchmark::State& s) {
+  run_inference<float>(s, NetworkId::kAlexNetS);
+}
+void BM_Inference_NiNS_Float(benchmark::State& s) {
+  run_inference<float>(s, NetworkId::kNiNS);
+}
+BENCHMARK(BM_Inference_ConvNet_Float)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Inference_ConvNet_Half)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Inference_ConvNet_Fx16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Inference_AlexNetS_Float)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Inference_NiNS_Float)->Unit(benchmark::kMillisecond);
+
+/// One faulty inference via the golden-trace fast path, vs a full forward.
+void BM_Injection_FastPath(benchmark::State& state) {
+  const NetContext& ctx = ctx_for(NetworkId::kConvNet);
+  const auto net = dnn::instantiate<numeric::Half>(ctx.model.spec, ctx.model.blob);
+  const auto input = tensor::convert<numeric::Half>(ctx.inputs[0].image);
+  const auto golden = net.forward_trace(input);
+  fault::Sampler sampler(ctx.model.spec, numeric::DType::kFloat16);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto f = sampler.sample(fault::SiteClass::kDatapathLatch, rng);
+    auto out = fault::inject(net, golden, f);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Injection_FastPath)->Unit(benchmark::kMillisecond);
+
+void BM_Campaign_100Trials(benchmark::State& state) {
+  const NetContext& ctx = ctx_for(NetworkId::kConvNet);
+  fault::Campaign campaign(ctx.model.spec, ctx.model.blob,
+                           numeric::DType::kFloat16, ctx.inputs);
+  for (auto _ : state) {
+    fault::CampaignOptions opt;
+    opt.trials = 100;
+    opt.seed = static_cast<std::uint64_t>(state.iterations());
+    auto r = campaign.run(opt);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_Campaign_100Trials)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// The paper's core economic argument (§1, §6): DNN-aware protection
+// (SED + SLH + ECC on large SRAMs) achieves the reliability of classical
+// modular redundancy at a fraction of its cost. This bench puts every
+// technique in one table for AlexNet-S / FLOAT16 on the 16 nm Eyeriss:
+// area overhead, energy overhead, and residual accelerator FIT.
+#include "bench_util.h"
+#include "dnnfi/fit/fit.h"
+#include "dnnfi/mitigate/ecc.h"
+#include "dnnfi/mitigate/redundancy.h"
+#include "dnnfi/mitigate/sed.h"
+#include "dnnfi/mitigate/slh.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  const std::size_t n = samples();
+  const auto dt = numeric::DType::kFloat16;
+  banner("Protection trade-offs — AlexNet-S, FLOAT16, Eyeriss 16nm", n);
+
+  const NetContext ctx = load_net(NetworkId::kAlexNetS);
+  const auto cfg = accel::eyeriss_16nm();
+  const auto fp = accel::analyze(ctx.model.spec);
+  fault::Campaign campaign(ctx.model.spec, ctx.model.blob, dt, ctx.inputs);
+  const auto detector = mitigate::learn_sed(ctx.model.spec, ctx.model.blob, dt,
+                                            train_source(ctx.id), 0, 40);
+
+  // Measure unprotected SDC and SED-residual SDC per component.
+  struct Component {
+    fault::SiteClass site;
+    double sdc = 0;
+    double sed_residual = 0;
+    double fit = 0;
+  };
+  std::vector<Component> comps;
+  double total_fit = 0;
+  for (const auto site : fault::kAllSiteClasses) {
+    fault::CampaignOptions opt;
+    opt.trials = n;
+    opt.seed = 31018;
+    opt.site = site;
+    opt.detector = detector.as_predicate();
+    const auto r = campaign.run(opt);
+    Component c;
+    c.site = site;
+    c.sdc = r.sdc1().p;
+    const double caught = r.rate([](const fault::TrialRecord& t) {
+                             return t.outcome.sdc1 && t.detected;
+                           }).p;
+    c.sed_residual = std::max(0.0, c.sdc - caught);
+    c.fit = (site == fault::SiteClass::kDatapathLatch)
+                ? fit::datapath_fit(dt, cfg.num_pes, c.sdc)
+                : fit::buffer_fit(fp, fault::buffer_of(site), cfg, c.sdc);
+    total_fit += c.fit;
+    comps.push_back(c);
+  }
+
+  const auto residual_with = [&](auto per_component) {
+    double f = 0;
+    for (const auto& c : comps) f += per_component(c);
+    return f;
+  };
+
+  Table t("protection technique comparison (unprotected total FIT = " +
+          Table::num(total_fit, 3) + ")");
+  t.header({"technique", "area overhead", "energy overhead", "residual FIT",
+            "FIT reduction"});
+
+  // Classical redundancy on the whole accelerator.
+  for (const auto& s : mitigate::redundancy_schemes()) {
+    if (s.name == "Unprotected") continue;
+    const double fit_res = residual_with([&](const Component& c) {
+      if (c.sdc <= 0) return 0.0;
+      return c.fit / c.sdc * mitigate::residual_sdc(s, c.sdc);
+    });
+    t.row({s.name, Table::pct(s.area_multiplier - 1.0, 0),
+           Table::pct(s.energy_multiplier - 1.0, 0), Table::num(fit_res, 5),
+           fit_res > 0 ? Table::num(total_fit / fit_res, 0) + "x" : ">1e6x"});
+  }
+
+  // ECC (SEC-DED, 64-bit words) on all buffers; datapath unprotected.
+  {
+    double fit_res = 0;
+    for (const auto& c : comps) {
+      if (c.site == fault::SiteClass::kDatapathLatch) fit_res += c.fit;
+      else fit_res += mitigate::ecc_residual_fit(c.fit, 64, 24.0);
+    }
+    const double ecc_area = mitigate::secded(64).overhead_fraction();
+    t.row({"ECC-64 on buffers", Table::pct(ecc_area, 1) + " (buffer bits)",
+           "~" + Table::pct(ecc_area, 1), Table::num(fit_res, 5),
+           Table::num(total_fit / std::max(fit_res, 1e-12), 0) + "x"});
+  }
+
+  // SED alone (software; checks run on the host asynchronously).
+  {
+    const double fit_res = residual_with([&](const Component& c) {
+      return c.sdc > 0 ? c.fit * (c.sed_residual / c.sdc) : 0.0;
+    });
+    t.row({"SED (software)", "0%", "~1% (async host checks)",
+           Table::num(fit_res, 5),
+           Table::num(total_fit / std::max(fit_res, 1e-12), 0) + "x"});
+  }
+
+  // SED + SLH(100x datapath) + ECC on the global buffer.
+  {
+    double fit_res = 0;
+    for (const auto& c : comps) {
+      const double sed_fit =
+          c.sdc > 0 ? c.fit * (c.sed_residual / c.sdc) : 0.0;
+      if (c.site == fault::SiteClass::kDatapathLatch) fit_res += sed_fit / 100.0;
+      else if (c.site == fault::SiteClass::kGlobalBuffer)
+        fit_res += mitigate::ecc_residual_fit(c.fit, 64, 24.0);
+      else fit_res += sed_fit;
+    }
+    t.row({"SED + SLH-100x + ECC(GB)", "~2% (latches+GB check bits)",
+           "~2%", Table::num(fit_res, 6),
+           Table::num(total_fit / std::max(fit_res, 1e-12), 0) + "x"});
+  }
+  emit(t, "protection_tradeoffs");
+
+  std::cout << "reading: DMR/TMR pay 105-210% area for their coverage; the\n"
+               "paper's DNN-aware stack reaches comparable residual FIT for\n"
+               "a few percent — the asymmetry that motivates the work.\n";
+  return 0;
+}

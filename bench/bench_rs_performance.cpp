@@ -1,0 +1,46 @@
+// Substrate characterization: the row-stationary mapping of each network
+// onto the Eyeriss-class PE array — utilization, cycles, and traffic per
+// storage level. This is the dataflow whose reuse the buffer-fault model
+// (Table 8) is built on; the access counts here show *why* Filter-SRAM
+// words are so exposed (thousands of reads per resident word) while
+// PSum-REG words live for one accumulation.
+#include "bench_util.h"
+#include "dnnfi/accel/rs_mapping.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  banner("Row-stationary mapping: utilization, cycles, and traffic", 0);
+  const auto cfg = accel::eyeriss_16nm();
+
+  for (const auto id : dnn::zoo::kAllNetworks) {
+    const auto spec = dnn::zoo::network_spec(id);
+    const auto mappings = accel::map_network(spec, cfg.num_pes);
+
+    Table t("RS mapping on " + std::to_string(cfg.num_pes) + " PEs — " +
+            std::string(dnn::zoo::network_name(id)));
+    t.header({"layer", "PE set", "passes", "util", "cycles", "DRAM words",
+              "GB acc", "SRAM acc", "REG acc"});
+    for (const auto& m : mappings) {
+      t.row({std::to_string(m.block),
+             std::to_string(m.pe_set_height) + "x" + std::to_string(m.pe_set_width),
+             std::to_string(m.passes), Table::pct(m.utilization, 1),
+             std::to_string(m.cycles), std::to_string(m.dram_reads + m.dram_writes),
+             std::to_string(m.gb_accesses), std::to_string(m.sram_accesses),
+             std::to_string(m.reg_accesses)});
+    }
+    const auto s = accel::summarize(mappings);
+    t.row({"total", "-", "-", Table::pct(s.avg_utilization, 1),
+           std::to_string(s.total_cycles), std::to_string(s.dram_traffic),
+           std::to_string(s.gb_traffic), std::to_string(s.sram_traffic),
+           std::to_string(s.reg_traffic)});
+    emit(t, "rs_mapping_" + std::string(dnn::zoo::network_name(id)));
+  }
+
+  std::cout << "reading: the reuse hierarchy REG >> SRAM >> GB >> DRAM is\n"
+               "exactly the exposure hierarchy of Table 8 — every extra\n"
+               "access to a resident word is another chance to consume a\n"
+               "corrupted bit.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 4: fault-free ACT value range at the end of each logical layer, for
+// every network. The shape to reproduce: each layer's values live in a
+// bounded, fairly narrow band (and the bands differ per layer), which is
+// exactly what makes symptom-based detection workable.
+#include "bench_util.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  const std::size_t n_inputs = 20;
+  banner("Table 4 — fault-free per-layer ACT value ranges (FLOAT)", n_inputs);
+
+  Table t("Table 4: value range per logical layer (over " +
+          std::to_string(n_inputs) + " held-out inputs)");
+  t.header({"network", "layer", "min", "max"});
+  for (const auto id : dnn::zoo::kAllNetworks) {
+    const NetContext ctx = load_net(id);
+    const auto ranges = fault::profile_block_ranges(
+        ctx.model.spec, ctx.model.blob, numeric::DType::kFloat,
+        train_source(id), data::kTestSplitBegin, n_inputs);
+    for (std::size_t b = 0; b < ranges.size(); ++b) {
+      t.row({ctx.name, std::to_string(b + 1), Table::num(ranges[b].lo, 4),
+             Table::num(ranges[b].hi, 4)});
+    }
+  }
+  emit(t, "table4_value_ranges");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 6: datapath FIT rate per network and data type — Eq. 1 applied to
+// the PE-array latch inventory (4 latches x word width x 1,344 PEs at 16 nm)
+// with campaign-measured SDC-1 probabilities. Shapes to reproduce: ConvNet
+// worst by far; 32b_rb10 worst among types for the deep nets; 32b_rb26 and
+// 16b_rb10 orders of magnitude better than 32b_rb10.
+#include "bench_util.h"
+#include "dnnfi/fit/fit.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  const std::size_t n = samples();
+  banner("Table 6 — datapath FIT rate by network and data type", n);
+
+  const auto cfg = accel::eyeriss_16nm();
+  Table t("Table 6: datapath FIT (Eyeriss-scale PE array, n=" +
+          std::to_string(n) + "/cell)");
+  std::vector<std::string> header = {"dtype"};
+  for (const auto id : dnn::zoo::kAllNetworks)
+    header.push_back(std::string(dnn::zoo::network_name(id)));
+  t.header(header);
+
+  // Load all nets once.
+  std::vector<NetContext> nets;
+  for (const auto id : dnn::zoo::kAllNetworks) nets.push_back(load_net(id));
+
+  for (const auto dt : numeric::kAllDTypes) {
+    std::vector<std::string> row = {std::string(numeric::dtype_name(dt))};
+    for (const auto& ctx : nets) {
+      fault::Campaign campaign(ctx.model.spec, ctx.model.blob, dt, ctx.inputs);
+      fault::CampaignOptions opt;
+      opt.trials = n;
+      opt.seed = 31009;
+      const double sdc = campaign.run(opt).sdc1().p;
+      row.push_back(Table::num(fit::datapath_fit(dt, cfg.num_pes, sdc), 4));
+    }
+    t.row(row);
+  }
+  emit(t, "table6_datapath_fit");
+
+  std::cout << "latch bits at 16nm: FLOAT16/16b_rb10 "
+            << fit::datapath_bits(numeric::DType::kFloat16, cfg.num_pes)
+            << ", FLOAT/32b "
+            << fit::datapath_bits(numeric::DType::kFloat, cfg.num_pes)
+            << ", DOUBLE "
+            << fit::datapath_bits(numeric::DType::kDouble, cfg.num_pes)
+            << "\n";
+  return 0;
+}

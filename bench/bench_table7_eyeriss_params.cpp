@@ -1,0 +1,37 @@
+// Table 7: Eyeriss microarchitecture parameters at 65 nm (published) and the
+// 16 nm projection (x8 on PEs and buffer capacities), plus the intermediate
+// technology generations for reference.
+#include "bench_util.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  banner("Table 7 — Eyeriss parameters, 65 nm published and 16 nm projection", 0);
+
+  Table t("Table 7: Eyeriss microarchitecture (16-bit words, x2 per generation)");
+  t.header({"feature size", "PEs", "Global Buffer (KB)", "Filter SRAM/PE (KB)",
+            "Img REG/PE (KB)", "PSum REG/PE (KB)"});
+  auto row = [&t](const accel::EyerissConfig& c, const std::string& label) {
+    t.row({label, std::to_string(c.num_pes), Table::num(c.global_buffer_kb, 2),
+           Table::num(c.filter_sram_kb, 3), Table::num(c.img_reg_kb, 3),
+           Table::num(c.psum_reg_kb, 3)});
+  };
+  row(accel::eyeriss_65nm(), "65nm (published)");
+  row(accel::project(accel::eyeriss_65nm(), 1), "40nm (projected)");
+  row(accel::project(accel::eyeriss_65nm(), 2), "28nm (projected)");
+  row(accel::eyeriss_16nm(), "16nm (paper Table 7)");
+  emit(t, "table7_eyeriss_params");
+
+  const auto c = accel::eyeriss_16nm();
+  Table bits("Table 7 (derived): total storage bits per structure at 16nm");
+  bits.header({"structure", "instances", "bits/instance", "total Mbit"});
+  for (const auto b : accel::kAllBuffers) {
+    const std::size_t inst = (b == accel::BufferKind::kGlobalBuffer) ? 1 : c.num_pes;
+    bits.row({accel::buffer_name(b), std::to_string(inst),
+              std::to_string(c.instance_bits(b)),
+              Table::num(static_cast<double>(c.total_bits(b)) / (1024.0 * 1024.0), 3)});
+  }
+  emit(bits, "table7_derived_bits");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 8: SDC probability and FIT rate for each Eyeriss buffer structure,
+// per network, using the 16b_rb10 data type (Eyeriss stores 16-bit words).
+// Shapes to reproduce: buffer FIT rates are orders of magnitude above the
+// datapath's; the shallow ConvNet is far more vulnerable than the deep
+// nets; Img REG and PSum REG have small FIT (small structures and one-row /
+// one-accumulation reuse windows); Filter SRAM dominates among per-PE
+// buffers for the deep nets.
+#include "bench_util.h"
+#include "dnnfi/fit/fit.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+int main() {
+  const std::size_t n = samples();
+  banner("Table 8 — Eyeriss buffer SDC and FIT per network (16b_rb10)", n);
+
+  const auto cfg = accel::eyeriss_16nm();
+  Table t("Table 8: buffer SDC probability / FIT (n=" + std::to_string(n) +
+          "/cell)");
+  t.header({"network", "Global Buffer", "Filter SRAM", "Img REG", "PSum REG",
+            "datapath (ref)"});
+
+  for (const auto id : dnn::zoo::kAllNetworks) {
+    const NetContext ctx = load_net(id);
+    fault::Campaign campaign(ctx.model.spec, ctx.model.blob,
+                             numeric::DType::kFx16r10, ctx.inputs);
+    const auto fp = accel::analyze(ctx.model.spec);
+
+    std::vector<std::string> row = {ctx.name};
+    for (const auto site : fault::kBufferSiteClasses) {
+      fault::CampaignOptions opt;
+      opt.trials = n;
+      opt.seed = 31010;
+      opt.site = site;
+      const auto sdc = campaign.run(opt).sdc1();
+      const double f =
+          fit::buffer_fit(fp, fault::buffer_of(site), cfg, sdc.p);
+      row.push_back(Table::pct(sdc.p) + " / " + Table::num(f, 3));
+    }
+    // Datapath reference column for the "orders of magnitude" comparison.
+    fault::CampaignOptions dp;
+    dp.trials = n;
+    dp.seed = 31010;
+    const double dp_sdc = campaign.run(dp).sdc1().p;
+    row.push_back(Table::pct(dp_sdc) + " / " +
+                  Table::num(fit::datapath_fit(numeric::DType::kFx16r10,
+                                               cfg.num_pes, dp_sdc), 4));
+    t.row(row);
+  }
+  emit(t, "table8_buffer_fit");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "dnnfi/accel/dataflow.h"
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi::accel {
+
+using dnn::LayerKind;
+using dnn::LayerSpec;
+using dnn::NetworkSpec;
+using dnn::Shape;
+
+namespace {
+
+/// Output shape of `spec` applied to `in` — mirrors the layer classes'
+/// out_shape without instantiating them.
+Shape shape_after(const LayerSpec& l, const Shape& in) {
+  switch (l.kind) {
+    case LayerKind::kConv: {
+      DNNFI_EXPECTS(in.h + 2 * l.pad >= l.kernel && in.w + 2 * l.pad >= l.kernel);
+      return tensor::chw(l.out_channels,
+                         (in.h + 2 * l.pad - l.kernel) / l.stride + 1,
+                         (in.w + 2 * l.pad - l.kernel) / l.stride + 1);
+    }
+    case LayerKind::kFullyConnected:
+      return tensor::vec(l.out_features);
+    case LayerKind::kMaxPool:
+      return tensor::chw(in.c, (in.h - l.pool_kernel) / l.pool_stride + 1,
+                         (in.w - l.pool_kernel) / l.pool_stride + 1);
+    case LayerKind::kGlobalAvgPool:
+      return tensor::vec(in.c);
+    case LayerKind::kSoftmax:
+      return tensor::vec(in.size());
+    case LayerKind::kRelu:
+    case LayerKind::kLrn:
+      return in;
+  }
+  DNNFI_EXPECTS(false);
+  return in;
+}
+
+}  // namespace
+
+std::vector<LayerFootprint> analyze(const NetworkSpec& spec) {
+  std::vector<LayerFootprint> out;
+  Shape shape = spec.input;
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    const LayerSpec& l = spec.layers[i];
+    const Shape os = shape_after(l, shape);
+    if (l.kind == LayerKind::kConv || l.kind == LayerKind::kFullyConnected) {
+      LayerFootprint fp;
+      fp.layer_index = i;
+      fp.block = l.block;
+      fp.is_conv = (l.kind == LayerKind::kConv);
+      fp.in_shape = shape;
+      fp.out_shape = os;
+      fp.input_elems = shape.size();
+      fp.output_elems = os.size();
+      if (fp.is_conv) {
+        fp.steps = shape.c * l.kernel * l.kernel;
+        fp.weight_elems = l.out_channels * fp.steps;
+      } else {
+        fp.steps = shape.size();
+        fp.weight_elems = l.out_features * fp.steps;
+      }
+      fp.macs = fp.output_elems * fp.steps;
+      out.push_back(fp);
+    }
+    shape = os;
+  }
+  DNNFI_ENSURES(!out.empty());
+  return out;
+}
+
+std::size_t total_macs(const std::vector<LayerFootprint>& fp) {
+  std::size_t total = 0;
+  for (const auto& f : fp) total += f.macs;
+  return total;
+}
+
+std::size_t occupied_elems(const LayerFootprint& fp, BufferKind buffer) {
+  switch (buffer) {
+    case BufferKind::kGlobalBuffer:
+      // The GB holds the layer's ifmaps for the duration of the layer.
+      return fp.input_elems;
+    case BufferKind::kFilterSram:
+      return fp.weight_elems;
+    case BufferKind::kImgReg:
+      // Img REGs collectively stage the ifmap rows currently being consumed;
+      // every ifmap element passes through one.
+      return fp.input_elems;
+    case BufferKind::kPsumReg:
+      return fp.output_elems;
+  }
+  DNNFI_EXPECTS(false);
+  return 0;
+}
+
+std::size_t reuse_reach(const LayerFootprint& fp, BufferKind buffer) {
+  switch (buffer) {
+    case BufferKind::kGlobalBuffer: {
+      if (!fp.is_conv) return 1;  // an FC input feeds each output once
+      // Upper bound: every kernel position of every output channel that
+      // reads the element — approximately out_c * k^2 / stride^2 uses.
+      const std::size_t per_channel =
+          fp.steps / std::max<std::size_t>(1, fp.in_shape.c);
+      return fp.out_shape.c * per_channel;
+    }
+    case BufferKind::kFilterSram:
+      return fp.is_conv ? fp.out_shape.h * fp.out_shape.w : 1;
+    case BufferKind::kImgReg:
+      return fp.is_conv ? fp.out_shape.w : 1;
+    case BufferKind::kPsumReg:
+      return 1;
+  }
+  DNNFI_EXPECTS(false);
+  return 0;
+}
+
+}  // namespace dnnfi::accel

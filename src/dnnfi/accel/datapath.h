@@ -1,0 +1,61 @@
+// Canonical datapath model of a DNN accelerator processing engine (paper
+// Fig 1b): a multiplier and an adder with input/output latches. This is the
+// abstraction shared by all nine accelerators of Table 1, so datapath fault
+// results apply to every one of them.
+//
+// The latch inventory is the *minimum* set needed to implement the MAC
+// pipeline (the paper makes the same conservative choice in §5.1.5):
+//   - activation operand latch   (W bits)
+//   - weight operand latch       (W bits)
+//   - multiplier output latch    (W bits)
+//   - accumulator latch          (W bits)
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "dnnfi/numeric/dtype.h"
+
+namespace dnnfi::accel {
+
+/// Latch classes in one PE's MAC datapath.
+enum class DatapathLatch {
+  kOperandAct,
+  kOperandWeight,
+  kProduct,
+  kAccumulator,
+};
+
+inline constexpr std::array<DatapathLatch, 4> kAllDatapathLatches = {
+    DatapathLatch::kOperandAct, DatapathLatch::kOperandWeight,
+    DatapathLatch::kProduct, DatapathLatch::kAccumulator};
+
+constexpr const char* datapath_latch_name(DatapathLatch l) {
+  switch (l) {
+    case DatapathLatch::kOperandAct:    return "operand-act";
+    case DatapathLatch::kOperandWeight: return "operand-weight";
+    case DatapathLatch::kProduct:       return "product";
+    case DatapathLatch::kAccumulator:   return "accumulator";
+  }
+  return "?";
+}
+
+/// Datapath latch inventory for one PE at a given datapath width.
+struct DatapathInventory {
+  int word_bits = 16;       ///< datapath width W
+  int latches_per_pe = 4;   ///< latch words per PE (the four classes above)
+
+  constexpr std::size_t bits_per_pe() const {
+    return static_cast<std::size_t>(word_bits) *
+           static_cast<std::size_t>(latches_per_pe);
+  }
+};
+
+/// Inventory for a datapath of the given numeric type.
+constexpr DatapathInventory datapath_inventory(numeric::DType t) {
+  DatapathInventory inv;
+  inv.word_bits = numeric::dtype_width(t);
+  return inv;
+}
+
+}  // namespace dnnfi::accel

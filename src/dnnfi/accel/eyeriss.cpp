@@ -1,0 +1,71 @@
+#include "dnnfi/accel/eyeriss.h"
+
+#include <cmath>
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi::accel {
+
+namespace {
+constexpr double kBitsPerKb = 1024.0 * 8.0;
+}
+
+std::size_t EyerissConfig::instance_bits(BufferKind b) const {
+  switch (b) {
+    case BufferKind::kGlobalBuffer:
+      return static_cast<std::size_t>(global_buffer_kb * kBitsPerKb);
+    case BufferKind::kFilterSram:
+      return static_cast<std::size_t>(filter_sram_kb * kBitsPerKb);
+    case BufferKind::kImgReg:
+      return static_cast<std::size_t>(img_reg_kb * kBitsPerKb);
+    case BufferKind::kPsumReg:
+      return static_cast<std::size_t>(psum_reg_kb * kBitsPerKb);
+  }
+  DNNFI_EXPECTS(false);
+  return 0;
+}
+
+std::size_t EyerissConfig::total_bits(BufferKind b) const {
+  const std::size_t inst = instance_bits(b);
+  return b == BufferKind::kGlobalBuffer ? inst : inst * num_pes;
+}
+
+EyerissConfig eyeriss_65nm() {
+  EyerissConfig c;
+  c.feature_nm = 65;
+  c.num_pes = 168;
+  c.global_buffer_kb = 98.0;
+  c.filter_sram_kb = 0.44;  // 0.44 KB = 224 x 16-bit words per PE
+  c.img_reg_kb = 0.024;     // 12 x 16-bit words
+  c.psum_reg_kb = 0.048;    // 24 x 16-bit words
+  return c;
+}
+
+EyerissConfig project(const EyerissConfig& base, int generations) {
+  DNNFI_EXPECTS(generations >= 0 && generations <= 8);
+  const double f = std::pow(2.0, generations);
+  EyerissConfig c = base;
+  c.num_pes = static_cast<std::size_t>(static_cast<double>(base.num_pes) * f);
+  c.global_buffer_kb = base.global_buffer_kb * f;
+  c.filter_sram_kb = base.filter_sram_kb * f;
+  c.img_reg_kb = base.img_reg_kb * f;
+  c.psum_reg_kb = base.psum_reg_kb * f;
+  return c;
+}
+
+EyerissConfig eyeriss_16nm() {
+  // 65nm -> 40 -> 28 -> 22(20) -> 16: four foundry generations (paper §5.2).
+  EyerissConfig c = project(eyeriss_65nm(), 3);
+  c.feature_nm = 16;
+  // The paper's Table 7 lists the x8 scaling applied to PEs and buffers:
+  //   168 -> 1,344 PEs; 98KB -> 784KB GB; 0.44 -> 3.52KB filter SRAM;
+  //   0.024 -> 0.19KB img REG; 0.048 -> 0.38KB psum REG.
+  c.num_pes = 1344;
+  c.global_buffer_kb = 784.0;
+  c.filter_sram_kb = 3.52;
+  c.img_reg_kb = 0.19;
+  c.psum_reg_kb = 0.38;
+  return c;
+}
+
+}  // namespace dnnfi::accel

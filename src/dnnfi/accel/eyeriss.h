@@ -1,0 +1,66 @@
+// Eyeriss-style accelerator configuration (paper Table 7): the published
+// 65 nm microarchitecture parameters and their projection to 16 nm (x2 per
+// technology generation, 4 generations => x8 on PE count and buffer sizes).
+//
+// Eyeriss is the buffer-fault case study because its row-stationary dataflow
+// exercises all three reuse classes of Table 1 (weight, image, output).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "dnnfi/accel/datapath.h"
+
+namespace dnnfi::accel {
+
+/// On-chip storage structures of Eyeriss that hold data subject to reuse.
+enum class BufferKind {
+  kGlobalBuffer,  ///< shared SRAM holding ifmaps/psums between layers
+  kFilterSram,    ///< per-PE SRAM caching filter weights   (weight reuse)
+  kImgReg,        ///< per-PE register caching an ifmap row (image reuse)
+  kPsumReg,       ///< per-PE register caching partial sums (output reuse)
+};
+
+inline constexpr std::array<BufferKind, 4> kAllBuffers = {
+    BufferKind::kGlobalBuffer, BufferKind::kFilterSram, BufferKind::kImgReg,
+    BufferKind::kPsumReg};
+
+constexpr const char* buffer_name(BufferKind b) {
+  switch (b) {
+    case BufferKind::kGlobalBuffer: return "Global Buffer";
+    case BufferKind::kFilterSram:   return "Filter SRAM";
+    case BufferKind::kImgReg:       return "Img REG";
+    case BufferKind::kPsumReg:      return "PSum REG";
+  }
+  return "?";
+}
+
+/// One process-technology instantiation of the microarchitecture.
+struct EyerissConfig {
+  int feature_nm = 16;               ///< process node
+  std::size_t num_pes = 0;           ///< PE array size
+  double global_buffer_kb = 0;       ///< shared buffer, KB
+  double filter_sram_kb = 0;         ///< per-PE filter SRAM, KB
+  double img_reg_kb = 0;             ///< per-PE image register file, KB
+  double psum_reg_kb = 0;            ///< per-PE psum register file, KB
+  int word_bits = 16;                ///< stored word width (16-bit in Eyeriss)
+
+  /// Total bits of one buffer structure across the whole chip.
+  std::size_t total_bits(BufferKind b) const;
+
+  /// Bits of a single instance (one PE's SRAM/REG; the global buffer has a
+  /// single instance).
+  std::size_t instance_bits(BufferKind b) const;
+};
+
+/// Published 65 nm Eyeriss parameters (Table 7, first row).
+EyerissConfig eyeriss_65nm();
+
+/// 16 nm projection (Table 7, second row): x8 PEs and buffer capacities.
+EyerissConfig eyeriss_16nm();
+
+/// Generic technology projection: scales PE count and buffer sizes by
+/// 2^(generations). Provided so ablations can sweep intermediate nodes.
+EyerissConfig project(const EyerissConfig& base, int generations);
+
+}  // namespace dnnfi::accel

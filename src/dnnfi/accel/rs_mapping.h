@@ -1,0 +1,60 @@
+// First-order row-stationary (RS) mapping model of an Eyeriss-class PE
+// array: how a conv/FC layer is scheduled onto the array, with PE
+// utilization, cycle estimates, and per-level access counts (DRAM, Global
+// Buffer, inter-PE/SRAM, register). Follows the RS dataflow of Chen et
+// al. (ISCA'16) at the granularity the reliability analysis needs:
+// residency times and reuse factors per storage structure — the same
+// quantities the FIT occupancy model and the fault sampler weight by.
+//
+// This is a performance/traffic model, not a cycle-accurate simulator: it
+// assumes perfect double-buffering (compute-bound PEs) and reports
+// compulsory traffic given RS reuse, which is the upper bound on locality.
+#pragma once
+
+#include <vector>
+
+#include "dnnfi/accel/dataflow.h"
+
+namespace dnnfi::accel {
+
+/// RS schedule of one layer on a PE array.
+struct RsMapping {
+  std::size_t layer_index = 0;  ///< index into NetworkSpec::layers
+  int block = 0;
+  bool is_conv = false;
+
+  // Spatial mapping: a PE set is a (kernel-rows x output-rows) rectangle;
+  // multiple sets tile the physical array.
+  std::size_t pe_set_height = 0;   ///< kernel rows mapped vertically
+  std::size_t pe_set_width = 0;    ///< output rows mapped horizontally
+  std::size_t sets_per_pass = 0;   ///< PE sets fitting the array at once
+  std::size_t active_pes = 0;      ///< PEs doing work in a full pass
+  std::size_t passes = 0;          ///< sequential passes over the array
+
+  double utilization = 0;          ///< active PE-cycles / total PE-cycles
+  std::size_t cycles = 0;          ///< MAC cycles assuming 1 MAC/PE/cycle
+
+  // Compulsory access counts (words) per storage level.
+  std::size_t dram_reads = 0;      ///< ifmap + filter words from DRAM
+  std::size_t dram_writes = 0;     ///< ofmap words to DRAM
+  std::size_t gb_accesses = 0;     ///< Global Buffer reads+writes
+  std::size_t sram_accesses = 0;   ///< per-PE filter SRAM reads
+  std::size_t reg_accesses = 0;    ///< img/psum register file accesses
+};
+
+/// Maps every MAC layer of a topology onto `array_pes` processing engines.
+std::vector<RsMapping> map_network(const dnn::NetworkSpec& spec,
+                                   std::size_t array_pes);
+
+/// Totals across a mapped network.
+struct RsSummary {
+  std::size_t total_cycles = 0;
+  double avg_utilization = 0;      ///< MAC-weighted
+  std::size_t dram_traffic = 0;    ///< words
+  std::size_t gb_traffic = 0;
+  std::size_t sram_traffic = 0;
+  std::size_t reg_traffic = 0;
+};
+RsSummary summarize(const std::vector<RsMapping>& mappings);
+
+}  // namespace dnnfi::accel

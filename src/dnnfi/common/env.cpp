@@ -1,0 +1,30 @@
+#include "dnnfi/common/env.h"
+
+#include <cstdlib>
+
+namespace dnnfi {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t default_samples(std::size_t fallback) {
+  return env_size("DNNFI_SAMPLES", fallback);
+}
+
+std::string model_dir() {
+  return env_string("DNNFI_MODEL_DIR").value_or("models");
+}
+
+}  // namespace dnnfi

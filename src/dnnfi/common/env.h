@@ -1,0 +1,26 @@
+// Environment-variable configuration knobs shared by benches and tools.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace dnnfi {
+
+/// Reads an environment variable; empty optional when unset or empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Reads a non-negative integer environment variable, or `fallback` when the
+/// variable is unset or unparsable.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Injections per campaign cell. Controlled by DNNFI_SAMPLES; the paper used
+/// 3,000 per latch/component. The default here is sized for a single-core
+/// machine; raise it for tighter confidence intervals.
+std::size_t default_samples(std::size_t fallback = 300);
+
+/// Directory where pretrained model files are cached (DNNFI_MODEL_DIR,
+/// default "models").
+std::string model_dir();
+
+}  // namespace dnnfi

@@ -1,0 +1,44 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()"). Violations throw so that
+// tests can assert on them; release builds keep the checks because this
+// library's correctness claims (bit-exact injection) depend on them.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dnnfi {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr,
+                    const std::source_location& loc)
+      : std::logic_error(std::string(kind) + " violated: `" + expr + "` at " +
+                         loc.file_name() + ":" + std::to_string(loc.line()) +
+                         " in " + loc.function_name()) {}
+};
+
+namespace detail {
+constexpr void contract_check(bool ok, const char* kind, const char* expr,
+                              const std::source_location& loc) {
+  // A failed check in a constant-evaluated context fails compilation (throw
+  // is not a constant expression); at runtime it throws.
+  if (!ok) throw ContractViolation(kind, expr, loc);
+}
+}  // namespace detail
+
+}  // namespace dnnfi
+
+/// Precondition check: throws dnnfi::ContractViolation when `cond` is false.
+#define DNNFI_EXPECTS(cond)                                 \
+  ::dnnfi::detail::contract_check(static_cast<bool>(cond), \
+                                  "Precondition", #cond,   \
+                                  ::std::source_location::current())
+
+/// Postcondition check: throws dnnfi::ContractViolation when `cond` is false.
+#define DNNFI_ENSURES(cond)                                 \
+  ::dnnfi::detail::contract_check(static_cast<bool>(cond), \
+                                  "Postcondition", #cond,  \
+                                  ::std::source_location::current())

@@ -1,0 +1,120 @@
+// Deterministic, splittable random number generation.
+//
+// Fault-injection campaigns run trials in parallel; results must be
+// bit-identical regardless of thread count or scheduling. We therefore never
+// share a generator across trials: each trial derives its own stream from
+// (campaign seed, trial index) via SplitMix64, and the stream itself is
+// xoshiro256** (public-domain algorithm by Blackman & Vigna, re-implemented
+// here so the library has zero external dependencies and stable output
+// across standard libraries — std::mt19937 distributions are not portable).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi {
+
+/// SplitMix64 step: maps any 64-bit state to a well-mixed 64-bit output.
+/// Used for seeding and for deriving independent streams.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** pseudo-random generator. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator from a single 64-bit value via SplitMix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x1234ABCDULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method for unbiased results.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    DNNFI_EXPECTS(bound > 0);
+    // Rejection loop terminates with overwhelming probability.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      // 128-bit multiply-high.
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= threshold) return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    DNNFI_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Standard normal variate (Box–Muller, polar form avoided to stay
+  /// branch-deterministic; uses the basic form with two uniforms).
+  double normal() noexcept;
+
+  /// True with probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+inline double Rng::normal() noexcept {
+  // Basic Box–Muller; cache is intentionally not kept so that the stream
+  // consumption per call is fixed (2 uniforms), which keeps replay simple.
+  const double u1 = uniform();
+  const double u2 = uniform();
+  // Guard against log(0).
+  const double r = (u1 > 0.0) ? u1 : 0x1.0p-60;
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  // sqrt(-2 ln r) * cos(2*pi*u2)
+  return __builtin_sqrt(-2.0 * __builtin_log(r)) * __builtin_cos(two_pi * u2);
+}
+
+/// Derives an independent generator for (seed, stream). Two distinct stream
+/// indices yield statistically independent sequences; identical inputs yield
+/// identical sequences. This is the backbone of campaign determinism.
+constexpr Rng derive_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  std::uint64_t sm = seed ^ (0xA5A5A5A55A5A5A5AULL + stream * 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t mixed = splitmix64(sm) ^ splitmix64(sm);
+  return Rng(mixed);
+}
+
+}  // namespace dnnfi

@@ -1,0 +1,102 @@
+#include "dnnfi/common/table.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi {
+
+Table& Table::header(std::vector<std::string> names) {
+  DNNFI_EXPECTS(rows_.empty());
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  DNNFI_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+std::string Table::pct(double p, int digits) {
+  return num(p * 100.0, digits) + "%";
+}
+
+std::string Table::pct_ci(double p, double ci, int digits) {
+  return num(p * 100.0, digits) + "% ±" + num(ci * 100.0, digits);
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << (c == 0 ? "| " : " ");
+      os << r[c] << std::string(width[c] - r[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  emit_row(os, header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& r : rows_) emit_row(os, r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << quote(r[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_text() << '\n'; }
+
+std::string Table::write_csv(const std::string& dir, const std::string& stem) const {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + stem + ".csv";
+  std::ofstream f(path);
+  DNNFI_EXPECTS(f.good());
+  f << to_csv();
+  return path;
+}
+
+}  // namespace dnnfi

@@ -1,0 +1,52 @@
+// Aligned text-table and CSV emission. Every bench binary prints its paper
+// table/figure series through this so output formatting stays uniform.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dnnfi {
+
+/// A simple column-aligned table with a title, header row, and string cells.
+/// Numeric helpers format with fixed precision. Render as padded text or CSV.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before any `row`.
+  Table& header(std::vector<std::string> names);
+
+  /// Appends a row; must match the header width.
+  Table& row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string num(double v, int digits = 3);
+  /// Formats "p% ± ci%" given probabilities in [0,1].
+  static std::string pct_ci(double p, double ci, int digits = 2);
+  /// Formats a probability in [0,1] as a percentage.
+  static std::string pct(double p, int digits = 2);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  const std::string& title() const noexcept { return title_; }
+
+  /// Renders an aligned text table.
+  std::string to_text() const;
+  /// Renders RFC-4180-ish CSV (fields quoted when they contain separators).
+  std::string to_csv() const;
+
+  /// Prints the text rendering to `os` followed by a blank line.
+  void print(std::ostream& os) const;
+
+  /// Writes the CSV rendering to `<dir>/<stem>.csv`; creates `dir` if needed.
+  /// Returns the path written.
+  std::string write_csv(const std::string& dir, const std::string& stem) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dnnfi

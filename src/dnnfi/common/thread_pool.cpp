@@ -1,0 +1,107 @@
+#include "dnnfi/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "dnnfi/common/env.h"
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (workers_.empty()) {
+    // Serial pool: run inline, preserving exception propagation.
+    for (auto& t : tasks) t();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    DNNFI_EXPECTS(in_flight_ == 0);  // batches do not overlap
+    first_error_ = nullptr;
+    in_flight_ = tasks.size();
+    for (auto& t : tasks) queue_.push(std::move(t));
+  }
+  work_ready_.notify_all();
+  std::unique_lock lock(mutex_);
+  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool = [] {
+    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t n = env_size("DNNFI_THREADS", hw);
+    // A pool of 1 worker is strictly worse than inline execution.
+    return ThreadPool(n <= 1 ? 0 : n);
+  }();
+  return pool;
+}
+
+void parallel_for_chunks(ThreadPool& pool, std::size_t count,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t workers = std::max<std::size_t>(1, pool.size());
+  // Four chunks per worker balances load without timing-dependent splits.
+  const std::size_t chunks = std::min(count, workers * 4);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    tasks.emplace_back([&body, begin, end] { body(begin, end); });
+    begin = end;
+  }
+  DNNFI_ENSURES(begin == count);
+  pool.run_batch(std::move(tasks));
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(ThreadPool::global(), count,
+                      [&body](std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) body(i);
+                      });
+}
+
+}  // namespace dnnfi

@@ -1,0 +1,65 @@
+// A small, dependency-free thread pool plus parallel_for. Campaign trials
+// and batch training are "embarrassingly parallel with per-task state"; the
+// pool gives us deterministic work partitioning (static chunking by index,
+// never work stealing), so parallel results match serial results exactly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dnnfi {
+
+/// Fixed-size pool of worker threads executing enqueued tasks.
+///
+/// Tasks must not throw past the pool boundary: the first exception thrown by
+/// any task during a `run_batch` is captured and rethrown to the caller.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. `num_threads == 0` means
+  /// "serial": tasks run inline on the calling thread.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for a serial pool).
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs all `tasks`, blocking until every one has finished. Rethrows the
+  /// first captured task exception, if any.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+  /// The process-wide default pool, sized from DNNFI_THREADS or hardware
+  /// concurrency. Constructed on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::queue<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Splits [0, count) into contiguous chunks and runs `body(begin, end)` for
+/// each chunk on the given pool. Chunk boundaries depend only on `count` and
+/// the pool size, never on timing, so any per-chunk state is reproducible.
+void parallel_for_chunks(ThreadPool& pool, std::size_t count,
+                         const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Runs `body(i)` for every i in [0, count) on the global pool.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace dnnfi

@@ -1,0 +1,151 @@
+#include "dnnfi/data/datasets.h"
+
+#include <array>
+#include <cmath>
+
+#include "dnnfi/common/rng.h"
+
+namespace dnnfi::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Per-channel foreground color with moderate brightness, from rng.
+std::array<double, 3> random_color(Rng& rng) {
+  return {0.4 + 0.6 * rng.uniform(), 0.4 + 0.6 * rng.uniform(),
+          0.4 + 0.6 * rng.uniform()};
+}
+
+void add_noise(tensor::Tensor<float>& img, Rng& rng, double sigma) {
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img[i] += static_cast<float>(rng.normal() * sigma);
+}
+
+}  // namespace
+
+std::string ShapesDataset::class_name(std::size_t label) const {
+  static constexpr std::array<const char*, 10> kNames = {
+      "circle", "square",   "cross",    "h-stripes", "v-stripes",
+      "diag",   "ring",     "triangle", "dots",      "blob"};
+  DNNFI_EXPECTS(label < kNames.size());
+  return kNames[label];
+}
+
+Sample ShapesDataset::sample(std::uint64_t index) const {
+  Rng rng = derive_stream(seed_, index);
+  const std::size_t label = static_cast<std::size_t>(index % num_classes());
+
+  Sample s;
+  s.label = label;
+  s.image = tensor::Tensor<float>(image_shape());
+  s.image.fill(-0.5F);  // dark background
+
+  const double cx = 16.0 + static_cast<double>(rng.between(-4, 4));
+  const double cy = 16.0 + static_cast<double>(rng.between(-4, 4));
+  const double r = 6.0 + 4.0 * rng.uniform();
+  const auto color = random_color(rng);
+  const double phase = rng.uniform() * 2.0 * kPi;
+
+  auto paint = [&](std::size_t y, std::size_t x, double intensity) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      auto& px = s.image.at(0, c, y, x);
+      px = static_cast<float>(
+          std::max<double>(px, -0.5 + intensity * (0.5 + color[c])));
+    }
+  };
+
+  for (std::size_t y = 0; y < 32; ++y) {
+    for (std::size_t x = 0; x < 32; ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      double on = 0.0;
+      switch (label) {
+        case 0:  // filled circle
+          on = d <= r ? 1.0 : 0.0;
+          break;
+        case 1:  // filled square
+          on = (std::abs(dx) <= r * 0.8 && std::abs(dy) <= r * 0.8) ? 1.0 : 0.0;
+          break;
+        case 2:  // cross
+          on = ((std::abs(dx) <= 2.0 && std::abs(dy) <= r) ||
+                (std::abs(dy) <= 2.0 && std::abs(dx) <= r))
+                   ? 1.0
+                   : 0.0;
+          break;
+        case 3:  // horizontal stripes
+          on = (std::sin(static_cast<double>(y) * kPi / 3.0 + phase) > 0.2) ? 1.0 : 0.0;
+          break;
+        case 4:  // vertical stripes
+          on = (std::sin(static_cast<double>(x) * kPi / 3.0 + phase) > 0.2) ? 1.0 : 0.0;
+          break;
+        case 5:  // diagonal stripes
+          on = (std::sin((dx + dy) * kPi / 4.0 + phase) > 0.2) ? 1.0 : 0.0;
+          break;
+        case 6:  // ring
+          on = (std::abs(d - r) <= 1.8) ? 1.0 : 0.0;
+          break;
+        case 7:  // triangle (upward)
+          on = (dy >= -r && dy <= r && std::abs(dx) <= (dy + r) * 0.6) ? 1.0 : 0.0;
+          break;
+        case 8:  // dot lattice
+          on = (std::fmod(static_cast<double>(x) + 2.0, 6.0) < 2.5 &&
+                std::fmod(static_cast<double>(y) + 2.0, 6.0) < 2.5)
+                   ? 1.0
+                   : 0.0;
+          break;
+        case 9:  // soft radial blob
+          on = std::exp(-d * d / (r * r));
+          break;
+        default:
+          break;
+      }
+      if (on > 0.0) paint(y, x, on);
+    }
+  }
+  add_noise(s.image, rng, 0.08);
+  return s;
+}
+
+std::string TexturesDataset::class_name(std::size_t label) const {
+  DNNFI_EXPECTS(label < 100);
+  const auto f = label / 20;
+  const auto o = label % 20;
+  return "tex-f" + std::to_string(f + 2) + "-o" + std::to_string(o);
+}
+
+Sample TexturesDataset::sample(std::uint64_t index) const {
+  Rng rng = derive_stream(seed_ ^ 0x7E57DA7AULL, index);
+  const std::size_t label = static_cast<std::size_t>(index % num_classes());
+  const double freq = 2.0 + static_cast<double>(label / 20);          // 2..6
+  const double theta = kPi * static_cast<double>(label % 20) / 20.0;  // 0..171 deg
+
+  Sample s;
+  s.label = label;
+  s.image = tensor::Tensor<float>(image_shape());
+
+  const double phase = rng.uniform() * 2.0 * kPi;
+  const double ct = std::cos(theta);
+  const double st = std::sin(theta);
+  // Fixed per-class channel signature so color carries class information.
+  const std::array<double, 3> chan_gain = {
+      0.6 + 0.4 * std::cos(2.0 * kPi * static_cast<double>(label) / 7.0),
+      0.6 + 0.4 * std::cos(2.0 * kPi * static_cast<double>(label) / 11.0),
+      0.6 + 0.4 * std::cos(2.0 * kPi * static_cast<double>(label) / 13.0)};
+
+  const double scale = 2.0 * kPi * freq / 48.0;
+  for (std::size_t y = 0; y < 48; ++y) {
+    for (std::size_t x = 0; x < 48; ++x) {
+      const double u =
+          (static_cast<double>(x) * ct + static_cast<double>(y) * st) * scale;
+      const double v = std::sin(u + phase);
+      for (std::size_t c = 0; c < 3; ++c)
+        s.image.at(0, c, y, x) = static_cast<float>(v * chan_gain[c]);
+    }
+  }
+  add_noise(s.image, rng, 0.10);
+  return s;
+}
+
+}  // namespace dnnfi::data

@@ -1,0 +1,75 @@
+// Procedurally generated, deterministic image-classification datasets.
+//
+// The paper evaluates on CIFAR-10 (ConvNet) and ImageNet (AlexNet, CaffeNet,
+// NiN) with BVLC pre-trained weights; neither dataset nor weights can be
+// bundled here, so we substitute synthetic datasets with the properties that
+// matter for error-propagation study: multi-class images with spatial
+// structure learnable by convolutions, producing trained networks whose
+// activations cluster near zero (see DESIGN.md §1).
+//
+//  * ShapesDataset  — 10 classes of geometric figures, 3x32x32  (CIFAR-10 stand-in)
+//  * TexturesDataset — 100 classes of oriented sinusoid textures, 3x48x48
+//                      (ImageNet stand-in)
+//
+// Every sample is a pure function of (dataset seed, index): datasets need no
+// storage, any index is O(image) to produce, and train/test splits are just
+// index ranges.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dnnfi/tensor/tensor.h"
+
+namespace dnnfi::data {
+
+/// One labeled image. Pixel values are roughly in [-1, 1].
+struct Sample {
+  tensor::Tensor<float> image;
+  std::size_t label = 0;
+};
+
+/// Deterministic random-access dataset interface.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t num_classes() const = 0;
+  virtual tensor::Shape image_shape() const = 0;
+  /// Produces sample `index`; identical calls return identical samples.
+  virtual Sample sample(std::uint64_t index) const = 0;
+  /// Human-readable class label.
+  virtual std::string class_name(std::size_t label) const = 0;
+};
+
+/// 10 geometric shape classes on noisy backgrounds, 3x32x32.
+class ShapesDataset final : public Dataset {
+ public:
+  explicit ShapesDataset(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "shapes10"; }
+  std::size_t num_classes() const override { return 10; }
+  tensor::Shape image_shape() const override { return tensor::chw(3, 32, 32); }
+  Sample sample(std::uint64_t index) const override;
+  std::string class_name(std::size_t label) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// 100 oriented-sinusoid texture classes, 3x48x48. Class id encodes
+/// (spatial frequency, orientation) on a 5x20 grid.
+class TexturesDataset final : public Dataset {
+ public:
+  explicit TexturesDataset(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "textures100"; }
+  std::size_t num_classes() const override { return 100; }
+  tensor::Shape image_shape() const override { return tensor::chw(3, 48, 48); }
+  Sample sample(std::uint64_t index) const override;
+  std::string class_name(std::size_t label) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace dnnfi::data

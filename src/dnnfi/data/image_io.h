@@ -1,0 +1,20 @@
+// Minimal binary PPM (P6) image IO, used by examples to dump the inputs and
+// misclassifications they discuss. Pixel values are mapped from the dataset
+// range [-1, 1] to [0, 255].
+#pragma once
+
+#include <string>
+
+#include "dnnfi/tensor/tensor.h"
+
+namespace dnnfi::data {
+
+/// Writes a 3xHxW float tensor (values ~[-1,1]) as a binary PPM file.
+/// Throws std::runtime_error on IO failure.
+void write_ppm(const std::string& path, const tensor::Tensor<float>& image);
+
+/// Reads a binary PPM into a 3xHxW float tensor in [-1,1].
+/// Throws std::runtime_error on IO/format failure.
+tensor::Tensor<float> read_ppm(const std::string& path);
+
+}  // namespace dnnfi::data

@@ -1,0 +1,204 @@
+#include "dnnfi/dnn/network.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dnnfi::dnn {
+
+std::size_t Prediction::top1() const {
+  DNNFI_EXPECTS(!scores.empty());
+  return static_cast<std::size_t>(
+      std::distance(scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+std::vector<std::size_t> Prediction::topk(std::size_t k) const {
+  DNNFI_EXPECTS(!scores.empty());
+  k = std::min(k, scores.size());
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [this](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;  // deterministic tie-break
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+double Prediction::top1_score() const { return scores[top1()]; }
+
+template <typename T>
+std::unique_ptr<Layer<T>> make_layer(const LayerSpec& spec, const Shape& in_shape) {
+  switch (spec.kind) {
+    case LayerKind::kConv:
+      return std::make_unique<Conv2d<T>>(spec.name, spec.block, in_shape.c,
+                                         spec.out_channels, spec.kernel,
+                                         spec.stride, spec.pad);
+    case LayerKind::kFullyConnected:
+      return std::make_unique<FullyConnected<T>>(spec.name, spec.block,
+                                                 in_shape.size(),
+                                                 spec.out_features);
+    case LayerKind::kRelu:
+      return std::make_unique<Relu<T>>(spec.name, spec.block);
+    case LayerKind::kMaxPool:
+      return std::make_unique<MaxPool2d<T>>(spec.name, spec.block,
+                                            spec.pool_kernel, spec.pool_stride);
+    case LayerKind::kLrn:
+      return std::make_unique<Lrn<T>>(spec.name, spec.block, spec.lrn_size,
+                                      spec.lrn_alpha, spec.lrn_beta, spec.lrn_k);
+    case LayerKind::kSoftmax:
+      return std::make_unique<Softmax<T>>(spec.name, spec.block);
+    case LayerKind::kGlobalAvgPool:
+      return std::make_unique<GlobalAvgPool<T>>(spec.name, spec.block);
+  }
+  DNNFI_EXPECTS(false);
+  return nullptr;
+}
+
+template <typename T>
+Network<T>::Network(const NetworkSpec& spec) : spec_(spec) {
+  DNNFI_EXPECTS(!spec.layers.empty());
+  Shape shape = spec.input;
+  layers_.reserve(spec.layers.size());
+  for (const auto& ls : spec.layers) {
+    auto layer = make_layer<T>(ls, shape);
+    shape = layer->out_shape(shape);
+    if (ls.kind == LayerKind::kConv || ls.kind == LayerKind::kFullyConnected)
+      mac_layers_.push_back(layers_.size());
+    layers_.push_back(std::move(layer));
+  }
+  DNNFI_ENSURES(shape.size() == spec.num_classes);
+}
+
+template <typename T>
+Tensor<T> Network<T>::forward(const Tensor<T>& input) const {
+  DNNFI_EXPECTS(input.shape() == spec_.input);
+  Tensor<T> a = input;
+  Tensor<T> b;
+  for (const auto& layer : layers_) {
+    layer->forward(a, b);
+    std::swap(a, b);
+  }
+  return a;
+}
+
+template <typename T>
+Trace<T> Network<T>::forward_trace(const Tensor<T>& input) const {
+  DNNFI_EXPECTS(input.shape() == spec_.input);
+  Trace<T> tr;
+  tr.input = input;
+  tr.acts.resize(layers_.size());
+  const Tensor<T>* cur = &tr.input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(*cur, tr.acts[i]);
+    cur = &tr.acts[i];
+  }
+  return tr;
+}
+
+template <typename T>
+Tensor<T> Network<T>::forward_with_fault(const Trace<T>& golden,
+                                         const AppliedFault& f,
+                                         InjectionRecord* rec,
+                                         const LayerObserverFn* observer) const {
+  DNNFI_EXPECTS(f.layer < layers_.size());
+  DNNFI_EXPECTS(golden.acts.size() == layers_.size());
+
+  Tensor<T> a;
+  Tensor<T> b;
+  if (f.flip_layer_input) {
+    // Global-buffer model: the corrupted ifmap word is read by every
+    // consumer, so the whole target layer re-executes on flipped input.
+    Tensor<T> in = golden.layer_input(f.layer);
+    DNNFI_EXPECTS(f.input_index < in.size());
+    const T before = in[f.input_index];
+    const T after =
+        f.input_storage
+            ? numeric::numeric_traits<T>::from_double(numeric::dispatch_dtype(
+                  *f.input_storage, [&]<typename S>() {
+                    using Tr = numeric::numeric_traits<S>;
+                    return Tr::to_double(numeric::flip_burst(
+                        Tr::from_double(
+                            numeric::numeric_traits<T>::to_double(before)),
+                        f.input_bit, f.input_burst));
+                  }))
+            : numeric::flip_burst(before, f.input_bit, f.input_burst);
+    in[f.input_index] = after;
+    if (rec != nullptr) {
+      rec->corrupted_before = numeric::numeric_traits<T>::to_double(before);
+      rec->corrupted_after = numeric::numeric_traits<T>::to_double(after);
+      rec->zero_to_one =
+          f.input_storage
+              ? numeric::dispatch_dtype(*f.input_storage, [&]<typename S>() {
+                  return numeric::flip_is_zero_to_one(
+                      numeric::numeric_traits<S>::from_double(
+                          numeric::numeric_traits<T>::to_double(before)),
+                      f.input_bit);
+                })
+              : numeric::flip_is_zero_to_one(before, f.input_bit);
+      rec->applied = true;
+    }
+    layers_[f.layer]->forward(in, a, nullptr, nullptr);
+  } else {
+    // Patch the golden output of the target layer with the fault's effect.
+    a = golden.acts[f.layer];
+    layers_[f.layer]->apply_faults(golden.layer_input(f.layer), a, f.faults, rec);
+  }
+  if (observer != nullptr) (*observer)(f.layer, a);
+  for (std::size_t i = f.layer + 1; i < layers_.size(); ++i) {
+    layers_[i]->forward(a, b);
+    std::swap(a, b);
+    if (observer != nullptr) (*observer)(i, a);
+  }
+  return a;
+}
+
+template <typename T>
+Prediction Network<T>::interpret(const Tensor<T>& output) const {
+  DNNFI_EXPECTS(output.size() == spec_.num_classes);
+  Prediction p;
+  p.has_confidence = has_softmax();
+  p.scores.resize(output.size());
+  for (std::size_t i = 0; i < output.size(); ++i)
+    p.scores[i] = numeric::numeric_traits<T>::to_double(output[i]);
+  return p;
+}
+
+template <typename T>
+Prediction Network<T>::classify(const Tensor<T>& input) const {
+  return interpret(forward(input));
+}
+
+template <typename T>
+std::size_t Network<T>::total_macs() const {
+  Shape shape = spec_.input;
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer->macs(shape);
+    shape = layer->out_shape(shape);
+  }
+  return total;
+}
+
+template <typename T>
+std::size_t Network<T>::total_weights() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer->weights().size();
+  return total;
+}
+
+template class Network<double>;
+template class Network<float>;
+template class Network<numeric::Half>;
+template class Network<numeric::Fx32r26>;
+template class Network<numeric::Fx32r10>;
+template class Network<numeric::Fx16r10>;
+
+template std::unique_ptr<Layer<double>> make_layer<double>(const LayerSpec&, const Shape&);
+template std::unique_ptr<Layer<float>> make_layer<float>(const LayerSpec&, const Shape&);
+template std::unique_ptr<Layer<numeric::Half>> make_layer<numeric::Half>(const LayerSpec&, const Shape&);
+template std::unique_ptr<Layer<numeric::Fx32r26>> make_layer<numeric::Fx32r26>(const LayerSpec&, const Shape&);
+template std::unique_ptr<Layer<numeric::Fx32r10>> make_layer<numeric::Fx32r10>(const LayerSpec&, const Shape&);
+template std::unique_ptr<Layer<numeric::Fx16r10>> make_layer<numeric::Fx16r10>(const LayerSpec&, const Shape&);
+
+}  // namespace dnnfi::dnn

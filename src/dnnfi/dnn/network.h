@@ -1,0 +1,131 @@
+// Network<T>: an ordered stack of layers executing in datapath type T, with
+// golden-trace caching and fault-aware partial re-execution.
+//
+// The injection fast path exploits the fact that a fault in layer L leaves
+// layers [0, L) untouched: given a cached fault-free activation trace, a
+// faulty run re-executes only layer L (patching just the ACTs the fault
+// reaches) and the layers after it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnnfi/dnn/layers.h"
+#include "dnnfi/dnn/spec.h"
+#include "dnnfi/numeric/dtype.h"
+
+namespace dnnfi::dnn {
+
+/// Classification output: per-class scores (softmax confidences, or raw
+/// scores for networks without a softmax head) plus ranking utilities.
+struct Prediction {
+  std::vector<double> scores;
+  bool has_confidence = true;  ///< false when the net has no softmax (NiN)
+
+  /// Class index with the highest score.
+  std::size_t top1() const;
+  /// The `k` highest-scoring class indices, best first.
+  std::vector<std::size_t> topk(std::size_t k) const;
+  /// Score of the top-1 class.
+  double top1_score() const;
+};
+
+/// Per-layer activations of one forward pass. `acts[i]` is the output of
+/// layer i; `input` is the network input.
+template <typename T>
+struct Trace {
+  Tensor<T> input;
+  std::vector<Tensor<T>> acts;
+
+  const Tensor<T>& layer_input(std::size_t layer) const {
+    return layer == 0 ? input : acts[layer - 1];
+  }
+  const Tensor<T>& output() const { return acts.back(); }
+};
+
+/// Describes where a LayerFaults bundle should be applied during a forward
+/// pass, including the global-buffer case (flip an input ACT of the layer,
+/// visible to every consumer).
+struct AppliedFault {
+  std::size_t layer = 0;       ///< target layer index (conv/FC)
+  LayerFaults faults;          ///< latch / filter-SRAM / img-REG faults
+  bool flip_layer_input = false;  ///< global-buffer model: corrupt input ACT
+  std::size_t input_index = 0;    ///< flat index of the input ACT to flip
+  int input_bit = 0;
+  int input_burst = 1;            ///< adjacent bits flipped
+  /// Reduced storage format for the flipped input word, if any.
+  std::optional<numeric::DType> input_storage;
+};
+
+template <typename T>
+class Network {
+ public:
+  /// Instantiates the topology with zero-valued parameters.
+  explicit Network(const NetworkSpec& spec);
+
+  const NetworkSpec& spec() const noexcept { return spec_; }
+  const std::string& name() const noexcept { return spec_.name; }
+  std::size_t num_layers() const noexcept { return layers_.size(); }
+  std::size_t num_classes() const noexcept { return spec_.num_classes; }
+  bool has_softmax() const noexcept { return spec_.has_softmax(); }
+
+  Layer<T>& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer<T>& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Indices of layers that perform MACs (conv and FC), in order.
+  const std::vector<std::size_t>& mac_layers() const noexcept {
+    return mac_layers_;
+  }
+
+  /// Plain forward pass; returns the final output tensor.
+  Tensor<T> forward(const Tensor<T>& input) const;
+
+  /// Forward pass recording every layer output (the golden trace).
+  Trace<T> forward_trace(const Tensor<T>& input) const;
+
+  /// Callback observing faulty per-layer activations: (layer index, output).
+  /// Only layers at or after the fault layer are reported — earlier layers
+  /// are bit-identical to the golden trace.
+  using LayerObserverFn = std::function<void(std::size_t, const Tensor<T>&)>;
+
+  /// Faulty forward pass re-using a golden trace: re-executes only the
+  /// target layer (via fault patching) and everything after it. Returns the
+  /// final output. `rec`, when non-null, receives injection details;
+  /// `observer`, when non-null, sees every recomputed layer output.
+  Tensor<T> forward_with_fault(const Trace<T>& golden, const AppliedFault& f,
+                               InjectionRecord* rec = nullptr,
+                               const LayerObserverFn* observer = nullptr) const;
+
+  /// Interprets a final output tensor as a Prediction.
+  Prediction interpret(const Tensor<T>& output) const;
+
+  /// Classification shorthand: forward + interpret.
+  Prediction classify(const Tensor<T>& input) const;
+
+  /// Total MACs for an input of the spec'd shape.
+  std::size_t total_macs() const;
+
+  /// Total number of weights (across conv/FC layers).
+  std::size_t total_weights() const;
+
+ private:
+  NetworkSpec spec_;
+  std::vector<std::unique_ptr<Layer<T>>> layers_;
+  std::vector<std::size_t> mac_layers_;
+};
+
+/// Builds one concrete layer from its spec. `in_shape` is the layer's input
+/// shape (needed to size FC weights); returns the layer and its out shape.
+template <typename T>
+std::unique_ptr<Layer<T>> make_layer(const LayerSpec& spec, const Shape& in_shape);
+
+extern template class Network<double>;
+extern template class Network<float>;
+extern template class Network<numeric::Half>;
+extern template class Network<numeric::Fx32r26>;
+extern template class Network<numeric::Fx32r10>;
+extern template class Network<numeric::Fx16r10>;
+
+}  // namespace dnnfi::dnn

@@ -1,0 +1,38 @@
+// Binary model format (".dnnfi"): a NetworkSpec plus float32 weights.
+//
+// Layout (little-endian):
+//   magic "DNNFI\x01"            6 bytes
+//   name                         u32 length + bytes
+//   input shape                  4 x u64
+//   num_classes                  u64
+//   layer count                  u32
+//   per layer: kind u8, block i32, name (u32+bytes),
+//              10 x u64 integer params, 4 x f64 real params
+//   blob layer count             u32
+//   per blob layer: weight count u64 + f32[], bias count u64 + f32[]
+#pragma once
+
+#include <string>
+
+#include "dnnfi/dnn/spec.h"
+#include "dnnfi/dnn/weights.h"
+
+namespace dnnfi::dnn {
+
+/// Saves a topology + trained weights to `path`. Throws std::runtime_error
+/// on IO failure.
+void save_model(const std::string& path, const NetworkSpec& spec,
+                const WeightsBlob& blob);
+
+/// Loads a model saved by save_model. Throws std::runtime_error on IO or
+/// format errors.
+struct Model {
+  NetworkSpec spec;
+  WeightsBlob blob;
+};
+Model load_model(const std::string& path);
+
+/// True when `path` exists and carries the model magic.
+bool is_model_file(const std::string& path);
+
+}  // namespace dnnfi::dnn

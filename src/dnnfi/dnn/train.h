@@ -1,0 +1,51 @@
+// Float32 SGD training with momentum and weight decay, used to produce the
+// "pre-trained models" the fault-injection experiments run on. The trainer
+// works on any Network<float>; the classifier head is softmax +
+// cross-entropy, applied by the trainer itself (a trailing Softmax layer in
+// the topology is skipped during training — and NiN, which has no softmax
+// layer at inference, is trained with the same combined head).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dnnfi/dnn/network.h"
+
+namespace dnnfi::dnn {
+
+/// A training example; images are float CHW, labels are class indices.
+struct Example {
+  Tensor<float> image;
+  std::size_t label = 0;
+};
+
+/// Deterministic example source: returns example `i` of a conceptual
+/// sequence. The trainer shuffles indices itself.
+using ExampleSource = std::function<Example(std::uint64_t)>;
+
+struct TrainConfig {
+  std::size_t epochs = 4;
+  std::size_t train_count = 2000;  ///< examples per epoch
+  std::size_t batch = 32;
+  double learning_rate = 0.02;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  std::uint64_t seed = 1;
+  bool verbose = false;  ///< print per-epoch loss/accuracy to stderr
+};
+
+struct EvalResult {
+  double accuracy = 0;
+  double avg_loss = 0;
+};
+
+/// Trains `net` in place. Deterministic in (config.seed, example source).
+void train(Network<float>& net, const ExampleSource& source,
+           const TrainConfig& config);
+
+/// Evaluates top-1 accuracy and mean cross-entropy on examples
+/// [begin, begin+count) of `source`.
+EvalResult evaluate(const Network<float>& net, const ExampleSource& source,
+                    std::uint64_t begin, std::size_t count);
+
+}  // namespace dnnfi::dnn

@@ -1,0 +1,89 @@
+#include "dnnfi/dnn/zoo.h"
+
+#include <algorithm>
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi::dnn::zoo {
+
+std::string_view network_name(NetworkId id) {
+  switch (id) {
+    case NetworkId::kConvNet:   return "ConvNet";
+    case NetworkId::kAlexNetS:  return "AlexNet-S";
+    case NetworkId::kCaffeNetS: return "CaffeNet-S";
+    case NetworkId::kNiNS:      return "NiN-S";
+  }
+  DNNFI_EXPECTS(false);
+  return {};
+}
+
+std::string model_filename(NetworkId id) {
+  std::string n(network_name(id));
+  std::transform(n.begin(), n.end(), n.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  std::erase(n, '-');
+  return n + ".dnnfi";
+}
+
+namespace {
+
+NetworkSpec convnet() {
+  // cuda-convnet style: 3 CONV + 2 FC, max-pool sub-sampling, softmax head.
+  return SpecBuilder("ConvNet", tensor::chw(3, 32, 32), 10)
+      .conv(16, 5, 1, 2).relu().maxpool(2, 2)   // 16x16
+      .conv(16, 5, 1, 2).relu().maxpool(2, 2)   // 8x8
+      .conv(32, 5, 1, 2).relu().maxpool(2, 2)   // 4x4
+      .fc(64).relu()
+      .fc(10).softmax()
+      .build();
+}
+
+/// Shared body of AlexNet-S and CaffeNet-S; `pool_before_lrn` encodes the
+/// one structural difference between the two (paper §4.1).
+NetworkSpec alexnet_family(const char* name, bool pool_before_lrn) {
+  SpecBuilder b(name, tensor::chw(3, 48, 48), 100);
+  // conv1 + conv2 carry LRN, like the first two layers of AlexNet/CaffeNet.
+  b.conv(16, 5, 2, 2).relu();                     // 24x24
+  if (pool_before_lrn) b.maxpool(2, 2).lrn();     // 12x12
+  else b.lrn().maxpool(2, 2);
+  b.conv(32, 5, 1, 2).relu();                     // 12x12
+  if (pool_before_lrn) b.maxpool(2, 2).lrn();     // 6x6
+  else b.lrn().maxpool(2, 2);
+  b.conv(48, 3, 1, 1).relu();                     // 6x6
+  b.conv(48, 3, 1, 1).relu();                     // 6x6
+  b.conv(32, 3, 1, 1).relu().maxpool(2, 2);       // 3x3
+  b.fc(128).relu();
+  b.fc(128).relu();
+  b.fc(100).softmax();
+  return b.build();
+}
+
+NetworkSpec nin() {
+  // Network-in-Network: 4 mlpconv blocks (spatial conv + two 1x1 convs),
+  // global average pooling head, no FC, no softmax.
+  return SpecBuilder("NiN-S", tensor::chw(3, 48, 48), 100)
+      .conv(16, 5, 1, 2).relu().conv(16, 1).relu().conv(16, 1).relu()
+      .maxpool(2, 2)                               // 24x24
+      .conv(24, 3, 1, 1).relu().conv(24, 1).relu().conv(24, 1).relu()
+      .maxpool(2, 2)                               // 12x12
+      .conv(32, 3, 1, 1).relu().conv(32, 1).relu().conv(32, 1).relu()
+      .maxpool(2, 2)                               // 6x6
+      .conv(48, 3, 1, 1).relu().conv(48, 1).relu().conv(100, 1).relu()
+      .global_avg_pool()
+      .build();
+}
+
+}  // namespace
+
+NetworkSpec network_spec(NetworkId id) {
+  switch (id) {
+    case NetworkId::kConvNet:   return convnet();
+    case NetworkId::kAlexNetS:  return alexnet_family("AlexNet-S", false);
+    case NetworkId::kCaffeNetS: return alexnet_family("CaffeNet-S", true);
+    case NetworkId::kNiNS:      return nin();
+  }
+  DNNFI_EXPECTS(false);
+  return {};
+}
+
+}  // namespace dnnfi::dnn::zoo

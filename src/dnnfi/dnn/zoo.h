@@ -1,0 +1,34 @@
+// The four networks of the paper's Table 2, at reduced scale (see DESIGN.md
+// §1 for the substitution argument):
+//
+//   ConvNet   — 3 CONV + 2 FC, ReLU + max-pool, softmax, no LRN (CIFAR-10 class)
+//   AlexNet-S — 5 CONV (LRN after conv1, conv2; order conv-relu-LRN-pool) + 3 FC, softmax
+//   CaffeNet-S— same as AlexNet-S but pool *before* LRN (the only difference
+//               between AlexNet and CaffeNet the paper calls out)
+//   NiN-S     — 12 CONV (4 mlpconv blocks), global average pooling,
+//               no FC and *no softmax* (its output has no confidence scores)
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "dnnfi/dnn/spec.h"
+
+namespace dnnfi::dnn::zoo {
+
+enum class NetworkId { kConvNet, kAlexNetS, kCaffeNetS, kNiNS };
+
+inline constexpr std::array<NetworkId, 4> kAllNetworks = {
+    NetworkId::kConvNet, NetworkId::kAlexNetS, NetworkId::kCaffeNetS,
+    NetworkId::kNiNS};
+
+std::string_view network_name(NetworkId id);
+
+/// Topology for `id`. Deterministic; safe to call repeatedly.
+NetworkSpec network_spec(NetworkId id);
+
+/// Canonical model file name, e.g. "convnet.dnnfi".
+std::string model_filename(NetworkId id);
+
+}  // namespace dnnfi::dnn::zoo

@@ -1,0 +1,221 @@
+#include "dnnfi/fault/campaign.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "dnnfi/common/thread_pool.h"
+
+namespace dnnfi::fault {
+
+using numeric::DType;
+
+Estimate CampaignResult::rate(const Pred& pred) const {
+  std::size_t hits = 0;
+  for (const auto& t : trials) hits += pred(t) ? 1U : 0U;
+  return estimate(hits, trials.size());
+}
+
+Estimate CampaignResult::rate_if(const Pred& filter, const Pred& pred) const {
+  std::size_t hits = 0, n = 0;
+  for (const auto& t : trials) {
+    if (!filter(t)) continue;
+    ++n;
+    hits += pred(t) ? 1U : 0U;
+  }
+  return estimate(hits, n);
+}
+
+Estimate CampaignResult::sdc1() const {
+  return rate([](const TrialRecord& t) { return t.outcome.sdc1; });
+}
+Estimate CampaignResult::sdc5() const {
+  return rate([](const TrialRecord& t) { return t.outcome.sdc5; });
+}
+Estimate CampaignResult::sdc10() const {
+  return rate([](const TrialRecord& t) { return t.outcome.sdc10; });
+}
+Estimate CampaignResult::sdc20() const {
+  return rate([](const TrialRecord& t) { return t.outcome.sdc20; });
+}
+
+std::vector<std::size_t> block_end_layers(const dnn::NetworkSpec& spec) {
+  std::vector<std::size_t> ends;
+  for (int b = 1; b <= spec.num_blocks(); ++b) {
+    std::size_t last = spec.layers.size();
+    for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+      if (spec.layers[i].block == b &&
+          spec.layers[i].kind != dnn::LayerKind::kSoftmax)
+        last = i;
+    }
+    DNNFI_EXPECTS(last < spec.layers.size());
+    ends.push_back(last);
+  }
+  return ends;
+}
+
+/// Type-erased backend interface; one TypedBackend<T> per datapath type.
+struct Campaign::Backend {
+  virtual ~Backend() = default;
+  virtual CampaignResult run(const CampaignOptions& opt) const = 0;
+  virtual const dnn::NetworkSpec& spec() const = 0;
+  virtual DType dtype() const = 0;
+  virtual const Sampler& sampler() const = 0;
+  virtual std::size_t num_inputs() const = 0;
+  virtual const dnn::Prediction& golden_prediction(std::size_t i) const = 0;
+  virtual const std::vector<BlockRange>& golden_block_ranges() const = 0;
+};
+
+template <typename T>
+struct Campaign::TypedBackend final : Campaign::Backend {
+  TypedBackend(const dnn::NetworkSpec& network_spec,
+               const dnn::WeightsBlob& blob, std::vector<dnn::Example> inputs)
+      : net(dnn::instantiate<T>(network_spec, blob)),
+        site_sampler(network_spec, numeric::dtype_of<T>()),
+        ends(block_end_layers(network_spec)) {
+    DNNFI_EXPECTS(!inputs.empty());
+    goldens.reserve(inputs.size());
+    predictions.reserve(inputs.size());
+    ranges.assign(ends.size(), BlockRange{std::numeric_limits<double>::max(),
+                                          std::numeric_limits<double>::lowest()});
+    for (const auto& ex : inputs) {
+      goldens.push_back(net.forward_trace(tensor::convert<T>(ex.image)));
+      predictions.push_back(net.interpret(goldens.back().output()));
+      for (std::size_t b = 0; b < ends.size(); ++b) {
+        const auto [lo, hi] = tensor::value_range(goldens.back().acts[ends[b]]);
+        ranges[b].lo = std::min(ranges[b].lo, lo);
+        ranges[b].hi = std::max(ranges[b].hi, hi);
+      }
+    }
+  }
+
+  CampaignResult run(const CampaignOptions& opt) const override {
+    DNNFI_EXPECTS(opt.trials > 0);
+    CampaignResult result;
+    result.trials.resize(opt.trials);
+
+    parallel_for(opt.trials, [&](std::size_t trial) {
+      Rng rng = derive_stream(opt.seed, trial);
+      TrialRecord& tr = result.trials[trial];
+      tr.input_index = trial % goldens.size();
+      tr.fault = site_sampler.sample(opt.site, rng, opt.constraint);
+
+      const dnn::Trace<T>& golden = goldens[tr.input_index];
+      const std::size_t last_end = ends.back();
+
+      // Observer computing detector checks / distances / final corruption.
+      std::vector<double> dist(opt.record_block_distances ? ends.size() : 0, 0.0);
+      bool detected = false;
+      double corruption = 0;
+      typename dnn::Network<T>::LayerObserverFn observer =
+          [&](std::size_t layer, const dnn::Tensor<T>& act) {
+            // Map the layer to a block slot if it is a block end.
+            const auto it = std::find(ends.begin(), ends.end(), layer);
+            if (it == ends.end()) return;
+            const auto b = static_cast<std::size_t>(it - ends.begin());
+            if (opt.detector && !detected) {
+              const int block = static_cast<int>(b) + 1;
+              for (std::size_t i = 0; i < act.size(); ++i) {
+                const double v = numeric::numeric_traits<T>::to_double(act[i]);
+                if (opt.detector(block, v)) {
+                  detected = true;
+                  break;
+                }
+              }
+            }
+            if (opt.record_block_distances)
+              dist[b] = tensor::euclidean_distance(act, golden.acts[layer]);
+            if (layer == last_end) {
+              const std::size_t mism =
+                  tensor::bitwise_mismatch_count(act, golden.acts[layer]);
+              corruption = static_cast<double>(mism) /
+                           static_cast<double>(act.size());
+            }
+          };
+
+      const bool need_observer = static_cast<bool>(opt.detector) ||
+                                 opt.record_block_distances;
+      // The final-corruption metric is cheap and always useful; keep the
+      // observer on unconditionally.
+      (void)need_observer;
+      const dnn::Tensor<T> out = inject(net, golden, tr.fault, &tr.record,
+                                        &observer);
+      tr.outcome = classify(predictions[tr.input_index], net.interpret(out));
+      tr.detected = detected;
+      tr.output_corruption = corruption;
+      if (opt.record_block_distances) tr.block_distance = std::move(dist);
+    });
+    return result;
+  }
+
+  const dnn::NetworkSpec& spec() const override { return net.spec(); }
+  DType dtype() const override { return numeric::dtype_of<T>(); }
+  const Sampler& sampler() const override { return site_sampler; }
+  std::size_t num_inputs() const override { return goldens.size(); }
+  const dnn::Prediction& golden_prediction(std::size_t i) const override {
+    return predictions.at(i);
+  }
+  const std::vector<BlockRange>& golden_block_ranges() const override {
+    return ranges;
+  }
+
+  dnn::Network<T> net;
+  Sampler site_sampler;
+  std::vector<std::size_t> ends;
+  std::vector<dnn::Trace<T>> goldens;
+  std::vector<dnn::Prediction> predictions;
+  std::vector<BlockRange> ranges;
+};
+
+Campaign::Campaign(const dnn::NetworkSpec& spec, const dnn::WeightsBlob& blob,
+                   DType dtype, std::vector<dnn::Example> inputs) {
+  backend_ = numeric::dispatch_dtype(
+      dtype, [&]<typename T>() -> std::unique_ptr<Backend> {
+        return std::make_unique<TypedBackend<T>>(spec, blob, std::move(inputs));
+      });
+}
+
+Campaign::~Campaign() = default;
+Campaign::Campaign(Campaign&&) noexcept = default;
+Campaign& Campaign::operator=(Campaign&&) noexcept = default;
+
+CampaignResult Campaign::run(const CampaignOptions& opt) const {
+  return backend_->run(opt);
+}
+const dnn::NetworkSpec& Campaign::spec() const { return backend_->spec(); }
+DType Campaign::dtype() const { return backend_->dtype(); }
+const Sampler& Campaign::sampler() const { return backend_->sampler(); }
+std::size_t Campaign::num_inputs() const { return backend_->num_inputs(); }
+const dnn::Prediction& Campaign::golden_prediction(std::size_t i) const {
+  return backend_->golden_prediction(i);
+}
+const std::vector<BlockRange>& Campaign::golden_block_ranges() const {
+  return backend_->golden_block_ranges();
+}
+
+std::vector<BlockRange> profile_block_ranges(const dnn::NetworkSpec& spec,
+                                             const dnn::WeightsBlob& blob,
+                                             numeric::DType dtype,
+                                             const dnn::ExampleSource& source,
+                                             std::uint64_t begin,
+                                             std::size_t count) {
+  DNNFI_EXPECTS(count > 0);
+  return numeric::dispatch_dtype(dtype, [&]<typename T>() {
+    dnn::Network<T> net = dnn::instantiate<T>(spec, blob);
+    const auto ends = block_end_layers(spec);
+    std::vector<BlockRange> ranges(
+        ends.size(), BlockRange{std::numeric_limits<double>::max(),
+                                std::numeric_limits<double>::lowest()});
+    for (std::size_t s = 0; s < count; ++s) {
+      const dnn::Example ex = source(begin + s);
+      const auto trace = net.forward_trace(tensor::convert<T>(ex.image));
+      for (std::size_t b = 0; b < ends.size(); ++b) {
+        const auto [lo, hi] = tensor::value_range(trace.acts[ends[b]]);
+        ranges[b].lo = std::min(ranges[b].lo, lo);
+        ranges[b].hi = std::max(ranges[b].hi, hi);
+      }
+    }
+    return ranges;
+  });
+}
+
+}  // namespace dnnfi::fault

@@ -1,0 +1,119 @@
+// Fault-injection campaigns: N independent trials of (sample site -> inject
+// -> classify), run in parallel with per-trial deterministic RNG streams.
+// One Campaign instance binds a (topology, weights, dtype, input set) tuple
+// and precomputes the golden traces every trial compares against.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dnnfi/dnn/train.h"
+#include "dnnfi/dnn/weights.h"
+#include "dnnfi/fault/descriptor.h"
+#include "dnnfi/fault/injector.h"
+#include "dnnfi/fault/outcome.h"
+#include "dnnfi/fault/sampler.h"
+
+namespace dnnfi::fault {
+
+/// Per-layer value bounds used by symptom detectors: block -> [lo, hi].
+struct BlockRange {
+  double lo = 0;
+  double hi = 0;
+};
+
+/// Campaign parameters.
+struct CampaignOptions {
+  SiteClass site = SiteClass::kDatapathLatch;
+  std::size_t trials = 300;
+  std::uint64_t seed = 2017;
+  SampleConstraint constraint;
+
+  /// Optional symptom detector: returns true when `value` observed at the
+  /// end of logical layer `block` is anomalous. A trial is "detected" when
+  /// any checked activation fires. Checks run at block-end layers only
+  /// (where fmaps land in the global buffer), mirroring the paper's SED
+  /// deployment (§6.2).
+  std::function<bool(int block, double value)> detector;
+
+  /// Record per-block Euclidean distance between faulty and golden
+  /// activations (Fig 7). Costs one pass over every recomputed layer.
+  bool record_block_distances = false;
+};
+
+/// Result of a single trial.
+struct TrialRecord {
+  FaultDescriptor fault;
+  Outcome outcome;
+  dnn::InjectionRecord record;
+  std::size_t input_index = 0;
+  bool detected = false;
+  /// Fraction of elements of the final block-end activation whose bit
+  /// patterns differ from golden (Table 5's propagation metric).
+  double output_corruption = 0;
+  /// Per-block Euclidean distance to golden (empty unless requested).
+  std::vector<double> block_distance;
+};
+
+/// All trials of one campaign plus aggregation helpers.
+struct CampaignResult {
+  std::vector<TrialRecord> trials;
+
+  using Pred = std::function<bool(const TrialRecord&)>;
+
+  /// Estimates P(pred) over all trials.
+  Estimate rate(const Pred& pred) const;
+  /// Estimates P(pred) over trials satisfying `filter`.
+  Estimate rate_if(const Pred& filter, const Pred& pred) const;
+
+  Estimate sdc1() const;
+  Estimate sdc5() const;
+  Estimate sdc10() const;
+  Estimate sdc20() const;
+};
+
+/// A reusable (network, dtype, inputs) binding for running campaigns.
+class Campaign {
+ public:
+  /// Builds the typed network from (spec, blob), quantizes `inputs`, and
+  /// computes golden traces and predictions.
+  Campaign(const dnn::NetworkSpec& spec, const dnn::WeightsBlob& blob,
+           numeric::DType dtype, std::vector<dnn::Example> inputs);
+  ~Campaign();
+  Campaign(Campaign&&) noexcept;
+  Campaign& operator=(Campaign&&) noexcept;
+
+  /// Runs `opt.trials` independent injections. Deterministic in opt.seed,
+  /// regardless of thread count.
+  CampaignResult run(const CampaignOptions& opt) const;
+
+  const dnn::NetworkSpec& spec() const;
+  numeric::DType dtype() const;
+  const Sampler& sampler() const;
+  std::size_t num_inputs() const;
+  /// Golden prediction for input `i`.
+  const dnn::Prediction& golden_prediction(std::size_t i) const;
+  /// Fault-free value range observed at each block end across all inputs.
+  const std::vector<BlockRange>& golden_block_ranges() const;
+
+ private:
+  struct Backend;
+  template <typename T>
+  struct TypedBackend;
+  std::unique_ptr<Backend> backend_;
+};
+
+/// Fault-free profiling: value range per block-end layer over `count`
+/// examples from `source` (the SED "learning phase" and Table 4).
+std::vector<BlockRange> profile_block_ranges(const dnn::NetworkSpec& spec,
+                                             const dnn::WeightsBlob& blob,
+                                             numeric::DType dtype,
+                                             const dnn::ExampleSource& source,
+                                             std::uint64_t begin,
+                                             std::size_t count);
+
+/// Indices of block-end layers (the last non-softmax layer of each block).
+std::vector<std::size_t> block_end_layers(const dnn::NetworkSpec& spec);
+
+}  // namespace dnnfi::fault

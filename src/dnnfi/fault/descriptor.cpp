@@ -1,0 +1,21 @@
+#include "dnnfi/fault/descriptor.h"
+
+#include <sstream>
+
+namespace dnnfi::fault {
+
+std::string FaultDescriptor::describe() const {
+  std::ostringstream os;
+  os << site_class_name(cls);
+  if (cls == SiteClass::kDatapathLatch)
+    os << '/' << accel::datapath_latch_name(latch);
+  os << " block " << block << " elem " << element;
+  if (cls == SiteClass::kDatapathLatch || cls == SiteClass::kPsumReg)
+    os << " step " << step;
+  if (cls == SiteClass::kImgReg)
+    os << " scope (co=" << out_channel << ", row=" << out_row << ")";
+  os << " bit " << bit;
+  return os.str();
+}
+
+}  // namespace dnnfi::fault

@@ -1,0 +1,92 @@
+// Hardware fault-site taxonomy and the descriptor of one injected fault.
+// A FaultDescriptor fully determines a trial given (network, dtype, input):
+// replaying it reproduces the identical corrupted execution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dnnfi/accel/datapath.h"
+#include "dnnfi/accel/eyeriss.h"
+#include "dnnfi/numeric/dtype.h"
+
+namespace dnnfi::fault {
+
+/// Where the upset physically originates (paper §4.3: datapath latches and
+/// buffers, inside and outside PEs).
+enum class SiteClass {
+  kDatapathLatch,  ///< PE MAC latches (Fig 1b); read exactly once
+  kGlobalBuffer,   ///< shared buffer ifmap word; reused by all consumers
+  kFilterSram,     ///< per-PE weight word; reused across the whole fmap
+  kImgReg,         ///< per-PE ifmap-row register; reused along one row
+  kPsumReg,        ///< per-PE partial-sum register; read by next accumulate
+};
+
+inline constexpr std::array<SiteClass, 5> kAllSiteClasses = {
+    SiteClass::kDatapathLatch, SiteClass::kGlobalBuffer,
+    SiteClass::kFilterSram, SiteClass::kImgReg, SiteClass::kPsumReg};
+
+inline constexpr std::array<SiteClass, 4> kBufferSiteClasses = {
+    SiteClass::kGlobalBuffer, SiteClass::kFilterSram, SiteClass::kImgReg,
+    SiteClass::kPsumReg};
+
+constexpr const char* site_class_name(SiteClass c) {
+  switch (c) {
+    case SiteClass::kDatapathLatch: return "datapath";
+    case SiteClass::kGlobalBuffer:  return "global-buffer";
+    case SiteClass::kFilterSram:    return "filter-sram";
+    case SiteClass::kImgReg:        return "img-reg";
+    case SiteClass::kPsumReg:       return "psum-reg";
+  }
+  return "?";
+}
+
+/// Maps a buffer site class to the Eyeriss structure it models.
+constexpr accel::BufferKind buffer_of(SiteClass c) {
+  switch (c) {
+    case SiteClass::kGlobalBuffer: return accel::BufferKind::kGlobalBuffer;
+    case SiteClass::kFilterSram:   return accel::BufferKind::kFilterSram;
+    case SiteClass::kImgReg:       return accel::BufferKind::kImgReg;
+    case SiteClass::kPsumReg:      return accel::BufferKind::kPsumReg;
+    case SiteClass::kDatapathLatch: break;
+  }
+  DNNFI_EXPECTS(false);
+  return accel::BufferKind::kGlobalBuffer;
+}
+
+/// One sampled single-event upset.
+struct FaultDescriptor {
+  SiteClass cls = SiteClass::kDatapathLatch;
+  accel::DatapathLatch latch = accel::DatapathLatch::kAccumulator;
+
+  std::size_t mac_ordinal = 0;  ///< which conv/FC layer (execution order)
+  std::size_t layer_index = 0;  ///< index into NetworkSpec::layers
+  int block = 0;                ///< logical paper-layer (1-based)
+
+  /// Meaning depends on cls:
+  ///   datapath / psum-reg : flat output-element index
+  ///   filter-sram         : flat weight index
+  ///   global-buffer/img-reg: flat input-element index
+  std::size_t element = 0;
+  std::size_t step = 0;  ///< accumulation step (datapath / psum-reg)
+
+  // Img REG reuse scope.
+  std::size_t out_channel = 0;
+  std::size_t out_row = 0;
+
+  int bit = 0;    ///< first flipped bit, 0 = LSB
+  int burst = 1;  ///< adjacent bits flipped (1 = SEU; >1 = multi-bit upset)
+
+  /// Reduced-precision buffer storage (Proteus-style protocol, the paper's
+  /// deferred future work): when set, the upset strikes the value as
+  /// *stored* in this format; the datapath still computes in its own type.
+  /// Only meaningful for buffer site classes.
+  std::optional<numeric::DType> storage;
+
+  /// Human-readable one-liner for logs and examples.
+  std::string describe() const;
+};
+
+}  // namespace dnnfi::fault

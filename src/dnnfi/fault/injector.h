@@ -1,0 +1,27 @@
+// Lowering from hardware fault descriptors to layer-level fault hooks, and
+// the single-trial injection entry point.
+#pragma once
+
+#include "dnnfi/dnn/network.h"
+#include "dnnfi/fault/descriptor.h"
+
+namespace dnnfi::fault {
+
+/// Lowers a sampled hardware fault onto the layer-level hook the network
+/// executes. `mac_layers` maps MAC ordinals to NetworkSpec layer indices.
+dnn::AppliedFault lower(const FaultDescriptor& f,
+                        const std::vector<std::size_t>& mac_layers);
+
+/// Runs one faulty inference against a cached golden trace. Returns the
+/// final output tensor; `rec` (optional) receives the corrupted values and
+/// `observer` (optional) sees each recomputed layer activation.
+template <typename T>
+dnn::Tensor<T> inject(
+    const dnn::Network<T>& net, const dnn::Trace<T>& golden,
+    const FaultDescriptor& f, dnn::InjectionRecord* rec = nullptr,
+    const typename dnn::Network<T>::LayerObserverFn* observer = nullptr) {
+  return net.forward_with_fault(golden, lower(f, net.mac_layers()), rec,
+                                observer);
+}
+
+}  // namespace dnnfi::fault

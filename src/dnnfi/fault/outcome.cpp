@@ -1,0 +1,40 @@
+#include "dnnfi/fault/outcome.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnnfi::fault {
+
+Outcome classify(const dnn::Prediction& golden, const dnn::Prediction& faulty) {
+  DNNFI_EXPECTS(golden.scores.size() == faulty.scores.size());
+  Outcome o;
+  const std::size_t g1 = golden.top1();
+  const std::size_t f1 = faulty.top1();
+  o.sdc1 = (g1 != f1);
+
+  const auto g5 = golden.topk(5);
+  o.sdc5 = std::find(g5.begin(), g5.end(), f1) == g5.end();
+
+  if (golden.has_confidence) {
+    const double cg = golden.scores[g1];
+    const double cf = faulty.scores[f1];
+    const double dev = std::abs(cf - cg);
+    // "varies by more than +/-10% of its fault-free execution" — relative
+    // to the fault-free confidence.
+    o.sdc10 = dev > 0.10 * cg;
+    o.sdc20 = dev > 0.20 * cg;
+  }
+  return o;
+}
+
+Estimate estimate(std::size_t hits, std::size_t n) {
+  Estimate e;
+  e.hits = hits;
+  e.n = n;
+  if (n == 0) return e;
+  e.p = static_cast<double>(hits) / static_cast<double>(n);
+  e.ci95 = 1.96 * std::sqrt(e.p * (1.0 - e.p) / static_cast<double>(n));
+  return e;
+}
+
+}  // namespace dnnfi::fault

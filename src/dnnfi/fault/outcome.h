@@ -1,0 +1,37 @@
+// Outcome classification (the paper's four SDC criteria, §4.6) and
+// campaign-level statistics with 95% confidence intervals.
+#pragma once
+
+#include <cstddef>
+
+#include "dnnfi/dnn/network.h"
+
+namespace dnnfi::fault {
+
+/// Classification of one faulty inference against its golden run.
+struct Outcome {
+  bool sdc1 = false;   ///< top-1 class changed
+  bool sdc5 = false;   ///< faulty top-1 not in golden top-5
+  bool sdc10 = false;  ///< top confidence deviates by more than +/-10%
+  bool sdc20 = false;  ///< top confidence deviates by more than +/-20%
+
+  /// Benign under the headline criterion (the paper analyzes SDC-1).
+  bool benign() const noexcept { return !sdc1; }
+};
+
+/// Compares predictions. Confidence criteria are relative to the golden
+/// top-1 score and are reported only when the network emits confidences
+/// (NiN does not — its SDC-10%/20% stay false, matching the paper).
+Outcome classify(const dnn::Prediction& golden, const dnn::Prediction& faulty);
+
+/// Binomial estimate with normal-approximation 95% CI.
+struct Estimate {
+  double p = 0;      ///< point estimate
+  double ci95 = 0;   ///< half-width of the 95% interval
+  std::size_t hits = 0;
+  std::size_t n = 0;
+};
+
+Estimate estimate(std::size_t hits, std::size_t n);
+
+}  // namespace dnnfi::fault

@@ -1,0 +1,113 @@
+#include "dnnfi/fault/sampler.h"
+
+#include <algorithm>
+
+namespace dnnfi::fault {
+
+using accel::LayerFootprint;
+
+Sampler::Sampler(const dnn::NetworkSpec& spec, numeric::DType dtype)
+    : spec_(spec), dtype_(dtype), footprints_(accel::analyze(spec)) {}
+
+std::size_t Sampler::pick_layer(SiteClass cls, Rng& rng,
+                                const SampleConstraint& constraint) const {
+  // Weight per layer: MACs (datapath) or occupied-words x MACs (buffers).
+  std::vector<double> weight(footprints_.size(), 0.0);
+  double total = 0;
+  for (std::size_t i = 0; i < footprints_.size(); ++i) {
+    const LayerFootprint& fp = footprints_[i];
+    if (constraint.fixed_block && fp.block != *constraint.fixed_block) continue;
+    double w = static_cast<double>(fp.macs);
+    if (cls != SiteClass::kDatapathLatch)
+      w *= static_cast<double>(accel::occupied_elems(fp, buffer_of(cls)));
+    weight[i] = w;
+    total += w;
+  }
+  DNNFI_EXPECTS(total > 0);
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < footprints_.size(); ++i) {
+    u -= weight[i];
+    if (u <= 0) return i;
+  }
+  // Floating-point slack: return the last eligible layer.
+  for (std::size_t i = footprints_.size(); i-- > 0;)
+    if (weight[i] > 0) return i;
+  DNNFI_EXPECTS(false);
+  return 0;
+}
+
+FaultDescriptor Sampler::sample(SiteClass cls, Rng& rng,
+                                const SampleConstraint& constraint) const {
+  const std::size_t ordinal = pick_layer(cls, rng, constraint);
+  const LayerFootprint& fp = footprints_[ordinal];
+
+  FaultDescriptor f;
+  f.cls = cls;
+  f.mac_ordinal = ordinal;
+  f.layer_index = fp.layer_index;
+  f.block = fp.block;
+  if (cls != SiteClass::kDatapathLatch && constraint.buffer_storage)
+    f.storage = constraint.buffer_storage;
+  const int width = f.storage ? numeric::dtype_width(*f.storage)
+                              : numeric::dtype_width(dtype_);
+  f.bit = constraint.fixed_bit
+              ? *constraint.fixed_bit
+              : static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+  DNNFI_EXPECTS(f.bit >= 0 && f.bit < width);
+  DNNFI_EXPECTS(constraint.burst >= 1);
+  f.burst = constraint.burst;
+
+  switch (cls) {
+    case SiteClass::kDatapathLatch: {
+      f.latch = constraint.fixed_latch
+                    ? *constraint.fixed_latch
+                    : accel::kAllDatapathLatches[rng.below(
+                          accel::kAllDatapathLatches.size())];
+      f.element = rng.below(fp.output_elems);
+      f.step = rng.below(fp.steps);
+      break;
+    }
+    case SiteClass::kPsumReg: {
+      f.element = rng.below(fp.output_elems);
+      f.step = rng.below(fp.steps);
+      break;
+    }
+    case SiteClass::kFilterSram: {
+      f.element = rng.below(fp.weight_elems);
+      break;
+    }
+    case SiteClass::kGlobalBuffer: {
+      f.element = rng.below(fp.input_elems);
+      break;
+    }
+    case SiteClass::kImgReg: {
+      f.element = rng.below(fp.input_elems);
+      if (fp.is_conv) {
+        // Find the conv spec to honor stride/pad/kernel geometry.
+        const dnn::LayerSpec& ls = spec_.layers[fp.layer_index];
+        f.out_channel = rng.below(fp.out_shape.c);
+        // Output rows whose receptive field covers the faulty input row iy:
+        // oy*stride + ky - pad == iy for some ky in [0, k).
+        const std::size_t iy = (f.element / fp.in_shape.w) % fp.in_shape.h;
+        std::vector<std::size_t> rows;
+        for (std::size_t oy = 0; oy < fp.out_shape.h; ++oy) {
+          const auto lo = static_cast<std::ptrdiff_t>(oy * ls.stride) -
+                          static_cast<std::ptrdiff_t>(ls.pad);
+          const auto hi = lo + static_cast<std::ptrdiff_t>(ls.kernel) - 1;
+          const auto y = static_cast<std::ptrdiff_t>(iy);
+          if (y >= lo && y <= hi) rows.push_back(oy);
+        }
+        DNNFI_EXPECTS(!rows.empty());
+        f.out_row = rows[rng.below(rows.size())];
+      } else {
+        // FC: the staged input feeds one output neuron per REG residency.
+        f.out_channel = rng.below(fp.output_elems);
+        f.out_row = 0;
+      }
+      break;
+    }
+  }
+  return f;
+}
+
+}  // namespace dnnfi::fault

@@ -1,0 +1,72 @@
+#include "dnnfi/fit/fit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi::fit {
+
+namespace {
+constexpr double kBitsPerMbit = 1024.0 * 1024.0;
+}
+
+double component_fit(double bits, double sdc) {
+  DNNFI_EXPECTS(bits >= 0 && sdc >= 0 && sdc <= 1);
+  return kRawFitPerMbit * (bits / kBitsPerMbit) * sdc;
+}
+
+double datapath_bits(numeric::DType t, std::size_t num_pes) {
+  const accel::DatapathInventory inv = accel::datapath_inventory(t);
+  return static_cast<double>(inv.bits_per_pe()) * static_cast<double>(num_pes);
+}
+
+double datapath_fit(numeric::DType t, std::size_t num_pes, double sdc) {
+  return component_fit(datapath_bits(t, num_pes), sdc);
+}
+
+double occupied_bits(const std::vector<accel::LayerFootprint>& footprints,
+                     accel::BufferKind buffer,
+                     const accel::EyerissConfig& cfg) {
+  DNNFI_EXPECTS(!footprints.empty());
+  const double capacity = static_cast<double>(cfg.total_bits(buffer));
+  double weighted = 0;
+  double time = 0;
+  for (const auto& fp : footprints) {
+    const double occ = std::min(
+        static_cast<double>(accel::occupied_elems(fp, buffer)) *
+            static_cast<double>(cfg.word_bits),
+        capacity);
+    const auto dur = static_cast<double>(fp.macs);
+    weighted += occ * dur;
+    time += dur;
+  }
+  DNNFI_EXPECTS(time > 0);
+  return weighted / time;
+}
+
+double buffer_fit(const std::vector<accel::LayerFootprint>& footprints,
+                  accel::BufferKind buffer, const accel::EyerissConfig& cfg,
+                  double sdc) {
+  return component_fit(occupied_bits(footprints, buffer, cfg), sdc);
+}
+
+double total_fit(const std::vector<ComponentFitRow>& rows) {
+  double t = 0;
+  for (const auto& r : rows) t += r.fit;
+  return t;
+}
+
+std::string iso_verdict(double fit, double budget) {
+  DNNFI_EXPECTS(budget > 0);
+  std::ostringstream os;
+  if (fit <= budget) {
+    os << "PASS (" << fit << " <= " << budget << " FIT)";
+  } else {
+    os << "FAIL (" << fit / budget << "x over the " << budget
+       << " FIT budget)";
+  }
+  return os.str();
+}
+
+}  // namespace dnnfi::fit

@@ -1,0 +1,71 @@
+// FIT-rate arithmetic (paper Eq. 1):
+//
+//   FIT = sum_component  R_raw * S_component * SDC_component
+//
+// R_raw is the per-bit raw upset rate; S the component size in Mbit; SDC the
+// measured probability that an upset in the component becomes an SDC.
+//
+// Raw-rate provenance (paper §4.7): Neale & Sachdev measure 157.62 FIT/Mb
+// for 28 nm SRAM; the paper applies an author-acknowledged x0.65 correction
+// and projects along the paper's Figure-1 trend to 16 nm, arriving at
+// 20.49 FIT/Mb. We use the same constant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnnfi/accel/dataflow.h"
+#include "dnnfi/accel/datapath.h"
+#include "dnnfi/accel/eyeriss.h"
+#include "dnnfi/numeric/dtype.h"
+
+namespace dnnfi::fit {
+
+/// Neale & Sachdev 28 nm measurement, FIT per Mbit.
+inline constexpr double kNeale28nmFitPerMbit = 157.62;
+/// Erratum correction acknowledged by the Neale authors (paper footnote 3).
+inline constexpr double kNealeCorrection = 0.65;
+/// Projected raw rate at 16 nm, FIT per Mbit (paper §4.7).
+inline constexpr double kRawFitPerMbit = 20.49;
+
+/// ISO 26262 budget for the whole SoC carrying the DNN accelerator (FIT).
+inline constexpr double kIso26262SocBudgetFit = 10.0;
+
+/// Eq. 1 for a single component: `bits` storage bits, `sdc` probability.
+double component_fit(double bits, double sdc);
+
+/// Datapath latch bits across the PE array for datapath type `t`
+/// (4 latches x word width x PEs — the conservative minimum of §5.1.5).
+double datapath_bits(numeric::DType t, std::size_t num_pes);
+
+/// Datapath FIT: Eq. 1 over the PE-array latches.
+double datapath_fit(numeric::DType t, std::size_t num_pes, double sdc);
+
+/// Time-averaged *occupied* bits of an Eyeriss buffer while running the
+/// network described by `footprints`: per layer, the live footprint (capped
+/// at the structure's physical capacity) weighted by layer duration (MACs).
+/// Upsets in unoccupied space are masked by construction, so Eq. 1 with
+/// occupancy-conditioned SDC uses occupied bits as S (DESIGN.md §5).
+double occupied_bits(const std::vector<accel::LayerFootprint>& footprints,
+                     accel::BufferKind buffer, const accel::EyerissConfig& cfg);
+
+/// Buffer FIT: Eq. 1 with occupancy accounting.
+double buffer_fit(const std::vector<accel::LayerFootprint>& footprints,
+                  accel::BufferKind buffer, const accel::EyerissConfig& cfg,
+                  double sdc);
+
+/// One line of a FIT report.
+struct ComponentFitRow {
+  std::string component;
+  double bits = 0;
+  double sdc = 0;
+  double fit = 0;
+};
+
+/// Sums the FIT column.
+double total_fit(const std::vector<ComponentFitRow>& rows);
+
+/// "PASS"/"FAIL (...x over budget)" verdict against a FIT budget.
+std::string iso_verdict(double fit, double budget);
+
+}  // namespace dnnfi::fit

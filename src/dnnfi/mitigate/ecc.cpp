@@ -1,0 +1,27 @@
+#include "dnnfi/mitigate/ecc.h"
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi::mitigate {
+
+EccGeometry secded(std::size_t data_bits) {
+  DNNFI_EXPECTS(data_bits >= 1);
+  std::size_t r = 1;
+  while ((std::size_t{1} << r) < data_bits + r + 1) ++r;
+  return {data_bits, r + 1};  // +1 overall parity for DED
+}
+
+double ecc_residual_fit(double raw_fit, std::size_t word_bits,
+                        double scrub_interval_hours) {
+  DNNFI_EXPECTS(raw_fit >= 0 && word_bits >= 1 && scrub_interval_hours > 0);
+  // Raw FIT is failures per 1e9 hours across the structure. The rate of a
+  // *second* hit landing in the same word within the scrub window is
+  // rate_word * (rate_word * window), summed over words — equivalently
+  // raw_fit * (per-word FIT * window / 1e9).
+  const double per_word_fit = raw_fit / static_cast<double>(word_bits);
+  const double second_hit_probability =
+      per_word_fit * scrub_interval_hours / 1e9;
+  return raw_fit * second_hit_probability;
+}
+
+}  // namespace dnnfi::mitigate

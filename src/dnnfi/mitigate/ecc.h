@@ -1,0 +1,32 @@
+// SEC-DED ECC model for buffer protection, used as the comparison point the
+// paper invokes in §6.1/§6.3: large SRAMs are economically protected by ECC
+// (the SLH area cost is "roughly akin" to it), while small per-PE buffers
+// pay a high relative overhead because of narrow read granularities.
+#pragma once
+
+#include <cstddef>
+
+namespace dnnfi::mitigate {
+
+/// Hamming SEC-DED geometry for a given data word width: the minimal r with
+/// 2^r >= data_bits + r + 1, plus one overall parity bit.
+struct EccGeometry {
+  std::size_t data_bits = 0;
+  std::size_t check_bits = 0;
+
+  double overhead_fraction() const {
+    return static_cast<double>(check_bits) / static_cast<double>(data_bits);
+  }
+};
+
+/// Computes SEC-DED check-bit count for `data_bits`-wide words.
+EccGeometry secded(std::size_t data_bits);
+
+/// Residual FIT of a SEC-DED-protected buffer under a single-event-upset
+/// model: single-bit upsets are corrected, so only the (second-order)
+/// probability of two upsets accumulating in one word before a scrub
+/// survives. `scrub_interval_hours` controls that window.
+double ecc_residual_fit(double raw_fit, std::size_t word_bits,
+                        double scrub_interval_hours);
+
+}  // namespace dnnfi::mitigate

@@ -1,0 +1,29 @@
+#include "dnnfi/mitigate/redundancy.h"
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi::mitigate {
+
+const std::vector<RedundancyScheme>& redundancy_schemes() {
+  static const std::vector<RedundancyScheme> kSchemes = {
+      // name, area, energy, detection, correction
+      {"Unprotected", 1.0, 1.0, 0.0, 0.0},
+      // Duplicate-and-compare: the comparator adds a small fraction on top
+      // of the 2x replication.
+      {"DMR", 2.05, 2.05, 1.0, 0.0},
+      // Triplicate-and-vote: voter on top of 3x replication.
+      {"TMR", 3.10, 3.10, 1.0, 1.0},
+  };
+  return kSchemes;
+}
+
+double residual_sdc(const RedundancyScheme& scheme, double sdc) {
+  DNNFI_EXPECTS(sdc >= 0.0 && sdc <= 1.0);
+  DNNFI_EXPECTS(scheme.detection >= scheme.correction);
+  // Corrected events vanish; detected events are recovered by re-execution
+  // (they cost latency, not correctness); only undetected events remain
+  // silent corruptions.
+  return sdc * (1.0 - scheme.detection);
+}
+
+}  // namespace dnnfi::mitigate

@@ -1,0 +1,40 @@
+// Classical modular-redundancy baselines — the techniques the paper argues
+// are too expensive for DNN accelerators (§1) and that SED/SLH undercut.
+// DMR duplicates and compares (detection only); TMR triplicates and votes
+// (correction). Costs are modeled on the structure they protect; coverage
+// follows from the single-event-upset fault model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dnnfi::mitigate {
+
+/// A redundancy scheme applied to some fraction of the design.
+struct RedundancyScheme {
+  std::string name;
+  double area_multiplier = 1.0;   ///< total area vs unprotected
+  double energy_multiplier = 1.0; ///< total switching energy vs unprotected
+  double detection = 0.0;         ///< fraction of SEU-caused SDCs detected
+  double correction = 0.0;        ///< fraction corrected transparently
+};
+
+/// The standard design points: unprotected, DMR (duplicate + compare),
+/// TMR (triplicate + vote). Under a single-event-upset model one replica
+/// is always fault-free, so DMR detects every mismatch and TMR outvotes it.
+const std::vector<RedundancyScheme>& redundancy_schemes();
+
+/// Residual SDC probability after applying `scheme` to a component whose
+/// unprotected SDC probability is `sdc`. Detected-but-uncorrected events
+/// are assumed re-executed (recoverable), so they leave the SDC pool.
+double residual_sdc(const RedundancyScheme& scheme, double sdc);
+
+/// Comparison row for reporting protection trade-offs.
+struct ProtectionTradeoff {
+  std::string technique;
+  double area_overhead = 0;    ///< added area / baseline area
+  double energy_overhead = 0;  ///< added energy / baseline energy
+  double fit_reduction = 1;    ///< x-fold residual-FIT improvement
+};
+
+}  // namespace dnnfi::mitigate

@@ -1,0 +1,68 @@
+#include "dnnfi/mitigate/sed.h"
+
+#include <cmath>
+
+namespace dnnfi::mitigate {
+
+SedDetector::SedDetector(std::vector<fault::BlockRange> raw_ranges,
+                         double cushion)
+    : bounds_(std::move(raw_ranges)), cushion_(cushion) {
+  DNNFI_EXPECTS(cushion >= 0);
+  for (auto& b : bounds_) {
+    DNNFI_EXPECTS(b.lo <= b.hi);
+    // Paper: range (-X, Y) becomes (-1.1 X, 1.1 Y). The epsilon keeps a
+    // layer whose range degenerates to a point from flagging everything.
+    b.lo = b.lo - cushion * std::abs(b.lo) - 1e-9;
+    b.hi = b.hi + cushion * std::abs(b.hi) + 1e-9;
+  }
+}
+
+bool SedDetector::anomalous(int block, double value) const {
+  DNNFI_EXPECTS(block >= 1 &&
+                static_cast<std::size_t>(block) <= bounds_.size());
+  const auto& b = bounds_[static_cast<std::size_t>(block - 1)];
+  // NaN compares false with everything; treat it as a symptom explicitly.
+  if (std::isnan(value)) return true;
+  return value < b.lo || value > b.hi;
+}
+
+std::function<bool(int, double)> SedDetector::as_predicate() const {
+  return [this](int block, double value) { return anomalous(block, value); };
+}
+
+SedDetector learn_sed(const dnn::NetworkSpec& spec,
+                      const dnn::WeightsBlob& blob, numeric::DType dtype,
+                      const dnn::ExampleSource& source, std::uint64_t begin,
+                      std::size_t count, double cushion) {
+  return SedDetector(
+      fault::profile_block_ranges(spec, blob, dtype, source, begin, count),
+      cushion);
+}
+
+SedEvaluation evaluate_sed(const fault::CampaignResult& result) {
+  std::size_t benign_flagged = 0;
+  std::size_t sdc_flagged = 0;
+  std::size_t sdc_total = 0;
+  std::size_t detections = 0;
+  for (const auto& t : result.trials) {
+    detections += t.detected ? 1U : 0U;
+    if (t.outcome.sdc1) {
+      ++sdc_total;
+      sdc_flagged += t.detected ? 1U : 0U;
+    } else {
+      benign_flagged += t.detected ? 1U : 0U;
+    }
+  }
+  SedEvaluation ev;
+  // Paper definition: precision = 1 - benign-flagged / injected.
+  const auto fp = fault::estimate(benign_flagged, result.trials.size());
+  ev.precision = fp;
+  ev.precision.p = 1.0 - fp.p;
+  ev.precision.hits = result.trials.size() - benign_flagged;
+  ev.recall = fault::estimate(sdc_flagged, sdc_total);
+  ev.detections = detections;
+  ev.sdc_count = sdc_total;
+  return ev;
+}
+
+}  // namespace dnnfi::mitigate

@@ -1,0 +1,212 @@
+#include "dnnfi/mitigate/slh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi::mitigate {
+
+const std::vector<LatchDesign>& latch_designs() {
+  static const std::vector<LatchDesign> kDesigns = {
+      {"Baseline", 1.0, 1.0},
+      {"RCC", 1.15, 6.3},     // strike suppression
+      {"SEUT", 2.0, 37.0},    // redundant node
+      {"TMR", 3.5, 1.0e6},    // triplicated
+  };
+  return kDesigns;
+}
+
+std::vector<CoveragePoint> perfect_protection_curve(const BitProfile& fit) {
+  DNNFI_EXPECTS(!fit.empty());
+  std::vector<std::size_t> order(fit.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&fit](std::size_t a, std::size_t b) { return fit[a] > fit[b]; });
+  const double total = std::accumulate(fit.begin(), fit.end(), 0.0);
+  std::vector<CoveragePoint> curve;
+  curve.reserve(fit.size() + 1);
+  curve.push_back({0.0, 0.0});
+  double removed = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    removed += fit[order[k]];
+    curve.push_back({static_cast<double>(k + 1) / static_cast<double>(fit.size()),
+                     total > 0 ? removed / total : 1.0});
+  }
+  return curve;
+}
+
+double fit_beta(const std::vector<CoveragePoint>& curve) {
+  DNNFI_EXPECTS(curve.size() >= 2);
+  const auto sse = [&curve](double beta) {
+    const double denom = 1.0 - std::exp(-beta);
+    double s = 0;
+    for (const auto& p : curve) {
+      const double model = (1.0 - std::exp(-beta * p.protected_fraction)) / denom;
+      const double d = model - p.fit_removed_fraction;
+      s += d * d;
+    }
+    return s;
+  };
+  // Golden-section search over beta in (0.01, 100].
+  constexpr double kPhi = 0.6180339887498949;
+  double lo = 0.01, hi = 100.0;
+  double x1 = hi - kPhi * (hi - lo);
+  double x2 = lo + kPhi * (hi - lo);
+  double f1 = sse(x1), f2 = sse(x2);
+  for (int it = 0; it < 200 && (hi - lo) > 1e-6; ++it) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kPhi * (hi - lo);
+      f1 = sse(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kPhi * (hi - lo);
+      f2 = sse(x2);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+double plan_area_overhead(const BitProfile& fit,
+                          const std::vector<std::size_t>& choice) {
+  const auto& designs = latch_designs();
+  double extra = 0;
+  for (std::size_t i = 0; i < fit.size(); ++i)
+    extra += designs[choice[i]].area - 1.0;
+  return extra / static_cast<double>(fit.size());
+}
+
+double plan_reduction(const BitProfile& fit,
+                      const std::vector<std::size_t>& choice) {
+  const auto& designs = latch_designs();
+  const double total = std::accumulate(fit.begin(), fit.end(), 0.0);
+  if (total <= 0) return 1.0;
+  double residual = 0;
+  for (std::size_t i = 0; i < fit.size(); ++i)
+    residual += fit[i] / designs[choice[i]].fit_reduction;
+  return residual > 0 ? total / residual : 1e12;
+}
+
+}  // namespace
+
+HardeningPlan harden_single(const BitProfile& fit, const LatchDesign& design,
+                            double target) {
+  DNNFI_EXPECTS(!fit.empty() && target >= 1.0 && design.fit_reduction >= 1.0);
+  std::vector<std::size_t> order(fit.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&fit](std::size_t a, std::size_t b) { return fit[a] > fit[b]; });
+
+  const auto& designs = latch_designs();
+  std::size_t design_idx = 0;
+  for (std::size_t i = 0; i < designs.size(); ++i)
+    if (designs[i].name == design.name) design_idx = i;
+
+  HardeningPlan plan;
+  plan.design_per_bit.assign(fit.size(), 0);
+  plan.achieved_reduction = 1.0;
+  for (std::size_t k = 0; k <= order.size(); ++k) {
+    plan.area_overhead = plan_area_overhead(fit, plan.design_per_bit);
+    plan.achieved_reduction = plan_reduction(fit, plan.design_per_bit);
+    if (plan.achieved_reduction >= target) {
+      plan.feasible = true;
+      return plan;
+    }
+    if (k < order.size()) plan.design_per_bit[order[k]] = design_idx;
+  }
+  plan.area_overhead = plan_area_overhead(fit, plan.design_per_bit);
+  plan.achieved_reduction = plan_reduction(fit, plan.design_per_bit);
+  plan.feasible = plan.achieved_reduction >= target;
+  return plan;
+}
+
+HardeningPlan harden_multi(const BitProfile& fit, double target) {
+  DNNFI_EXPECTS(!fit.empty() && target >= 1.0);
+  const auto& designs = latch_designs();
+
+  // Candidate upgrade: move bit i from its current design to the next one.
+  // Priority = FIT removed per unit area added (marginal benefit). The
+  // benefit sequence per bit is strictly decreasing (RCC > SEUT > TMR per
+  // area), so greedy is optimal up to the last (quantized) step.
+  struct Upgrade {
+    double benefit;
+    std::size_t bit;
+    std::size_t to_design;
+  };
+  const auto cmp = [](const Upgrade& a, const Upgrade& b) {
+    return a.benefit < b.benefit;
+  };
+  std::priority_queue<Upgrade, std::vector<Upgrade>, decltype(cmp)> queue(cmp);
+
+  std::vector<std::size_t> choice(fit.size(), 0);
+  auto push_upgrade = [&](std::size_t bit) {
+    const std::size_t cur = choice[bit];
+    if (cur + 1 >= designs.size()) return;
+    const double dfit = fit[bit] / designs[cur].fit_reduction -
+                        fit[bit] / designs[cur + 1].fit_reduction;
+    const double darea = designs[cur + 1].area - designs[cur].area;
+    queue.push({dfit / darea, bit, cur + 1});
+  };
+  for (std::size_t i = 0; i < fit.size(); ++i) push_upgrade(i);
+
+  const double total = std::accumulate(fit.begin(), fit.end(), 0.0);
+  while (plan_reduction(fit, choice) < target && !queue.empty()) {
+    // Endgame: if some available upgrade closes the remaining gap by
+    // itself, take the *cheapest by area* such upgrade rather than the
+    // best-ratio one — greedy's large final step can otherwise overshoot
+    // where a small one suffices.
+    double residual = 0;
+    for (std::size_t i = 0; i < fit.size(); ++i)
+      residual += fit[i] / designs[choice[i]].fit_reduction;
+    const double residual_budget = total / target;
+    std::size_t closer_bit = fit.size();
+    double closer_area = 1e300;
+    for (std::size_t i = 0; i < fit.size(); ++i) {
+      if (choice[i] + 1 >= designs.size()) continue;
+      const double dfit = fit[i] / designs[choice[i]].fit_reduction -
+                          fit[i] / designs[choice[i] + 1].fit_reduction;
+      const double darea = designs[choice[i] + 1].area - designs[choice[i]].area;
+      if (residual - dfit <= residual_budget && darea < closer_area) {
+        closer_area = darea;
+        closer_bit = i;
+      }
+    }
+    if (closer_bit < fit.size()) {
+      choice[closer_bit] += 1;
+      break;
+    }
+    const Upgrade u = queue.top();
+    queue.pop();
+    if (u.to_design != choice[u.bit] + 1) continue;  // stale entry
+    choice[u.bit] = u.to_design;
+    push_upgrade(u.bit);
+  }
+
+  HardeningPlan plan;
+  plan.design_per_bit = choice;
+  plan.area_overhead = plan_area_overhead(fit, choice);
+  plan.achieved_reduction = plan_reduction(fit, choice);
+  plan.feasible = plan.achieved_reduction >= target;
+
+  // The mixed assignment must never lose to a uniform single-technique
+  // assignment (those are points of the same design space); keep the
+  // cheapest feasible plan.
+  for (std::size_t d = 1; d < designs.size(); ++d) {
+    const HardeningPlan single = harden_single(fit, designs[d], target);
+    if (single.feasible &&
+        (!plan.feasible || single.area_overhead < plan.area_overhead))
+      plan = single;
+  }
+  return plan;
+}
+
+}  // namespace dnnfi::mitigate

@@ -1,0 +1,61 @@
+// Selective Latch Hardening (paper §6.3, after Sullivan et al.).
+//
+// The per-bit SDC sensitivity measured by injection is turned into a per-bit
+// FIT profile; hardened latch designs of differing strength/cost (Table 9)
+// are then assigned per bit to meet a target FIT reduction at minimum area.
+// "Multi" mixes techniques by marginal cost — the optimal assignment for
+// this (convex, per-latch-independent) cost structure.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dnnfi::mitigate {
+
+/// A hardened latch design point (paper Table 9).
+struct LatchDesign {
+  std::string name;
+  double area = 1.0;           ///< area multiplier vs an unprotected latch
+  double fit_reduction = 1.0;  ///< x-fold FIT reduction
+};
+
+/// Table 9: baseline, Strike Suppression (RCC), Redundant Node (SEUT),
+/// Triplicated (TMR).
+const std::vector<LatchDesign>& latch_designs();
+
+/// Per-bit sensitivity profile: FIT contribution of each bit-position latch
+/// group (relative units are fine; only ratios matter).
+using BitProfile = std::vector<double>;
+
+/// Fig 9a: protect the most sensitive latches first with a *perfect*
+/// technique; point k = (fraction of latches protected, fraction of total
+/// FIT removed).
+struct CoveragePoint {
+  double protected_fraction = 0;
+  double fit_removed_fraction = 0;
+};
+std::vector<CoveragePoint> perfect_protection_curve(const BitProfile& fit);
+
+/// Fits beta of r(x) = (1 - exp(-beta x)) / (1 - exp(-beta)) to the curve
+/// (golden-section least squares). High beta = a few latches dominate.
+double fit_beta(const std::vector<CoveragePoint>& curve);
+
+/// Result of one hardening assignment.
+struct HardeningPlan {
+  double area_overhead = 0;       ///< added latch area / total baseline area
+  double achieved_reduction = 1;  ///< total-FIT reduction factor
+  bool feasible = true;           ///< target met
+  std::vector<std::size_t> design_per_bit;  ///< index into latch_designs()
+};
+
+/// Protects the most sensitive bits with a single `design` until the total
+/// FIT reduction reaches `target` (or every bit is protected).
+HardeningPlan harden_single(const BitProfile& fit, const LatchDesign& design,
+                            double target);
+
+/// Mixed-technique assignment: greedy marginal FIT-per-area upgrades across
+/// all of Table 9 until `target` is reached.
+HardeningPlan harden_multi(const BitProfile& fit, double target);
+
+}  // namespace dnnfi::mitigate

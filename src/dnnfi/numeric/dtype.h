@@ -1,0 +1,105 @@
+// Runtime data-type tags and a static dispatcher. Benches iterate over the
+// paper's six types at runtime; dispatch_dtype turns the tag back into a
+// compile-time type so the whole inference path stays templated (no boxed
+// values, no virtual arithmetic).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "dnnfi/common/expects.h"
+#include "dnnfi/numeric/traits.h"
+
+namespace dnnfi::numeric {
+
+/// The six datapath types of the paper's Table 3.
+enum class DType {
+  kDouble,   // 64-bit IEEE-754
+  kFloat,    // 32-bit IEEE-754
+  kFloat16,  // 16-bit IEEE-754
+  kFx32r26,  // 32-bit fixed, radix point 26 ("32b_rb26")
+  kFx32r10,  // 32-bit fixed, radix point 10 ("32b_rb10")
+  kFx16r10,  // 16-bit fixed, radix point 10 ("16b_rb10")
+};
+
+inline constexpr std::array<DType, 6> kAllDTypes = {
+    DType::kDouble,  DType::kFloat,   DType::kFloat16,
+    DType::kFx32r26, DType::kFx32r10, DType::kFx16r10,
+};
+
+/// Types with symptom-friendly redundant dynamic range (paper §6.2 evaluates
+/// SED on FP types plus 32b_rb10; 16b_rb10/32b_rb26 lack strong symptoms).
+inline constexpr std::array<DType, 4> kSymptomaticDTypes = {
+    DType::kDouble, DType::kFloat, DType::kFloat16, DType::kFx32r10};
+
+constexpr std::string_view dtype_name(DType t) {
+  switch (t) {
+    case DType::kDouble:  return "DOUBLE";
+    case DType::kFloat:   return "FLOAT";
+    case DType::kFloat16: return "FLOAT16";
+    case DType::kFx32r26: return "32b_rb26";
+    case DType::kFx32r10: return "32b_rb10";
+    case DType::kFx16r10: return "16b_rb10";
+  }
+  DNNFI_EXPECTS(false);
+  return {};
+}
+
+constexpr int dtype_width(DType t) {
+  switch (t) {
+    case DType::kDouble:  return 64;
+    case DType::kFloat:   return 32;
+    case DType::kFloat16: return 16;
+    case DType::kFx32r26: return 32;
+    case DType::kFx32r10: return 32;
+    case DType::kFx16r10: return 16;
+  }
+  DNNFI_EXPECTS(false);
+  return 0;
+}
+
+constexpr bool dtype_is_floating(DType t) {
+  return t == DType::kDouble || t == DType::kFloat || t == DType::kFloat16;
+}
+
+/// Calls `fn.template operator()<T>()` with T bound to the static type of
+/// `tag`. Returns whatever fn returns.
+template <typename Fn>
+decltype(auto) dispatch_dtype(DType tag, Fn&& fn) {
+  switch (tag) {
+    case DType::kDouble:  return fn.template operator()<double>();
+    case DType::kFloat:   return fn.template operator()<float>();
+    case DType::kFloat16: return fn.template operator()<Half>();
+    case DType::kFx32r26: return fn.template operator()<Fx32r26>();
+    case DType::kFx32r10: return fn.template operator()<Fx32r10>();
+    case DType::kFx16r10: return fn.template operator()<Fx16r10>();
+  }
+  DNNFI_EXPECTS(false);
+  return fn.template operator()<double>();
+}
+
+/// Flips bit `bit` of `value` as stored in the (usually narrower) `storage`
+/// format and returns the value read back: encode -> upset -> decode. This
+/// models reduced-precision buffer storage with a wider datapath (the
+/// Proteus-style protocol the paper defers to future work): the upset
+/// strikes the stored representation, not the datapath word.
+inline double flip_bit_in_storage(double value, DType storage, int bit) {
+  return dispatch_dtype(storage, [&]<typename S>() {
+    using Tr = numeric_traits<S>;
+    return Tr::to_double(flip_bit(Tr::from_double(value), bit));
+  });
+}
+
+/// Compile-time tag for a given static type.
+template <typename T>
+constexpr DType dtype_of() {
+  if constexpr (std::is_same_v<T, double>) return DType::kDouble;
+  else if constexpr (std::is_same_v<T, float>) return DType::kFloat;
+  else if constexpr (std::is_same_v<T, Half>) return DType::kFloat16;
+  else if constexpr (std::is_same_v<T, Fx32r26>) return DType::kFx32r26;
+  else if constexpr (std::is_same_v<T, Fx32r10>) return DType::kFx32r10;
+  else if constexpr (std::is_same_v<T, Fx16r10>) return DType::kFx16r10;
+  else static_assert(!sizeof(T), "unsupported dtype");
+}
+
+}  // namespace dnnfi::numeric

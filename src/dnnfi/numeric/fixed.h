@@ -1,0 +1,146 @@
+// Two's-complement saturating fixed-point arithmetic, Q-format `Fixed<W,F>`:
+// W total bits (1 sign, W-1-F integer, F fraction). These are the FxP types
+// of the paper's Table 3 — 16b_rb10 = Fixed<16,10>, 32b_rb10 = Fixed<32,10>,
+// 32b_rb26 = Fixed<32,26>. "Any value that exceeds the maximum or minimum
+// dynamic value range will be saturated" (paper §4.5); we saturate on
+// conversion and on every arithmetic result, as a hardware MAC unit would.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace dnnfi::numeric {
+
+namespace detail {
+template <int W>
+struct fixed_storage;
+template <>
+struct fixed_storage<16> {
+  using signed_type = std::int16_t;
+  using unsigned_type = std::uint16_t;
+};
+template <>
+struct fixed_storage<32> {
+  using signed_type = std::int32_t;
+  using unsigned_type = std::uint32_t;
+};
+}  // namespace detail
+
+/// Saturating Q-format fixed-point number with W total bits and F fraction
+/// bits. Trivially copyable; exactly W bits of state.
+template <int W, int F>
+class Fixed {
+  static_assert(W == 16 || W == 32, "supported widths: 16, 32");
+  static_assert(F > 0 && F < W - 1, "fraction bits must leave sign+integer");
+
+ public:
+  using raw_type = typename detail::fixed_storage<W>::signed_type;
+  using bits_type = typename detail::fixed_storage<W>::unsigned_type;
+
+  static constexpr int kWidth = W;
+  static constexpr int kFraction = F;
+  static constexpr int kInteger = W - 1 - F;  // integer bits (excl. sign)
+  static constexpr double kScale = static_cast<double>(static_cast<std::int64_t>(1) << F);
+  static constexpr raw_type kRawMax = std::numeric_limits<raw_type>::max();
+  static constexpr raw_type kRawMin = std::numeric_limits<raw_type>::min();
+
+  constexpr Fixed() noexcept = default;
+  constexpr Fixed(double v) noexcept : raw_(quantize(v)) {}
+  constexpr Fixed(float v) noexcept : Fixed(static_cast<double>(v)) {}
+  constexpr Fixed(int v) noexcept : Fixed(static_cast<double>(v)) {}
+
+  /// Reinterprets raw two's-complement storage as a Fixed.
+  static constexpr Fixed from_raw(raw_type raw) noexcept {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+  static constexpr Fixed from_bits(bits_type bits) noexcept {
+    return from_raw(static_cast<raw_type>(bits));
+  }
+
+  constexpr raw_type raw() const noexcept { return raw_; }
+  constexpr bits_type bits() const noexcept {
+    return static_cast<bits_type>(raw_);
+  }
+
+  constexpr operator double() const noexcept {
+    return static_cast<double>(raw_) / kScale;
+  }
+  constexpr explicit operator float() const noexcept {
+    return static_cast<float>(static_cast<double>(*this));
+  }
+
+  /// Maximum / minimum representable values.
+  static constexpr Fixed max_value() noexcept { return from_raw(kRawMax); }
+  static constexpr Fixed min_value() noexcept { return from_raw(kRawMin); }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) noexcept {
+    return from_raw(saturate(static_cast<std::int64_t>(a.raw_) +
+                             static_cast<std::int64_t>(b.raw_)));
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) noexcept {
+    return from_raw(saturate(static_cast<std::int64_t>(a.raw_) -
+                             static_cast<std::int64_t>(b.raw_)));
+  }
+  friend constexpr Fixed operator-(Fixed a) noexcept {
+    return from_raw(saturate(-static_cast<std::int64_t>(a.raw_)));
+  }
+  /// Fixed-point multiply: full-width product, then round-half-up shift by F
+  /// and saturate — the datapath a multiplier + truncation stage implements.
+  friend constexpr Fixed operator*(Fixed a, Fixed b) noexcept {
+    const std::int64_t p =
+        static_cast<std::int64_t>(a.raw_) * static_cast<std::int64_t>(b.raw_);
+    // Arithmetic shift with rounding toward nearest (+half before shift).
+    const std::int64_t rounded = (p + (static_cast<std::int64_t>(1) << (F - 1))) >> F;
+    return from_raw(saturate(rounded));
+  }
+  friend constexpr Fixed operator/(Fixed a, Fixed b) noexcept {
+    if (b.raw_ == 0) return a.raw_ >= 0 ? max_value() : min_value();
+    const std::int64_t num = static_cast<std::int64_t>(a.raw_) << F;
+    return from_raw(saturate(num / b.raw_));
+  }
+  constexpr Fixed& operator+=(Fixed o) noexcept { return *this = *this + o; }
+  constexpr Fixed& operator-=(Fixed o) noexcept { return *this = *this - o; }
+  constexpr Fixed& operator*=(Fixed o) noexcept { return *this = *this * o; }
+
+  friend constexpr bool operator==(Fixed a, Fixed b) noexcept {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr bool operator<(Fixed a, Fixed b) noexcept {
+    return a.raw_ < b.raw_;
+  }
+  friend constexpr bool operator>(Fixed a, Fixed b) noexcept { return b < a; }
+  friend constexpr bool operator<=(Fixed a, Fixed b) noexcept { return !(b < a); }
+  friend constexpr bool operator>=(Fixed a, Fixed b) noexcept { return !(a < b); }
+
+ private:
+  static constexpr raw_type saturate(std::int64_t v) noexcept {
+    if (v > static_cast<std::int64_t>(kRawMax)) return kRawMax;
+    if (v < static_cast<std::int64_t>(kRawMin)) return kRawMin;
+    return static_cast<raw_type>(v);
+  }
+
+  static constexpr raw_type quantize(double v) noexcept {
+    if (std::isnan(v)) return 0;
+    const double scaled = v * kScale;
+    if (scaled >= static_cast<double>(kRawMax)) return kRawMax;
+    if (scaled <= static_cast<double>(kRawMin)) return kRawMin;
+    // Round half away from zero, like std::lround.
+    return static_cast<raw_type>(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
+  }
+
+  raw_type raw_ = 0;
+};
+
+/// The paper's three fixed-point configurations (Table 3).
+using Fx16r10 = Fixed<16, 10>;  // 1 sign, 5 int, 10 frac  ("16b_rb10")
+using Fx32r10 = Fixed<32, 10>;  // 1 sign, 21 int, 10 frac ("32b_rb10")
+using Fx32r26 = Fixed<32, 26>;  // 1 sign, 5 int, 26 frac  ("32b_rb26")
+
+static_assert(sizeof(Fx16r10) == 2);
+static_assert(sizeof(Fx32r10) == 4);
+
+}  // namespace dnnfi::numeric

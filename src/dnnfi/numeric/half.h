@@ -1,0 +1,157 @@
+// Software IEEE-754 binary16 ("half") with bit-exact storage and
+// round-to-nearest-even conversions. DNN accelerators that the paper studies
+// (e.g. Eyeriss-class designs) compute MACs natively in reduced precision;
+// this type lets the inference path and the fault injector agree on the
+// exact 16 bits a hardware latch would hold.
+//
+// Arithmetic is performed by converting to float, operating, and re-rounding
+// to half — this matches the behaviour of a half-precision FPU for single
+// operations (float has enough precision that double rounding is exact for
+// binary16 +, -, *, / of binary16 operands).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace dnnfi::numeric {
+
+namespace detail {
+
+constexpr std::uint16_t float_to_half_bits(float value) noexcept {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (x >> 16) & 0x8000U;
+  std::uint32_t mant = x & 0x007FFFFFU;
+  const auto exp = static_cast<std::int32_t>((x >> 23) & 0xFFU);
+
+  if (exp == 0xFF) {  // Inf or NaN: preserve NaN-ness with a quiet payload.
+    if (mant != 0) return static_cast<std::uint16_t>(sign | 0x7E00U);
+    return static_cast<std::uint16_t>(sign | 0x7C00U);
+  }
+
+  const std::int32_t e = exp - 127 + 15;  // re-biased exponent
+  if (e >= 31) {  // overflow -> infinity
+    return static_cast<std::uint16_t>(sign | 0x7C00U);
+  }
+  if (e <= 0) {  // subnormal half or zero
+    if (e < -10) return static_cast<std::uint16_t>(sign);  // rounds to zero
+    mant |= 0x00800000U;  // make the implicit bit explicit
+    const auto shift = static_cast<std::uint32_t>(14 - e);
+    std::uint32_t half_mant = mant >> shift;
+    const std::uint32_t rem = mant & ((1U << shift) - 1U);
+    const std::uint32_t halfway = 1U << (shift - 1U);
+    if (rem > halfway || (rem == halfway && (half_mant & 1U))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+
+  std::uint32_t half =
+      sign | (static_cast<std::uint32_t>(e) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFU;
+  // Round to nearest even; a carry out of the mantissa correctly increments
+  // the exponent (and saturates to infinity at e == 31).
+  if (rem > 0x1000U || (rem == 0x1000U && (half & 1U))) ++half;
+  return static_cast<std::uint16_t>(half);
+}
+
+constexpr float half_bits_to_float(std::uint16_t h) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000U) << 16;
+  std::uint32_t exp = (h >> 10) & 0x1FU;
+  std::uint32_t mant = h & 0x3FFU;
+
+  std::uint32_t bits = 0;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal: normalize into float's representation. A subnormal with
+      // its leading 1 reached after `shift` left-shifts has value
+      // 1.m x 2^(-14-shift), i.e. biased float exponent 113 - shift.
+      std::int32_t shift = 0;
+      while ((mant & 0x400U) == 0) {
+        mant <<= 1;
+        ++shift;
+      }
+      mant &= 0x3FFU;
+      const auto fexp = static_cast<std::uint32_t>(113 - shift);
+      bits = sign | (fexp << 23) | (mant << 13);
+    }
+  } else if (exp == 31) {
+    bits = sign | 0x7F800000U | (mant << 13);  // Inf / NaN
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+}  // namespace detail
+
+/// IEEE-754 binary16 value. Trivially copyable; exactly 16 bits of state.
+class Half {
+ public:
+  constexpr Half() noexcept = default;
+  constexpr Half(float v) noexcept : bits_(detail::float_to_half_bits(v)) {}
+  constexpr Half(double v) noexcept : Half(static_cast<float>(v)) {}
+  constexpr Half(int v) noexcept : Half(static_cast<float>(v)) {}
+
+  /// Reinterprets raw storage bits as a Half.
+  static constexpr Half from_bits(std::uint16_t bits) noexcept {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  constexpr operator float() const noexcept {
+    return detail::half_bits_to_float(bits_);
+  }
+  constexpr explicit operator double() const noexcept {
+    return static_cast<double>(static_cast<float>(*this));
+  }
+
+  constexpr bool is_nan() const noexcept {
+    return ((bits_ & 0x7C00U) == 0x7C00U) && ((bits_ & 0x3FFU) != 0);
+  }
+  constexpr bool is_inf() const noexcept {
+    return ((bits_ & 0x7C00U) == 0x7C00U) && ((bits_ & 0x3FFU) == 0);
+  }
+
+  friend constexpr Half operator+(Half a, Half b) noexcept {
+    return Half(static_cast<float>(a) + static_cast<float>(b));
+  }
+  friend constexpr Half operator-(Half a, Half b) noexcept {
+    return Half(static_cast<float>(a) - static_cast<float>(b));
+  }
+  friend constexpr Half operator*(Half a, Half b) noexcept {
+    return Half(static_cast<float>(a) * static_cast<float>(b));
+  }
+  friend constexpr Half operator/(Half a, Half b) noexcept {
+    return Half(static_cast<float>(a) / static_cast<float>(b));
+  }
+  friend constexpr Half operator-(Half a) noexcept {
+    return Half::from_bits(static_cast<std::uint16_t>(a.bits_ ^ 0x8000U));
+  }
+  constexpr Half& operator+=(Half o) noexcept { return *this = *this + o; }
+  constexpr Half& operator-=(Half o) noexcept { return *this = *this - o; }
+  constexpr Half& operator*=(Half o) noexcept { return *this = *this * o; }
+
+  friend constexpr bool operator==(Half a, Half b) noexcept {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+  friend constexpr bool operator<(Half a, Half b) noexcept {
+    return static_cast<float>(a) < static_cast<float>(b);
+  }
+  friend constexpr bool operator>(Half a, Half b) noexcept { return b < a; }
+  friend constexpr bool operator<=(Half a, Half b) noexcept { return !(b < a); }
+  friend constexpr bool operator>=(Half a, Half b) noexcept { return !(a < b); }
+
+  /// Largest finite binary16 value (65504).
+  static constexpr Half max_finite() noexcept { return from_bits(0x7BFFU); }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2);
+
+}  // namespace dnnfi::numeric

@@ -1,0 +1,149 @@
+// Dense CHW tensors. Single-image inference uses rank-3 (C,H,W) logical
+// shapes; weights use rank-4 (Co,Ci,Kh,Kw). Everything is stored row-major
+// in one contiguous vector so a fault-site "element index" maps 1:1 to a
+// buffer word in the accelerator model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dnnfi/common/expects.h"
+#include "dnnfi/numeric/traits.h"
+
+namespace dnnfi::tensor {
+
+/// Logical shape with up to 4 dimensions (unused leading dims are 1).
+struct Shape {
+  std::size_t n = 1;  ///< outermost (batch or output-channel count)
+  std::size_t c = 1;  ///< channels (or input channels for weights)
+  std::size_t h = 1;  ///< rows
+  std::size_t w = 1;  ///< columns
+
+  constexpr std::size_t size() const noexcept { return n * c * h * w; }
+
+  constexpr std::size_t index(std::size_t in, std::size_t ic, std::size_t ih,
+                              std::size_t iw) const {
+    DNNFI_EXPECTS(in < n && ic < c && ih < h && iw < w);
+    return ((in * c + ic) * h + ih) * w + iw;
+  }
+
+  friend constexpr bool operator==(const Shape&, const Shape&) = default;
+};
+
+/// Channel-major shape helper for single images.
+constexpr Shape chw(std::size_t c, std::size_t h, std::size_t w) {
+  return Shape{1, c, h, w};
+}
+/// Weight shape helper: Co output channels, Ci input channels, Kh x Kw.
+constexpr Shape oihw(std::size_t co, std::size_t ci, std::size_t kh,
+                     std::size_t kw) {
+  return Shape{co, ci, kh, kw};
+}
+/// Flat vector shape.
+constexpr Shape vec(std::size_t len) { return Shape{1, 1, 1, len}; }
+
+/// Owning dense tensor of T.
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape) : shape_(shape), data_(shape.size(), T{}) {}
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(shape), data_(std::move(data)) {
+    DNNFI_EXPECTS(data_.size() == shape_.size());
+  }
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T& operator[](std::size_t i) {
+    DNNFI_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    DNNFI_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+
+  T& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[shape_.index(n, c, h, w)];
+  }
+  const T& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[shape_.index(n, c, h, w)];
+  }
+
+  std::span<T> data() noexcept { return data_; }
+  std::span<const T> data() const noexcept { return data_; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Resizes to `shape`, zero-filling; reuses storage when sizes match.
+  void reshape(Shape shape) {
+    shape_ = shape;
+    data_.assign(shape.size(), T{});
+  }
+
+ private:
+  Shape shape_{1, 1, 1, 0};
+  std::vector<T> data_;
+};
+
+/// Element-wise conversion between any two supported numeric types, via
+/// double (every type converts exactly to double except DOUBLE->narrower,
+/// which rounds exactly as the target type defines).
+template <typename To, typename From>
+Tensor<To> convert(const Tensor<From>& src) {
+  Tensor<To> dst(src.shape());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = numeric::numeric_traits<To>::from_double(
+        numeric::numeric_traits<From>::to_double(src[i]));
+  }
+  return dst;
+}
+
+/// L2 distance between two same-shaped tensors, computed in double.
+/// This is the Euclidean distance used for the paper's Fig 7.
+template <typename T>
+double euclidean_distance(const Tensor<T>& a, const Tensor<T>& b) {
+  DNNFI_EXPECTS(a.shape() == b.shape());
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = numeric::numeric_traits<T>::to_double(a[i]) -
+                     numeric::numeric_traits<T>::to_double(b[i]);
+    // Clamp non-finite deltas so one Inf doesn't hide layer trends.
+    const double dd = std::isfinite(d) ? d : 1e30;
+    acc += dd * dd;
+  }
+  return std::sqrt(acc);
+}
+
+/// Count of elements whose bit patterns differ (paper's Table 5 metric).
+template <typename T>
+std::size_t bitwise_mismatch_count(const Tensor<T>& a, const Tensor<T>& b) {
+  DNNFI_EXPECTS(a.shape() == b.shape());
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (numeric::numeric_traits<T>::to_bits(a[i]) !=
+        numeric::numeric_traits<T>::to_bits(b[i]))
+      ++n;
+  }
+  return n;
+}
+
+/// Min/max over all elements, in double.
+template <typename T>
+std::pair<double, double> value_range(const Tensor<T>& t) {
+  DNNFI_EXPECTS(!t.empty());
+  double lo = numeric::numeric_traits<T>::to_double(t[0]);
+  double hi = lo;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double v = numeric::numeric_traits<T>::to_double(t[i]);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+}  // namespace dnnfi::tensor

@@ -1,0 +1,122 @@
+// Accelerator model: datapath inventory, Eyeriss parameters (Table 7),
+// technology projection, and dataflow footprint analysis.
+#include <gtest/gtest.h>
+
+#include "dnnfi/accel/dataflow.h"
+#include "dnnfi/accel/datapath.h"
+#include "dnnfi/accel/eyeriss.h"
+#include "dnnfi/dnn/zoo.h"
+
+namespace dnnfi::accel {
+namespace {
+
+TEST(Datapath, InventoryScalesWithWordWidth) {
+  EXPECT_EQ(datapath_inventory(numeric::DType::kFloat16).bits_per_pe(), 64U);
+  EXPECT_EQ(datapath_inventory(numeric::DType::kFloat).bits_per_pe(), 128U);
+  EXPECT_EQ(datapath_inventory(numeric::DType::kDouble).bits_per_pe(), 256U);
+  EXPECT_EQ(datapath_inventory(numeric::DType::kFx16r10).bits_per_pe(), 64U);
+}
+
+TEST(Datapath, LatchNames) {
+  EXPECT_STREQ(datapath_latch_name(DatapathLatch::kProduct), "product");
+  EXPECT_EQ(kAllDatapathLatches.size(), 4U);
+}
+
+TEST(Eyeriss, Published65nmParameters) {
+  const auto c = eyeriss_65nm();
+  EXPECT_EQ(c.feature_nm, 65);
+  EXPECT_EQ(c.num_pes, 168U);
+  EXPECT_DOUBLE_EQ(c.global_buffer_kb, 98.0);
+  EXPECT_EQ(c.word_bits, 16);
+}
+
+TEST(Eyeriss, Projected16nmParametersMatchTable7) {
+  const auto c = eyeriss_16nm();
+  EXPECT_EQ(c.feature_nm, 16);
+  EXPECT_EQ(c.num_pes, 1344U);               // 168 x 8
+  EXPECT_DOUBLE_EQ(c.global_buffer_kb, 784.0);  // 98 x 8
+  EXPECT_DOUBLE_EQ(c.filter_sram_kb, 3.52);
+  EXPECT_DOUBLE_EQ(c.img_reg_kb, 0.19);
+  EXPECT_DOUBLE_EQ(c.psum_reg_kb, 0.38);
+}
+
+TEST(Eyeriss, ProjectionDoublesPerGeneration) {
+  const auto base = eyeriss_65nm();
+  const auto one = project(base, 1);
+  EXPECT_EQ(one.num_pes, base.num_pes * 2);
+  EXPECT_DOUBLE_EQ(one.global_buffer_kb, base.global_buffer_kb * 2);
+  const auto zero = project(base, 0);
+  EXPECT_EQ(zero.num_pes, base.num_pes);
+}
+
+TEST(Eyeriss, TotalBitsAccountsForPerPeInstances) {
+  const auto c = eyeriss_16nm();
+  EXPECT_EQ(c.total_bits(BufferKind::kGlobalBuffer),
+            static_cast<std::size_t>(784.0 * 1024 * 8));
+  EXPECT_EQ(c.total_bits(BufferKind::kFilterSram),
+            static_cast<std::size_t>(3.52 * 1024 * 8) * 1344U);
+  EXPECT_EQ(c.instance_bits(BufferKind::kImgReg),
+            static_cast<std::size_t>(0.19 * 1024 * 8));
+}
+
+TEST(Dataflow, AnalyzesConvNetFootprints) {
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet);
+  const auto fp = analyze(spec);
+  ASSERT_EQ(fp.size(), 5U);  // 3 conv + 2 fc
+
+  // conv1: 3x32x32 input, 16 channels out, 5x5 kernel, pad 2.
+  EXPECT_TRUE(fp[0].is_conv);
+  EXPECT_EQ(fp[0].block, 1);
+  EXPECT_EQ(fp[0].input_elems, 3U * 32U * 32U);
+  EXPECT_EQ(fp[0].steps, 75U);
+  EXPECT_EQ(fp[0].weight_elems, 16U * 75U);
+  EXPECT_EQ(fp[0].output_elems, 16U * 32U * 32U);
+  EXPECT_EQ(fp[0].macs, fp[0].output_elems * 75U);
+
+  // fc4: flattened 4x4x32 -> 64.
+  EXPECT_FALSE(fp[3].is_conv);
+  EXPECT_EQ(fp[3].input_elems, 512U);
+  EXPECT_EQ(fp[3].weight_elems, 512U * 64U);
+  EXPECT_EQ(fp[3].macs, 512U * 64U);
+}
+
+TEST(Dataflow, TotalMacsSumsLayers) {
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet);
+  const auto fp = analyze(spec);
+  std::size_t manual = 0;
+  for (const auto& f : fp) manual += f.macs;
+  EXPECT_EQ(total_macs(fp), manual);
+}
+
+TEST(Dataflow, NiNHasTwelveMacLayersAndDeepestIsSmall) {
+  const auto fp = analyze(dnn::zoo::network_spec(dnn::zoo::NetworkId::kNiNS));
+  EXPECT_EQ(fp.size(), 12U);
+  EXPECT_GT(fp.front().input_elems, fp.back().input_elems);
+}
+
+TEST(Dataflow, OccupancyPerBuffer) {
+  const auto fp = analyze(dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet));
+  const auto& conv1 = fp[0];
+  EXPECT_EQ(occupied_elems(conv1, BufferKind::kGlobalBuffer), conv1.input_elems);
+  EXPECT_EQ(occupied_elems(conv1, BufferKind::kFilterSram), conv1.weight_elems);
+  EXPECT_EQ(occupied_elems(conv1, BufferKind::kImgReg), conv1.input_elems);
+  EXPECT_EQ(occupied_elems(conv1, BufferKind::kPsumReg), conv1.output_elems);
+}
+
+TEST(Dataflow, ReuseReachOrdering) {
+  // Reuse reach must reflect the paper's hierarchy: global buffer and
+  // filter SRAM spread widely; img REG one row; psum REG one element.
+  const auto fp = analyze(dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet));
+  const auto& conv2 = fp[1];
+  EXPECT_GT(reuse_reach(conv2, BufferKind::kFilterSram),
+            reuse_reach(conv2, BufferKind::kImgReg));
+  EXPECT_GT(reuse_reach(conv2, BufferKind::kImgReg),
+            reuse_reach(conv2, BufferKind::kPsumReg));
+  EXPECT_EQ(reuse_reach(conv2, BufferKind::kPsumReg), 1U);
+  // FC weights are used once per inference.
+  const auto& fc = fp[3];
+  EXPECT_EQ(reuse_reach(fc, BufferKind::kFilterSram), 1U);
+}
+
+}  // namespace
+}  // namespace dnnfi::accel

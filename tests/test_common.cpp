@@ -1,0 +1,241 @@
+// Unit tests for dnnfi/common: contracts, RNG streams, thread pool,
+// parallel_for, tables, env parsing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "dnnfi/common/env.h"
+#include "dnnfi/common/expects.h"
+#include "dnnfi/common/rng.h"
+#include "dnnfi/common/table.h"
+#include "dnnfi/common/thread_pool.h"
+
+namespace dnnfi {
+namespace {
+
+TEST(Expects, ThrowsOnViolation) {
+  EXPECT_THROW(DNNFI_EXPECTS(false), ContractViolation);
+  EXPECT_NO_THROW(DNNFI_EXPECTS(true));
+  EXPECT_THROW(DNNFI_ENSURES(1 == 2), ContractViolation);
+}
+
+TEST(Expects, MessageNamesExpressionAndLocation) {
+  try {
+    DNNFI_EXPECTS(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(msg.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  double lo = 1, hi = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng r(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(17);
+  std::vector<int> hist(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hist[r.below(10)];
+  for (const int h : hist) {
+    EXPECT_NEAR(h, n / 10, n / 10 / 5);  // within 20% of expectation
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.between(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasUnitMoments) {
+  Rng r(23);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, DerivedStreamsAreIndependentAndStable) {
+  Rng a = derive_stream(99, 0);
+  Rng b = derive_stream(99, 1);
+  Rng a2 = derive_stream(99, 0);
+  EXPECT_NE(a(), b());
+  Rng a3 = derive_stream(99, 0);
+  (void)a2();
+  // Same (seed, stream) always yields the same sequence.
+  Rng fresh = derive_stream(99, 0);
+  Rng fresh2 = derive_stream(99, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fresh(), fresh2());
+  (void)a3;
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(0);
+  int counter = 0;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) tasks.emplace_back([&counter] { ++counter; });
+  pool.run_batch(std::move(tasks));
+  EXPECT_EQ(counter, 10);
+}
+
+TEST(ThreadPool, ParallelPoolRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) tasks.emplace_back([&counter] { ++counter; });
+  pool.run_batch(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) tasks.emplace_back([] {});
+  EXPECT_THROW(pool.run_batch(std::move(tasks)), std::runtime_error);
+  // The pool remains usable after an exception.
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> more;
+  more.emplace_back([&counter] { ++counter; });
+  pool.run_batch(std::move(more));
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 20; ++i) tasks.emplace_back([&counter] { ++counter; });
+    pool.run_batch(std::move(tasks));
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_chunks(pool, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for_chunks(pool, 0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  parallel_for_chunks(pool, 1, [&](std::size_t b, std::size_t e) {
+    one += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(Table, AlignedTextRendering) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22222"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("| alpha"), std::string::npos);
+  EXPECT_NE(text.find("22222"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("x");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t("csv");
+  t.header({"a", "b"});
+  t.row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(Table::pct_ci(0.5, 0.012, 1), "50.0% ±1.2");
+}
+
+TEST(Env, ParsesSizesAndFallsBack) {
+  ::setenv("DNNFI_TEST_N", "123", 1);
+  EXPECT_EQ(env_size("DNNFI_TEST_N", 7), 123U);
+  ::setenv("DNNFI_TEST_N", "not-a-number", 1);
+  EXPECT_EQ(env_size("DNNFI_TEST_N", 7), 7U);
+  ::unsetenv("DNNFI_TEST_N");
+  EXPECT_EQ(env_size("DNNFI_TEST_N", 7), 7U);
+}
+
+TEST(Env, StringUnsetIsEmpty) {
+  ::unsetenv("DNNFI_TEST_S");
+  EXPECT_FALSE(env_string("DNNFI_TEST_S").has_value());
+  ::setenv("DNNFI_TEST_S", "hello", 1);
+  EXPECT_EQ(env_string("DNNFI_TEST_S").value(), "hello");
+  ::unsetenv("DNNFI_TEST_S");
+}
+
+}  // namespace
+}  // namespace dnnfi

@@ -1,0 +1,96 @@
+// FIT-rate arithmetic (Eq. 1), occupancy accounting, and budget verdicts.
+#include <gtest/gtest.h>
+
+#include "dnnfi/dnn/zoo.h"
+#include "dnnfi/fit/fit.h"
+
+namespace dnnfi::fit {
+namespace {
+
+TEST(Constants, RawRateProvenance) {
+  // 20.49 is the paper's 16 nm projection of Neale's corrected 28 nm rate.
+  EXPECT_DOUBLE_EQ(kRawFitPerMbit, 20.49);
+  EXPECT_DOUBLE_EQ(kNeale28nmFitPerMbit, 157.62);
+  EXPECT_DOUBLE_EQ(kNealeCorrection, 0.65);
+  // The corrected 28 nm rate bounds the projected 16 nm rate from above.
+  EXPECT_LT(kRawFitPerMbit, kNeale28nmFitPerMbit * kNealeCorrection);
+  EXPECT_DOUBLE_EQ(kIso26262SocBudgetFit, 10.0);
+}
+
+TEST(ComponentFit, LinearInBothFactors) {
+  const double one_mbit = 1024.0 * 1024.0;
+  EXPECT_DOUBLE_EQ(component_fit(one_mbit, 1.0), kRawFitPerMbit);
+  EXPECT_DOUBLE_EQ(component_fit(one_mbit, 0.5), kRawFitPerMbit / 2);
+  EXPECT_DOUBLE_EQ(component_fit(2 * one_mbit, 0.5), kRawFitPerMbit);
+  EXPECT_DOUBLE_EQ(component_fit(0, 1.0), 0.0);
+}
+
+TEST(ComponentFit, RejectsBadInputs) {
+  EXPECT_THROW(component_fit(-1, 0.5), ContractViolation);
+  EXPECT_THROW(component_fit(10, 1.5), ContractViolation);
+}
+
+TEST(DatapathFit, ScalesWithWidthAndPes) {
+  // 4 latches x 16 bits x 1344 PEs = 86016 bits.
+  EXPECT_DOUBLE_EQ(datapath_bits(numeric::DType::kFloat16, 1344), 86016.0);
+  EXPECT_DOUBLE_EQ(datapath_bits(numeric::DType::kFloat, 1344), 172032.0);
+  // Sanity: FLOAT16 datapath with 0.5% SDC lands near the paper's 0.009
+  // order of magnitude for AlexNet (Table 6).
+  const double f = datapath_fit(numeric::DType::kFloat16, 1344, 0.005);
+  EXPECT_GT(f, 0.005);
+  EXPECT_LT(f, 0.02);
+}
+
+TEST(OccupiedBits, WeightedByResidencyAndCapped) {
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet);
+  const auto fp = accel::analyze(spec);
+  const auto cfg = accel::eyeriss_16nm();
+
+  const double gb = occupied_bits(fp, accel::BufferKind::kGlobalBuffer, cfg);
+  // Between the smallest and largest per-layer ifmap footprint (in bits).
+  double lo = 1e300, hi = 0;
+  for (const auto& f : fp) {
+    const double bits = static_cast<double>(f.input_elems) * 16.0;
+    lo = std::min(lo, bits);
+    hi = std::max(hi, bits);
+  }
+  EXPECT_GE(gb, lo);
+  EXPECT_LE(gb, hi);
+  // Never exceeds the physical structure.
+  EXPECT_LE(gb, static_cast<double>(cfg.total_bits(accel::BufferKind::kGlobalBuffer)));
+}
+
+TEST(OccupiedBits, TinyBuffersAreCappedByCapacity) {
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kAlexNetS);
+  const auto fp = accel::analyze(spec);
+  auto cfg = accel::eyeriss_65nm();
+  cfg.num_pes = 1;  // shrink to force the cap
+  const double fs = occupied_bits(fp, accel::BufferKind::kFilterSram, cfg);
+  EXPECT_LE(fs, static_cast<double>(cfg.total_bits(accel::BufferKind::kFilterSram)) + 1e-9);
+}
+
+TEST(BufferFit, ProportionalToSdc) {
+  const auto fp = accel::analyze(dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet));
+  const auto cfg = accel::eyeriss_16nm();
+  const double f1 = buffer_fit(fp, accel::BufferKind::kGlobalBuffer, cfg, 0.2);
+  const double f2 = buffer_fit(fp, accel::BufferKind::kGlobalBuffer, cfg, 0.4);
+  EXPECT_NEAR(f2, 2 * f1, 1e-9);
+}
+
+TEST(TotalFit, SumsRows) {
+  std::vector<ComponentFitRow> rows = {
+      {"a", 0, 0, 1.5}, {"b", 0, 0, 2.25}, {"c", 0, 0, 0.25}};
+  EXPECT_DOUBLE_EQ(total_fit(rows), 4.0);
+  EXPECT_DOUBLE_EQ(total_fit({}), 0.0);
+}
+
+TEST(IsoVerdict, PassAndFail) {
+  EXPECT_NE(iso_verdict(5.0, 10.0).find("PASS"), std::string::npos);
+  const auto fail = iso_verdict(100.0, 10.0);
+  EXPECT_NE(fail.find("FAIL"), std::string::npos);
+  EXPECT_NE(fail.find("10x"), std::string::npos);
+  EXPECT_THROW(iso_verdict(1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dnnfi::fit

@@ -1,0 +1,216 @@
+// End-to-end integration: a small trained network goes through the full
+// pipeline — training, quantized deployment, fault campaigns in several data
+// types, SED protection, FIT accounting — and the paper's qualitative laws
+// must hold.
+#include <gtest/gtest.h>
+
+#include "dnnfi/common/rng.h"
+#include "dnnfi/dnn/train.h"
+#include "dnnfi/dnn/weights.h"
+#include "dnnfi/fit/fit.h"
+#include "dnnfi/mitigate/sed.h"
+
+namespace dnnfi {
+namespace {
+
+using dnn::Example;
+using dnn::NetworkSpec;
+using fault::Campaign;
+using fault::CampaignOptions;
+using fault::SiteClass;
+using numeric::DType;
+using tensor::chw;
+using tensor::Tensor;
+
+/// 4-class toy dataset: quadrant of the bright blob determines the class.
+Example quadrant_example(std::uint64_t i) {
+  Rng rng = derive_stream(808, i);
+  Example ex;
+  ex.label = i % 4;
+  ex.image = Tensor<float>(chw(1, 8, 8));
+  const std::size_t qy = (ex.label / 2) * 4;
+  const std::size_t qx = (ex.label % 2) * 4;
+  for (std::size_t y = 0; y < 8; ++y)
+    for (std::size_t x = 0; x < 8; ++x) {
+      const bool hot = y >= qy && y < qy + 4 && x >= qx && x < qx + 4;
+      ex.image.at(0, 0, y, x) =
+          static_cast<float>((hot ? 1.0 : -0.5) + rng.normal() * 0.15);
+    }
+  return ex;
+}
+
+/// Trains the shared toy model once for the whole test suite.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new NetworkSpec(dnn::SpecBuilder("it", chw(1, 8, 8), 4)
+                                .conv(4, 3, 1, 1).relu().maxpool(2, 2)
+                                .conv(8, 3, 1, 1).relu().maxpool(2, 2)
+                                .fc(4).softmax()
+                                .build());
+    dnn::Network<float> net(*spec_);
+    dnn::init_weights(net, 21);
+    dnn::TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.train_count = 400;
+    cfg.batch = 16;
+    cfg.learning_rate = 0.05;
+    cfg.seed = 22;
+    dnn::train(net, quadrant_example, cfg);
+    blob_ = new dnn::WeightsBlob(dnn::extract_weights(net));
+    // The model must genuinely classify or SDC analysis is meaningless.
+    const auto eval = dnn::evaluate(net, quadrant_example, 5000, 100);
+    ASSERT_GE(eval.accuracy, 0.95);
+  }
+  static void TearDownTestSuite() {
+    delete spec_;
+    delete blob_;
+    spec_ = nullptr;
+    blob_ = nullptr;
+  }
+
+  static std::vector<Example> inputs(std::size_t n) {
+    std::vector<Example> v;
+    for (std::size_t i = 0; i < n; ++i) v.push_back(quadrant_example(9000 + i));
+    return v;
+  }
+
+  static NetworkSpec* spec_;
+  static dnn::WeightsBlob* blob_;
+};
+NetworkSpec* IntegrationTest::spec_ = nullptr;
+dnn::WeightsBlob* IntegrationTest::blob_ = nullptr;
+
+TEST_F(IntegrationTest, QuantizedDeploymentsAgreeOnCleanInputs) {
+  // float, half, and both 32-bit fixed formats must classify the same way
+  // on clean inputs (the 16b_rb10 range ±32 also suffices for this net).
+  std::vector<std::size_t> top1s;
+  for (const DType t : numeric::kAllDTypes) {
+    Campaign c(*spec_, *blob_, t, inputs(4));
+    top1s.push_back(c.golden_prediction(0).top1());
+  }
+  for (std::size_t i = 1; i < top1s.size(); ++i) EXPECT_EQ(top1s[i], top1s[0]);
+}
+
+TEST_F(IntegrationTest, WideRangeTypesAreMoreVulnerable) {
+  // Paper law: SDC probability grows with redundant dynamic range.
+  // 32b_rb10 (range ±2M) must beat 32b_rb26 (range ±32) decisively.
+  CampaignOptions opt;
+  opt.trials = 400;
+  Campaign wide(*spec_, *blob_, DType::kFx32r10, inputs(4));
+  Campaign narrow(*spec_, *blob_, DType::kFx32r26, inputs(4));
+  const auto sdc_wide = wide.run(opt).sdc1();
+  const auto sdc_narrow = narrow.run(opt).sdc1();
+  EXPECT_GT(sdc_wide.p, sdc_narrow.p);
+}
+
+TEST_F(IntegrationTest, OnlyHighOrderBitsCauseSdcInFloat) {
+  Campaign c(*spec_, *blob_, DType::kFloat, inputs(4));
+  CampaignOptions lo;
+  lo.trials = 150;
+  lo.constraint.fixed_bit = 5;  // deep mantissa
+  EXPECT_EQ(c.run(lo).sdc1().hits, 0U);
+
+  CampaignOptions hi;
+  hi.trials = 150;
+  hi.constraint.fixed_bit = 30;  // top exponent bit
+  EXPECT_GT(c.run(hi).sdc1().hits, 0U);
+}
+
+TEST_F(IntegrationTest, LargeValueDeviationsCorrelateWithSdc) {
+  Campaign c(*spec_, *blob_, DType::kFloat16, inputs(4));
+  CampaignOptions opt;
+  opt.trials = 600;
+  const auto r = c.run(opt);
+  double dev_sdc = 0, dev_benign = 0;
+  std::size_t n_sdc = 0, n_benign = 0;
+  for (const auto& t : r.trials) {
+    const double dev = std::abs(t.record.act_after - t.record.act_before);
+    const double capped = std::isfinite(dev) ? std::min(dev, 1e6) : 1e6;
+    if (t.outcome.sdc1) {
+      dev_sdc += capped;
+      ++n_sdc;
+    } else {
+      dev_benign += capped;
+      ++n_benign;
+    }
+  }
+  ASSERT_GT(n_sdc, 0U);
+  ASSERT_GT(n_benign, 0U);
+  EXPECT_GT(dev_sdc / static_cast<double>(n_sdc),
+            dev_benign / static_cast<double>(n_benign));
+}
+
+TEST_F(IntegrationTest, BufferFaultsSpreadMoreThanDatapathFaults) {
+  // Filter-SRAM faults (whole-channel reuse) must corrupt at least as much
+  // of the final activation as single-use datapath faults, and Img-REG
+  // (one-row) faults sit in between datapath and filter-SRAM.
+  CampaignOptions opt;
+  opt.trials = 400;
+  Campaign c(*spec_, *blob_, DType::kFx16r10, inputs(4));
+
+  opt.site = SiteClass::kDatapathLatch;
+  const double corr_dp = c.run(opt)
+                             .rate([](const fault::TrialRecord& t) {
+                               return t.output_corruption > 0;
+                             })
+                             .p;
+  opt.site = SiteClass::kFilterSram;
+  const double corr_fs = c.run(opt)
+                             .rate([](const fault::TrialRecord& t) {
+                               return t.output_corruption > 0;
+                             })
+                             .p;
+  EXPECT_GE(corr_fs, corr_dp * 0.8);  // reuse makes reach >= single-use
+}
+
+TEST_F(IntegrationTest, SedDetectsMostSdcsWithHighPrecision) {
+  const auto detector = mitigate::learn_sed(*spec_, *blob_, DType::kFloat,
+                                            quadrant_example, 0, 50);
+  Campaign c(*spec_, *blob_, DType::kFloat, inputs(4));
+  CampaignOptions opt;
+  opt.trials = 800;
+  opt.detector = detector.as_predicate();
+  const auto ev = mitigate::evaluate_sed(c.run(opt));
+  EXPECT_GT(ev.precision.p, 0.9);
+  EXPECT_GT(ev.recall.p, 0.6);
+}
+
+TEST_F(IntegrationTest, FitPipelineEndToEnd) {
+  Campaign c(*spec_, *blob_, DType::kFx16r10, inputs(4));
+  CampaignOptions opt;
+  opt.trials = 300;
+  const double sdc = c.run(opt).sdc1().p;
+  const auto cfg = accel::eyeriss_16nm();
+  const double dp_fit = fit::datapath_fit(DType::kFx16r10, cfg.num_pes, sdc);
+  EXPECT_GE(dp_fit, 0.0);
+  EXPECT_LT(dp_fit, 2.0);  // 86 kbit of latches cannot exceed ~1.7 FIT
+
+  opt.site = SiteClass::kGlobalBuffer;
+  const double gb_sdc = c.run(opt).sdc1().p;
+  const auto fp = accel::analyze(*spec_);
+  const double gb_fit =
+      fit::buffer_fit(fp, accel::BufferKind::kGlobalBuffer, cfg, gb_sdc);
+  EXPECT_GE(gb_fit, 0.0);
+}
+
+TEST_F(IntegrationTest, CampaignIsThreadCountInvariant) {
+  // The same campaign must produce identical results no matter how the
+  // work is chunked (we exercise the serial path vs the global pool).
+  Campaign c(*spec_, *blob_, DType::kFloat16, inputs(2));
+  CampaignOptions opt;
+  opt.trials = 60;
+  // Run twice on the global pool (configured by the environment); the
+  // determinism contract says results depend only on the seed, never on
+  // how the work was chunked across threads.
+  const auto a = c.run(opt);
+  const auto b = c.run(opt);
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].outcome.sdc1, b.trials[i].outcome.sdc1);
+    EXPECT_EQ(a.trials[i].record.corrupted_after,
+              b.trials[i].record.corrupted_after);
+  }
+}
+
+}  // namespace
+}  // namespace dnnfi

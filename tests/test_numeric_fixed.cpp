@@ -1,0 +1,169 @@
+// Fixed-point arithmetic: Q-format layout, saturation, rounding, bit flips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnnfi/numeric/fixed.h"
+#include "dnnfi/numeric/traits.h"
+
+namespace dnnfi::numeric {
+namespace {
+
+TEST(Fixed, LayoutMatchesPaperTable3) {
+  EXPECT_EQ(Fx16r10::kWidth, 16);
+  EXPECT_EQ(Fx16r10::kFraction, 10);
+  EXPECT_EQ(Fx16r10::kInteger, 5);
+  EXPECT_EQ(Fx32r10::kInteger, 21);
+  EXPECT_EQ(Fx32r26::kInteger, 5);
+}
+
+TEST(Fixed, QuantizeExactValues) {
+  EXPECT_EQ(Fx16r10(1.0).raw(), 1024);
+  EXPECT_EQ(Fx16r10(-1.0).raw(), -1024);
+  EXPECT_EQ(Fx16r10(0.5).raw(), 512);
+  EXPECT_EQ(Fx16r10(0.0).raw(), 0);
+  EXPECT_EQ(Fx32r26(1.0).raw(), 1 << 26);
+}
+
+TEST(Fixed, QuantizeRoundsToNearest) {
+  // One LSB of Fx16r10 is 1/1024; 0.4 LSB rounds down, 0.6 LSB rounds up.
+  EXPECT_EQ(Fx16r10(0.4 / 1024.0).raw(), 0);
+  EXPECT_EQ(Fx16r10(0.6 / 1024.0).raw(), 1);
+  EXPECT_EQ(Fx16r10(-0.6 / 1024.0).raw(), -1);
+}
+
+TEST(Fixed, DynamicRangeBounds) {
+  // 16b_rb10: max = (2^15 - 1)/2^10 ≈ 31.999, min = -32.
+  EXPECT_NEAR(static_cast<double>(Fx16r10::max_value()), 31.999, 0.001);
+  EXPECT_NEAR(static_cast<double>(Fx16r10::min_value()), -32.0, 0.001);
+  // 32b_rb10: ±2^21 ≈ ±2.097e6.
+  EXPECT_NEAR(static_cast<double>(Fx32r10::max_value()), 2097151.999, 0.01);
+  // 32b_rb26: ±32, like 16b_rb10 but with more precision.
+  EXPECT_NEAR(static_cast<double>(Fx32r26::max_value()), 32.0, 1e-6);
+}
+
+TEST(Fixed, SaturatesOnConversion) {
+  EXPECT_EQ(Fx16r10(100.0).raw(), Fx16r10::kRawMax);
+  EXPECT_EQ(Fx16r10(-100.0).raw(), Fx16r10::kRawMin);
+  EXPECT_EQ(Fx16r10(std::nan("")).raw(), 0);
+  EXPECT_EQ(Fx32r26(1e30).raw(), Fx32r26::kRawMax);
+}
+
+TEST(Fixed, SaturatesOnAddition) {
+  const Fx16r10 big(31.0);
+  const Fx16r10 sum = big + big;
+  EXPECT_EQ(sum.raw(), Fx16r10::kRawMax);
+  const Fx16r10 neg(-31.0);
+  EXPECT_EQ((neg + neg).raw(), Fx16r10::kRawMin);
+}
+
+TEST(Fixed, SaturatesOnMultiplication) {
+  const Fx16r10 a(30.0), b(30.0);
+  EXPECT_EQ((a * b).raw(), Fx16r10::kRawMax);
+  EXPECT_EQ((a * Fx16r10(-30.0)).raw(), Fx16r10::kRawMin);
+}
+
+TEST(Fixed, MultiplicationExactForSmallValues) {
+  const Fx16r10 a(1.5), b(2.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(a * b), 3.0);
+  const Fx32r26 c(0.25), d(0.5);
+  EXPECT_DOUBLE_EQ(static_cast<double>(c * d), 0.125);
+}
+
+TEST(Fixed, MultiplicationRoundsProduct) {
+  // (1 LSB) * (1 LSB) = 2^-20, far below half of one rb10 LSB (2^-11):
+  // the rounded shift flushes it to zero.
+  const Fx16r10 eps = Fx16r10::from_raw(1);
+  EXPECT_EQ((eps * eps).raw(), 0);
+  // Exactly half an LSB rounds up: raw 512 * raw 1024 = 2^19 -> (2^19 +
+  // 2^9) >> 10 = 512.5 LSB... use 0.5 * (1 LSB + half-LSB product): raw
+  // product 1 << 9 is the rounding threshold.
+  const Fx16r10 half_lsb_sq = Fx16r10::from_raw(1 << 5);  // 2^5 raw
+  EXPECT_EQ((half_lsb_sq * half_lsb_sq).raw(), 1);  // 2^10 + 2^9 >> 10 = 1
+}
+
+TEST(Fixed, NegationAndSubtraction) {
+  const Fx16r10 a(3.5);
+  EXPECT_DOUBLE_EQ(static_cast<double>(-a), -3.5);
+  EXPECT_DOUBLE_EQ(static_cast<double>(a - Fx16r10(1.25)), 2.25);
+  // Negating the minimum saturates (two's complement has no +32).
+  EXPECT_EQ((-Fx16r10::min_value()).raw(), Fx16r10::kRawMax);
+}
+
+TEST(Fixed, DivisionBasics) {
+  const Fx16r10 a(3.0), b(2.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(a / b), 1.5);
+  // Division by zero saturates toward the sign of the numerator.
+  EXPECT_EQ((a / Fx16r10(0.0)).raw(), Fx16r10::kRawMax);
+  EXPECT_EQ((Fx16r10(-3.0) / Fx16r10(0.0)).raw(), Fx16r10::kRawMin);
+}
+
+TEST(Fixed, TwosComplementBits) {
+  EXPECT_EQ(Fx16r10(-1.0).bits(), 0xFC00U);  // -1024 as u16
+  EXPECT_EQ(Fx16r10(1.0).bits(), 0x0400U);
+  EXPECT_EQ(Fx16r10::from_bits(0xFC00U).raw(), -1024);
+}
+
+TEST(FixedTraits, VulnerableFieldIsIntegerPart) {
+  using Tr = numeric_traits<Fx16r10>;
+  EXPECT_EQ(Tr::width, 16);
+  EXPECT_FALSE(Tr::is_floating);
+  EXPECT_EQ(Tr::exponent_lo, 10);  // integer bits start above the fraction
+  EXPECT_EQ(Tr::exponent_hi, 16);
+  EXPECT_STREQ(Tr::name, "16b_rb10");
+  EXPECT_STREQ(numeric_traits<Fx32r10>::name, "32b_rb10");
+  EXPECT_STREQ(numeric_traits<Fx32r26>::name, "32b_rb26");
+}
+
+TEST(FixedTraits, FlipBitIsInvolutionEverywhere) {
+  const Fx32r10 v(123.456);
+  for (int bit = 0; bit < 32; ++bit) {
+    const auto flipped = flip_bit(v, bit);
+    EXPECT_NE(flipped.raw(), v.raw());
+    EXPECT_EQ(flip_bit(flipped, bit).raw(), v.raw());
+  }
+}
+
+TEST(FixedTraits, HighBitFlipMagnitudeDependsOnRadix) {
+  // Flipping bit 30 adds 2^30 raw. At rb10 that is 2^20 ≈ 1e6 in value; at
+  // rb26 it is 2^4 = 16 — the paper's §5.1.2 contrast between data types.
+  const Fx32r10 a(1.0);
+  const Fx32r26 b(1.0);
+  const double da = std::abs(static_cast<double>(flip_bit(a, 30)) - 1.0);
+  const double db = std::abs(static_cast<double>(flip_bit(b, 30)) - 1.0);
+  EXPECT_NEAR(da, std::ldexp(1.0, 20), 1.0);
+  EXPECT_NEAR(db, 16.0, 1e-6);
+  EXPECT_GT(da / db, 60000.0);
+}
+
+/// Property sweep: double -> fixed -> double stays within half an LSB for
+/// in-range values, across all three paper formats.
+template <typename F>
+class FixedRoundTrip : public ::testing::Test {};
+using Formats = ::testing::Types<Fx16r10, Fx32r10, Fx32r26>;
+TYPED_TEST_SUITE(FixedRoundTrip, Formats);
+
+TYPED_TEST(FixedRoundTrip, QuantizationErrorBounded) {
+  using F = TypeParam;
+  const double lsb = 1.0 / F::kScale;
+  const double max_v = static_cast<double>(F::max_value()) * 0.99;
+  for (int i = -1000; i <= 1000; ++i) {
+    const double v = max_v * static_cast<double>(i) / 1000.0;
+    const double err = std::abs(static_cast<double>(F(v)) - v);
+    ASSERT_LE(err, 0.5 * lsb + 1e-12) << "v=" << v;
+  }
+}
+
+TYPED_TEST(FixedRoundTrip, AdditionMatchesRealArithmeticInRange) {
+  using F = TypeParam;
+  const double lsb = 1.0 / F::kScale;
+  for (int i = 0; i < 100; ++i) {
+    const double a = -5.0 + 0.1 * i;
+    const double b = 3.0 - 0.07 * i;
+    const double got = static_cast<double>(F(a) + F(b));
+    ASSERT_NEAR(got, a + b, 1.5 * lsb);
+  }
+}
+
+}  // namespace
+}  // namespace dnnfi::numeric

@@ -1,0 +1,153 @@
+// Bit-exactness tests for the software binary16 implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "dnnfi/numeric/dtype.h"
+#include "dnnfi/numeric/half.h"
+#include "dnnfi/numeric/traits.h"
+
+namespace dnnfi::numeric {
+namespace {
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(Half(0.0F).bits(), 0x0000U);
+  EXPECT_EQ(Half(-0.0F).bits(), 0x8000U);
+  EXPECT_EQ(Half(1.0F).bits(), 0x3C00U);
+  EXPECT_EQ(Half(-1.0F).bits(), 0xBC00U);
+  EXPECT_EQ(Half(2.0F).bits(), 0x4000U);
+  EXPECT_EQ(Half(0.5F).bits(), 0x3800U);
+  EXPECT_EQ(Half(65504.0F).bits(), 0x7BFFU);  // max finite
+  EXPECT_EQ(Half(0.099976F).bits(), 0x2E66U); // ~0.1 rounded
+}
+
+TEST(Half, RoundTripAllFiniteBitPatterns) {
+  // Every finite half converts to float and back without change —
+  // an exhaustive property over the full 16-bit space.
+  for (std::uint32_t b = 0; b <= 0xFFFFU; ++b) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(b));
+    if (h.is_nan()) continue;  // NaN payloads may be canonicalized
+    const Half back(static_cast<float>(h));
+    EXPECT_EQ(back.bits(), h.bits()) << "bits=" << b;
+  }
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(Half(70000.0F).is_inf());
+  EXPECT_TRUE(Half(-1e10F).is_inf());
+  EXPECT_EQ(Half(65520.0F).bits(), 0x7C00U);  // rounds up past max -> inf
+  EXPECT_EQ(Half(65519.0F).bits(), 0x7BFFU);  // rounds down to max
+}
+
+TEST(Half, SubnormalsExact) {
+  // Smallest positive subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0F, -24);
+  EXPECT_EQ(Half(tiny).bits(), 0x0001U);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float big_sub = std::ldexp(1023.0F, -24);
+  EXPECT_EQ(Half(big_sub).bits(), 0x03FFU);
+  // Smallest normal: 2^-14.
+  EXPECT_EQ(Half(std::ldexp(1.0F, -14)).bits(), 0x0400U);
+  // Below half of the smallest subnormal rounds to zero.
+  EXPECT_EQ(Half(std::ldexp(1.0F, -26)).bits(), 0x0000U);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half; ties to
+  // even keep 1.0 (mantissa LSB 0).
+  const float halfway = 1.0F + std::ldexp(1.0F, -11);
+  EXPECT_EQ(Half(halfway).bits(), 0x3C00U);
+  // 1 + 3*2^-11 is halfway between nextafter(1) and the following value;
+  // ties to even round mantissa 1 -> 2.
+  const float halfway2 = 1.0F + 3.0F * std::ldexp(1.0F, -11);
+  EXPECT_EQ(Half(halfway2).bits(), 0x3C02U);
+  // Just above halfway rounds up.
+  EXPECT_EQ(Half(halfway + std::ldexp(1.0F, -18)).bits(), 0x3C01U);
+}
+
+TEST(Half, NanPropagation) {
+  const Half qnan(std::nanf(""));
+  EXPECT_TRUE(qnan.is_nan());
+  EXPECT_FALSE(qnan.is_inf());
+  EXPECT_TRUE((qnan + Half(1.0F)).is_nan());
+  EXPECT_FALSE(qnan == qnan);
+}
+
+TEST(Half, ArithmeticMatchesFloatWithRounding) {
+  const Half a(1.5F), b(2.25F);
+  EXPECT_EQ(static_cast<float>(a + b), 3.75F);
+  EXPECT_EQ(static_cast<float>(a * b), 3.375F);
+  EXPECT_EQ(static_cast<float>(a - b), -0.75F);
+  EXPECT_EQ(static_cast<float>(-a), -1.5F);
+}
+
+TEST(Half, SaturatingAccumulationOverflows) {
+  Half acc(60000.0F);
+  acc += Half(60000.0F);
+  EXPECT_TRUE(acc.is_inf());  // IEEE: overflow to +inf, not saturate
+}
+
+TEST(Half, Comparisons) {
+  EXPECT_LT(Half(1.0F), Half(2.0F));
+  EXPECT_GT(Half(-1.0F), Half(-2.0F));
+  EXPECT_LE(Half(1.0F), Half(1.0F));
+  EXPECT_TRUE(Half(0.0F) == Half(-0.0F));  // IEEE signed-zero equality
+}
+
+TEST(HalfTraits, WidthAndExponentField) {
+  using Tr = numeric_traits<Half>;
+  EXPECT_EQ(Tr::width, 16);
+  EXPECT_TRUE(Tr::is_floating);
+  EXPECT_EQ(Tr::exponent_lo, 10);
+  EXPECT_EQ(Tr::exponent_hi, 15);
+  EXPECT_EQ(Tr::max_magnitude(), 65504.0);
+}
+
+TEST(HalfTraits, FlipBitIsInvolution) {
+  const Half v(3.14159F);
+  for (int bit = 0; bit < 16; ++bit) {
+    const Half flipped = flip_bit(v, bit);
+    EXPECT_NE(flipped.bits(), v.bits());
+    EXPECT_EQ(flip_bit(flipped, bit).bits(), v.bits());
+  }
+}
+
+TEST(HalfTraits, FlipSignBit) {
+  const Half v(2.5F);
+  const Half f = flip_bit(v, 15);
+  EXPECT_EQ(static_cast<float>(f), -2.5F);
+}
+
+TEST(HalfTraits, FlipTopExponentBitCausesLargeDeviation) {
+  // A near-zero value with its high exponent bit set 0->1 becomes huge —
+  // the mechanism behind the paper's Fig 4 asymmetry.
+  const Half v(0.5F);
+  EXPECT_TRUE(flip_is_zero_to_one(v, 14));
+  const Half f = flip_bit(v, 14);
+  EXPECT_GT(std::abs(static_cast<float>(f)), 1000.0F);
+}
+
+TEST(HalfTraits, FlipOutOfRangeThrows) {
+  EXPECT_THROW(flip_bit(Half(1.0F), 16), dnnfi::ContractViolation);
+  EXPECT_THROW(flip_bit(Half(1.0F), -1), dnnfi::ContractViolation);
+}
+
+TEST(DType, TagsRoundTripThroughDispatch) {
+  for (const DType t : kAllDTypes) {
+    const DType back = dispatch_dtype(t, []<typename T>() { return dtype_of<T>(); });
+    EXPECT_EQ(back, t);
+  }
+}
+
+TEST(DType, NamesAndWidths) {
+  EXPECT_EQ(dtype_name(DType::kFloat16), "FLOAT16");
+  EXPECT_EQ(dtype_name(DType::kFx32r10), "32b_rb10");
+  EXPECT_EQ(dtype_width(DType::kDouble), 64);
+  EXPECT_EQ(dtype_width(DType::kFx16r10), 16);
+  EXPECT_TRUE(dtype_is_floating(DType::kFloat16));
+  EXPECT_FALSE(dtype_is_floating(DType::kFx32r26));
+}
+
+}  // namespace
+}  // namespace dnnfi::numeric

@@ -1,0 +1,227 @@
+// Cross-module property tests: algebraic invariants of the numeric types,
+// monotonicity of quantization, fault-descriptor self-description, and
+// statistical invariants of the sampler — parameterized sweeps in the
+// TEST_P style.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnnfi/common/rng.h"
+#include "dnnfi/fault/descriptor.h"
+#include "dnnfi/mitigate/slh.h"
+#include "dnnfi/numeric/dtype.h"
+
+namespace dnnfi {
+namespace {
+
+using numeric::DType;
+using numeric::Half;
+
+// ---------------------------------------------------------------------------
+// Half algebraic properties over a pseudo-random sample of finite values.
+
+class HalfAlgebra : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Half random_half(Rng& rng) const {
+    // Uniform over finite bit patterns.
+    for (;;) {
+      const auto bits = static_cast<std::uint16_t>(rng.below(0x10000));
+      const Half h = Half::from_bits(bits);
+      if (!h.is_nan() && !h.is_inf()) return h;
+    }
+  }
+};
+
+TEST_P(HalfAlgebra, AdditionCommutes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Half a = random_half(rng), b = random_half(rng);
+    EXPECT_EQ((a + b).bits(), (b + a).bits());
+  }
+}
+
+TEST_P(HalfAlgebra, MultiplicationCommutes) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int i = 0; i < 200; ++i) {
+    const Half a = random_half(rng), b = random_half(rng);
+    EXPECT_EQ((a * b).bits(), (b * a).bits());
+  }
+}
+
+TEST_P(HalfAlgebra, ZeroAndOneAreIdentities) {
+  Rng rng(GetParam() ^ 0x1234);
+  for (int i = 0; i < 200; ++i) {
+    const Half a = random_half(rng);
+    EXPECT_EQ(static_cast<float>(a + Half(0.0F)), static_cast<float>(a));
+    EXPECT_EQ((a * Half(1.0F)).bits(), a.bits());
+  }
+}
+
+TEST_P(HalfAlgebra, NegationIsSignBitFlip) {
+  Rng rng(GetParam() ^ 0x77);
+  for (int i = 0; i < 200; ++i) {
+    const Half a = random_half(rng);
+    EXPECT_EQ((-a).bits(), a.bits() ^ 0x8000U);
+  }
+}
+
+TEST_P(HalfAlgebra, OrderingMatchesFloatOrdering) {
+  Rng rng(GetParam() ^ 0xFEFE);
+  for (int i = 0; i < 200; ++i) {
+    const Half a = random_half(rng), b = random_half(rng);
+    EXPECT_EQ(a < b, static_cast<float>(a) < static_cast<float>(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HalfAlgebra,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------------------------------------------------------------------
+// Fixed-point properties, swept over the three paper formats.
+
+template <typename F>
+class FixedAlgebra : public ::testing::Test {};
+using FixedFormats =
+    ::testing::Types<numeric::Fx16r10, numeric::Fx32r10, numeric::Fx32r26>;
+TYPED_TEST_SUITE(FixedAlgebra, FixedFormats);
+
+TYPED_TEST(FixedAlgebra, QuantizationIsMonotone) {
+  using F = TypeParam;
+  Rng rng(99);
+  const double range = static_cast<double>(F::max_value()) * 1.5;
+  for (int i = 0; i < 500; ++i) {
+    const double a = (rng.uniform() - 0.5) * 2 * range;
+    const double b = (rng.uniform() - 0.5) * 2 * range;
+    if (a <= b) {
+      EXPECT_LE(F(a).raw(), F(b).raw()) << "a=" << a << " b=" << b;
+    } else {
+      EXPECT_GE(F(a).raw(), F(b).raw());
+    }
+  }
+}
+
+TYPED_TEST(FixedAlgebra, AdditionCommutesAndNeverWraps) {
+  using F = TypeParam;
+  Rng rng(101);
+  const double range = static_cast<double>(F::max_value());
+  for (int i = 0; i < 500; ++i) {
+    const F a((rng.uniform() - 0.5) * 2 * range);
+    const F b((rng.uniform() - 0.5) * 2 * range);
+    EXPECT_EQ((a + b).raw(), (b + a).raw());
+    // Saturation: result magnitude is bounded, never sign-flipped garbage.
+    if (a.raw() > 0 && b.raw() > 0) EXPECT_GE((a + b).raw(), a.raw());
+    if (a.raw() < 0 && b.raw() < 0) EXPECT_LE((a + b).raw(), a.raw());
+  }
+}
+
+TYPED_TEST(FixedAlgebra, MultiplicationWithinUlpOfRealProduct) {
+  using F = TypeParam;
+  Rng rng(103);
+  const double lsb = 1.0 / F::kScale;
+  for (int i = 0; i < 500; ++i) {
+    const double a = (rng.uniform() - 0.5) * 4.0;
+    const double b = (rng.uniform() - 0.5) * 4.0;
+    const double got = static_cast<double>(F(a) * F(b));
+    // Inputs quantize to within lsb/2 each; |a|,|b| <= 2 bounds the error.
+    EXPECT_NEAR(got, a * b, 2.5 * lsb + 1e-12);
+  }
+}
+
+TYPED_TEST(FixedAlgebra, FlipBitRoundTripsThroughBits) {
+  using F = TypeParam;
+  Rng rng(107);
+  for (int i = 0; i < 200; ++i) {
+    const F v((rng.uniform() - 0.5) * 10.0);
+    const int bit = static_cast<int>(rng.below(static_cast<std::uint64_t>(F::kWidth)));
+    EXPECT_EQ(numeric::flip_bit(numeric::flip_bit(v, bit), bit).raw(), v.raw());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion-chain property across all six types: double -> T -> double is a
+// projection (converting twice equals converting once).
+
+class DTypeProjection : public ::testing::TestWithParam<DType> {};
+
+TEST_P(DTypeProjection, RoundTripIsIdempotent) {
+  const DType dt = GetParam();
+  numeric::dispatch_dtype(dt, [&]<typename T>() {
+    Rng rng(11);
+    for (int i = 0; i < 300; ++i) {
+      const double v = rng.normal() * 20.0;
+      const double once =
+          numeric::numeric_traits<T>::to_double(numeric::numeric_traits<T>::from_double(v));
+      const double twice = numeric::numeric_traits<T>::to_double(
+          numeric::numeric_traits<T>::from_double(once));
+      EXPECT_EQ(once, twice) << numeric::dtype_name(dt) << " v=" << v;
+    }
+  });
+}
+
+TEST_P(DTypeProjection, FlipBitAlwaysChangesStoredBits) {
+  const DType dt = GetParam();
+  numeric::dispatch_dtype(dt, [&]<typename T>() {
+    Rng rng(13);
+    using Tr = numeric::numeric_traits<T>;
+    for (int i = 0; i < 300; ++i) {
+      const T v = Tr::from_double(rng.normal());
+      const int bit = static_cast<int>(rng.below(static_cast<std::uint64_t>(Tr::width)));
+      EXPECT_NE(Tr::to_bits(numeric::flip_bit(v, bit)), Tr::to_bits(v));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, DTypeProjection,
+                         ::testing::ValuesIn(numeric::kAllDTypes),
+                         [](const auto& info) {
+                           return std::string(numeric::dtype_name(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Descriptor description strings.
+
+TEST(Descriptor, DescribeNamesSiteAndScope) {
+  fault::FaultDescriptor f;
+  f.cls = fault::SiteClass::kImgReg;
+  f.block = 3;
+  f.element = 17;
+  f.out_channel = 2;
+  f.out_row = 5;
+  f.bit = 9;
+  const std::string d = f.describe();
+  EXPECT_NE(d.find("img-reg"), std::string::npos);
+  EXPECT_NE(d.find("block 3"), std::string::npos);
+  EXPECT_NE(d.find("co=2"), std::string::npos);
+  EXPECT_NE(d.find("bit 9"), std::string::npos);
+
+  f.cls = fault::SiteClass::kDatapathLatch;
+  f.latch = accel::DatapathLatch::kProduct;
+  EXPECT_NE(f.describe().find("datapath/product"), std::string::npos);
+}
+
+TEST(Descriptor, BufferOfMapsAllBufferClasses) {
+  EXPECT_EQ(fault::buffer_of(fault::SiteClass::kGlobalBuffer),
+            accel::BufferKind::kGlobalBuffer);
+  EXPECT_EQ(fault::buffer_of(fault::SiteClass::kImgReg),
+            accel::BufferKind::kImgReg);
+  EXPECT_THROW(fault::buffer_of(fault::SiteClass::kDatapathLatch),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Beta fit recovers the generating parameter on exact model curves.
+
+TEST(SlhBeta, RecoversKnownBeta) {
+  for (const double beta : {0.5, 2.0, 7.0, 20.0}) {
+    std::vector<mitigate::CoveragePoint> curve;
+    for (int k = 0; k <= 50; ++k) {
+      const double x = k / 50.0;
+      curve.push_back(
+          {x, (1.0 - std::exp(-beta * x)) / (1.0 - std::exp(-beta))});
+    }
+    EXPECT_NEAR(mitigate::fit_beta(curve), beta, beta * 0.05 + 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace dnnfi

@@ -1,0 +1,107 @@
+// Row-stationary mapping model: conservation and sanity invariants.
+#include <gtest/gtest.h>
+
+#include "dnnfi/accel/rs_mapping.h"
+#include "dnnfi/dnn/zoo.h"
+
+namespace dnnfi::accel {
+namespace {
+
+TEST(RsMapping, MapsEveryMacLayer) {
+  for (const auto id : dnn::zoo::kAllNetworks) {
+    const auto spec = dnn::zoo::network_spec(id);
+    const auto mappings = map_network(spec, 1344);
+    EXPECT_EQ(mappings.size(), analyze(spec).size());
+  }
+}
+
+TEST(RsMapping, UtilizationIsAProbability) {
+  for (const auto id : dnn::zoo::kAllNetworks) {
+    const auto mappings = map_network(dnn::zoo::network_spec(id), 1344);
+    for (const auto& m : mappings) {
+      EXPECT_GT(m.utilization, 0.0) << "block " << m.block;
+      EXPECT_LE(m.utilization, 1.0 + 1e-9) << "block " << m.block;
+      EXPECT_GT(m.cycles, 0U);
+      EXPECT_GE(m.passes, 1U);
+      EXPECT_LE(m.active_pes, 1344U);
+    }
+  }
+}
+
+TEST(RsMapping, ConvSetGeometryMatchesKernelAndOutput) {
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet);
+  const auto mappings = map_network(spec, 1344);
+  const auto fp = analyze(spec);
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    if (!mappings[i].is_conv) continue;
+    const auto& ls = spec.layers[fp[i].layer_index];
+    EXPECT_EQ(mappings[i].pe_set_height, ls.kernel);
+    EXPECT_EQ(mappings[i].pe_set_width, fp[i].out_shape.h);
+  }
+}
+
+TEST(RsMapping, DramTrafficIsCompulsory) {
+  // Every word moves at least once: DRAM traffic equals the layer's total
+  // unique footprint under this perfect-reuse model.
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kAlexNetS);
+  const auto mappings = map_network(spec, 1344);
+  const auto fp = analyze(spec);
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    EXPECT_EQ(mappings[i].dram_reads, fp[i].input_elems + fp[i].weight_elems);
+    EXPECT_EQ(mappings[i].dram_writes, fp[i].output_elems);
+  }
+}
+
+TEST(RsMapping, RegisterTrafficIsTwoPerMac) {
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kNiNS);
+  const auto mappings = map_network(spec, 1344);
+  const auto fp = analyze(spec);
+  for (std::size_t i = 0; i < mappings.size(); ++i)
+    EXPECT_EQ(mappings[i].reg_accesses, 2 * fp[i].macs);
+}
+
+TEST(RsMapping, ReuseHierarchyHoldsInTraffic) {
+  // REG accesses >> SRAM accesses >= DRAM reads for conv layers: the same
+  // hierarchy the buffer FIT analysis relies on.
+  const auto mappings =
+      map_network(dnn::zoo::network_spec(dnn::zoo::NetworkId::kAlexNetS), 1344);
+  const auto s = summarize(mappings);
+  EXPECT_GT(s.reg_traffic, s.sram_traffic);
+  EXPECT_GT(s.sram_traffic, s.dram_traffic);
+}
+
+TEST(RsMapping, SmallerArrayNeedsMorePassesAndCycles) {
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet);
+  const auto big = summarize(map_network(spec, 1344));
+  const auto small = summarize(map_network(spec, 168));
+  EXPECT_GE(small.total_cycles, big.total_cycles);
+}
+
+TEST(RsMapping, FcLayersStreamWeightsOnce) {
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet);
+  const auto mappings = map_network(spec, 1344);
+  const auto fp = analyze(spec);
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    if (mappings[i].is_conv) continue;
+    EXPECT_EQ(mappings[i].sram_accesses, fp[i].weight_elems);
+  }
+}
+
+TEST(RsMapping, RejectsZeroPes) {
+  EXPECT_THROW(map_network(dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet), 0),
+               ContractViolation);
+}
+
+TEST(RsSummary, CyclesAreSumOfLayers) {
+  const auto mappings =
+      map_network(dnn::zoo::network_spec(dnn::zoo::NetworkId::kNiNS), 1344);
+  const auto s = summarize(mappings);
+  std::size_t manual = 0;
+  for (const auto& m : mappings) manual += m.cycles;
+  EXPECT_EQ(s.total_cycles, manual);
+  EXPECT_GT(s.avg_utilization, 0.0);
+  EXPECT_LE(s.avg_utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace dnnfi::accel

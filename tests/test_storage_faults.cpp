@@ -1,0 +1,149 @@
+// Reduced-precision buffer storage (Proteus-style extension): upsets strike
+// the stored format, the datapath computes in a wider type.
+#include <gtest/gtest.h>
+
+#include "dnnfi/dnn/weights.h"
+#include "dnnfi/fault/campaign.h"
+
+namespace dnnfi {
+namespace {
+
+using fault::Campaign;
+using fault::CampaignOptions;
+using fault::SiteClass;
+using numeric::DType;
+using tensor::chw;
+using tensor::Tensor;
+
+TEST(StorageFlip, EncodeUpsetDecode) {
+  // A value stored as FLOAT16 struck on its top exponent bit decodes to the
+  // same corrupted value a native FLOAT16 flip would give.
+  const double v = 0.75;
+  const double via_storage = numeric::flip_bit_in_storage(v, DType::kFloat16, 14);
+  const double native = static_cast<double>(
+      numeric::flip_bit(numeric::Half(0.75F), 14));
+  EXPECT_EQ(via_storage, native);
+}
+
+TEST(StorageFlip, NarrowStorageBoundsTheDamage) {
+  // In 16b_rb10 storage the worst representable magnitude is 32; a float
+  // stored there and struck anywhere comes back bounded.
+  for (int bit = 0; bit < 16; ++bit) {
+    const double corrupted =
+        numeric::flip_bit_in_storage(1.5, DType::kFx16r10, bit);
+    EXPECT_LE(std::abs(corrupted), 32.0);
+  }
+  // Whereas a native float strike on the top exponent bit is astronomical:
+  // 1.0f's exponent becomes 0xFF, i.e. +infinity.
+  const double native = static_cast<double>(numeric::flip_bit(1.0F, 30));
+  EXPECT_TRUE(std::isinf(native));
+}
+
+TEST(StorageFlip, QuantizesBeforeStriking) {
+  // The encode step quantizes: sub-LSB detail disappears before the upset,
+  // so striking the same bit twice projects onto the storage grid.
+  const double v = 1.0 + 1.0 / 4096.0;  // a quarter rb10-LSB above 1.0
+  const double twice = numeric::flip_bit_in_storage(
+      numeric::flip_bit_in_storage(v, DType::kFx16r10, 0), DType::kFx16r10, 0);
+  EXPECT_NE(twice, v);              // the sub-LSB detail is gone
+  EXPECT_DOUBLE_EQ(twice, 1.0);     // rounded to the grid, flips cancelled
+}
+
+dnn::NetworkSpec tiny_spec() {
+  return dnn::SpecBuilder("tiny", chw(1, 6, 6), 3)
+      .conv(2, 3, 1, 1).relu().maxpool(2, 2)
+      .fc(3).softmax()
+      .build();
+}
+
+dnn::WeightsBlob tiny_blob() {
+  dnn::Network<float> net(tiny_spec());
+  dnn::init_weights(net, 5);
+  return dnn::extract_weights(net);
+}
+
+std::vector<dnn::Example> tiny_inputs() {
+  std::vector<dnn::Example> v;
+  for (std::size_t s = 0; s < 2; ++s) {
+    dnn::Example ex;
+    ex.image = Tensor<float>(chw(1, 6, 6));
+    Rng rng(s + 1);
+    for (std::size_t i = 0; i < ex.image.size(); ++i)
+      ex.image[i] = static_cast<float>(rng.normal());
+    v.push_back(std::move(ex));
+  }
+  return v;
+}
+
+TEST(StorageCampaign, SamplerRestrictsBitsToStorageWidth) {
+  fault::Sampler s(tiny_spec(), DType::kFloat);
+  Rng rng(7);
+  fault::SampleConstraint c;
+  c.buffer_storage = DType::kFloat16;
+  for (int i = 0; i < 500; ++i) {
+    const auto f = s.sample(SiteClass::kGlobalBuffer, rng, c);
+    ASSERT_LT(f.bit, 16);
+    ASSERT_TRUE(f.storage.has_value());
+    EXPECT_EQ(*f.storage, DType::kFloat16);
+  }
+}
+
+TEST(StorageCampaign, DatapathSitesIgnoreStorage) {
+  fault::Sampler s(tiny_spec(), DType::kFloat);
+  Rng rng(8);
+  fault::SampleConstraint c;
+  c.buffer_storage = DType::kFloat16;
+  bool saw_high_bit = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto f = s.sample(SiteClass::kDatapathLatch, rng, c);
+    EXPECT_FALSE(f.storage.has_value());
+    saw_high_bit |= (f.bit >= 16);
+  }
+  EXPECT_TRUE(saw_high_bit);  // full 32-bit range still sampled
+}
+
+TEST(StorageCampaign, ReducedStorageRunsAndBoundsDeviation) {
+  Campaign c(tiny_spec(), tiny_blob(), DType::kFloat, tiny_inputs());
+  CampaignOptions opt;
+  opt.trials = 200;
+  opt.site = SiteClass::kGlobalBuffer;
+  opt.constraint.buffer_storage = DType::kFx16r10;
+  const auto r = c.run(opt);
+  for (const auto& t : r.trials) {
+    ASSERT_TRUE(t.record.applied);
+    // Decoded corrupted values can never leave the storage format's range.
+    EXPECT_LE(std::abs(t.record.corrupted_after), 32.0) << t.fault.describe();
+  }
+}
+
+TEST(StorageCampaign, NativeFloatStorageCanExplode) {
+  Campaign c(tiny_spec(), tiny_blob(), DType::kFloat, tiny_inputs());
+  CampaignOptions opt;
+  opt.trials = 400;
+  opt.site = SiteClass::kGlobalBuffer;
+  opt.constraint.fixed_bit = 30;
+  const auto r = c.run(opt);
+  bool saw_huge = false;
+  for (const auto& t : r.trials)
+    saw_huge |= std::abs(t.record.corrupted_after) > 1e30;
+  EXPECT_TRUE(saw_huge);
+}
+
+TEST(StorageCampaign, AppliesToFilterSramAndImgReg) {
+  Campaign c(tiny_spec(), tiny_blob(), DType::kFloat, tiny_inputs());
+  for (const auto site : {SiteClass::kFilterSram, SiteClass::kImgReg}) {
+    CampaignOptions opt;
+    opt.trials = 100;
+    opt.site = site;
+    opt.constraint.buffer_storage = DType::kFloat16;
+    const auto r = c.run(opt);
+    for (const auto& t : r.trials) {
+      ASSERT_TRUE(t.record.applied);
+      EXPECT_LT(t.fault.bit, 16);
+      EXPECT_LE(std::abs(t.record.corrupted_after), 65504.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnnfi

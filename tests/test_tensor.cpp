@@ -1,0 +1,150 @@
+// Tensor container, conversions, and the comparison metrics used by the
+// error-propagation analyses.
+#include <gtest/gtest.h>
+
+#include "dnnfi/numeric/fixed.h"
+#include "dnnfi/numeric/half.h"
+#include "dnnfi/tensor/tensor.h"
+
+namespace dnnfi::tensor {
+namespace {
+
+using numeric::Fx16r10;
+using numeric::Half;
+
+TEST(Shape, SizesAndHelpers) {
+  EXPECT_EQ(chw(3, 32, 32).size(), 3U * 32U * 32U);
+  EXPECT_EQ(oihw(16, 3, 5, 5).size(), 16U * 3U * 5U * 5U);
+  EXPECT_EQ(vec(10).size(), 10U);
+  EXPECT_EQ((Shape{2, 3, 4, 5}.size()), 120U);
+}
+
+TEST(Shape, RowMajorIndexing) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.index(0, 0, 0, 0), 0U);
+  EXPECT_EQ(s.index(0, 0, 0, 1), 1U);
+  EXPECT_EQ(s.index(0, 0, 1, 0), 5U);
+  EXPECT_EQ(s.index(0, 1, 0, 0), 20U);
+  EXPECT_EQ(s.index(1, 0, 0, 0), 60U);
+  EXPECT_EQ(s.index(1, 2, 3, 4), 119U);
+}
+
+TEST(Shape, IndexOutOfRangeThrows) {
+  const Shape s{1, 2, 3, 4};
+  EXPECT_THROW(s.index(1, 0, 0, 0), dnnfi::ContractViolation);
+  EXPECT_THROW(s.index(0, 2, 0, 0), dnnfi::ContractViolation);
+  EXPECT_THROW(s.index(0, 0, 3, 0), dnnfi::ContractViolation);
+  EXPECT_THROW(s.index(0, 0, 0, 4), dnnfi::ContractViolation);
+}
+
+TEST(Tensor, ConstructZeroFilled) {
+  Tensor<float> t(chw(2, 3, 3));
+  EXPECT_EQ(t.size(), 18U);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, AtAndFlatAgree) {
+  Tensor<float> t(chw(2, 3, 4));
+  t.at(0, 1, 2, 3) = 42.0F;
+  EXPECT_EQ(t[t.shape().index(0, 1, 2, 3)], 42.0F);
+}
+
+TEST(Tensor, BoundsCheckedAccess) {
+  Tensor<float> t(vec(4));
+  EXPECT_THROW(t[4], dnnfi::ContractViolation);
+}
+
+TEST(Tensor, FillAndReshape) {
+  Tensor<float> t(vec(4));
+  t.fill(2.5F);
+  EXPECT_EQ(t[3], 2.5F);
+  t.reshape(chw(1, 2, 2));
+  EXPECT_EQ(t.size(), 4U);
+  EXPECT_EQ(t[0], 0.0F);  // reshape zero-fills
+}
+
+TEST(Convert, FloatToHalfQuantizes) {
+  Tensor<float> f(vec(3));
+  f[0] = 1.0F;
+  f[1] = 0.1F;
+  f[2] = 70000.0F;  // overflows half
+  const Tensor<Half> h = convert<Half>(f);
+  EXPECT_EQ(static_cast<float>(h[0]), 1.0F);
+  EXPECT_NEAR(static_cast<float>(h[1]), 0.1F, 1e-4F);
+  EXPECT_TRUE(h[2].is_inf());
+}
+
+TEST(Convert, FloatToFixedSaturates) {
+  Tensor<float> f(vec(2));
+  f[0] = 100.0F;
+  f[1] = -0.5F;
+  const auto x = convert<Fx16r10>(f);
+  EXPECT_EQ(x[0].raw(), Fx16r10::kRawMax);
+  EXPECT_DOUBLE_EQ(static_cast<double>(x[1]), -0.5);
+}
+
+TEST(Convert, ShapePreserved) {
+  Tensor<double> d(chw(3, 4, 5));
+  const auto f = convert<float>(d);
+  EXPECT_EQ(f.shape(), d.shape());
+}
+
+TEST(Euclid, ZeroForIdentical) {
+  Tensor<float> a(vec(10));
+  a.fill(1.5F);
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, a), 0.0);
+}
+
+TEST(Euclid, MatchesHandComputation) {
+  Tensor<float> a(vec(2)), b(vec(2));
+  a[0] = 3.0F;
+  b[1] = 4.0F;
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+}
+
+TEST(Euclid, ShapeMismatchThrows) {
+  Tensor<float> a(vec(2)), b(vec(3));
+  EXPECT_THROW(euclidean_distance(a, b), dnnfi::ContractViolation);
+}
+
+TEST(Euclid, NonFiniteDeltasAreClamped) {
+  Tensor<float> a(vec(1)), b(vec(1));
+  a[0] = std::numeric_limits<float>::infinity();
+  const double d = euclidean_distance(a, b);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 1e29);
+}
+
+TEST(BitwiseMismatch, CountsExactDifferences) {
+  Tensor<Half> a(vec(4)), b(vec(4));
+  for (std::size_t i = 0; i < 4; ++i) a[i] = b[i] = Half(1.0F + static_cast<float>(i));
+  EXPECT_EQ(bitwise_mismatch_count(a, b), 0U);
+  b[1] = Half::from_bits(static_cast<std::uint16_t>(b[1].bits() ^ 1U));
+  b[3] = Half(99.0F);
+  EXPECT_EQ(bitwise_mismatch_count(a, b), 2U);
+}
+
+TEST(BitwiseMismatch, DistinguishesSignedZeros) {
+  Tensor<float> a(vec(1)), b(vec(1));
+  a[0] = 0.0F;
+  b[0] = -0.0F;
+  EXPECT_EQ(bitwise_mismatch_count(a, b), 1U);  // bitwise, not value-wise
+}
+
+TEST(ValueRange, MinMax) {
+  Tensor<float> t(vec(5));
+  t[0] = -3.0F;
+  t[1] = 7.0F;
+  t[2] = 0.5F;
+  const auto [lo, hi] = value_range(t);
+  EXPECT_DOUBLE_EQ(lo, -3.0);
+  EXPECT_DOUBLE_EQ(hi, 7.0);
+}
+
+TEST(ValueRange, EmptyThrows) {
+  Tensor<float> t;
+  EXPECT_THROW(value_range(t), dnnfi::ContractViolation);
+}
+
+}  // namespace
+}  // namespace dnnfi::tensor

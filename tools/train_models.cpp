@@ -1,0 +1,30 @@
+// Trains (or verifies) the four zoo models and reports held-out accuracy.
+// Run once after checkout; all benches and the heavier tests reuse the
+// cached model files in <model_dir>.
+//
+// Usage: train_models [--verbose]
+//   DNNFI_MODEL_DIR  cache directory (default "models")
+
+#include <cstring>
+#include <iostream>
+
+#include "dnnfi/common/env.h"
+#include "dnnfi/data/pretrain.h"
+
+int main(int argc, char** argv) {
+  const bool verbose =
+      argc > 1 && std::strcmp(argv[1], "--verbose") == 0;
+  using namespace dnnfi;
+  std::cout << "model dir: " << model_dir() << "\n";
+  for (const auto id : dnn::zoo::kAllNetworks) {
+    std::cout << "== " << dnn::zoo::network_name(id) << " ==\n" << std::flush;
+    const dnn::Model m = data::pretrained(id, verbose);
+    const double acc = data::test_accuracy(m, 200);
+    const auto ds = data::dataset_for(id);
+    std::cout << "  dataset:        " << ds->name() << " ("
+              << ds->num_classes() << " classes)\n"
+              << "  test accuracy:  " << acc * 100.0 << "% (chance "
+              << 100.0 / static_cast<double>(ds->num_classes()) << "%)\n";
+  }
+  return 0;
+}
