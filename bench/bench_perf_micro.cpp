@@ -2,9 +2,69 @@
 // type, injection fast-path overhead (golden-trace reuse), and campaign
 // throughput. These quantify the engineering claims of the harness itself
 // rather than a paper table.
+//
+// Beyond the google-benchmark tables, the binary runs a dedicated
+// counting-allocator measurement of the compiled-plan engine and writes
+// BENCH_perf_micro.json (ns/inference, ns/trial, allocations/trial) into
+// the results directory. It exits nonzero if the faulty hot path performs
+// any heap allocation per trial after warm-up — the engine's zero-alloc
+// contract is enforced here, not just documented.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <new>
+
 #include "bench_util.h"
+#include "dnnfi/fault/injector.h"
+#include "dnnfi/fault/sampler.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every operator new/delete in the process routes through
+// malloc/free with an atomic tally. Relaxed ordering is fine — the measured
+// loops are single-threaded and the counter is only read at section edges.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   size ? size : 1))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+// GCC flags free() inside operator delete as a new/free mismatch; every
+// operator new above routes through malloc/aligned_alloc, so it is not one.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
 
 using namespace dnnfi;
 using namespace dnnfi::benchutil;
@@ -23,9 +83,13 @@ template <typename T>
 void run_inference(benchmark::State& state, NetworkId id) {
   const NetContext& ctx = ctx_for(id);
   const auto net = dnn::instantiate<T>(ctx.model.spec, ctx.model.blob);
+  const dnn::Executor<T> exec(net.plan());
+  dnn::Workspace<T> ws(net.plan());
   const auto input = tensor::convert<T>(ctx.inputs[0].image);
+  dnn::RunRequest<T> req;
+  req.input = input;
   for (auto _ : state) {
-    auto out = net.forward(input);
+    auto out = exec.run(ws, req);
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -53,17 +117,21 @@ BENCHMARK(BM_Inference_ConvNet_Fx16)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Inference_AlexNetS_Float)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Inference_NiNS_Float)->Unit(benchmark::kMillisecond);
 
-/// One faulty inference via the golden-trace fast path, vs a full forward.
+/// One faulty inference via the golden-trace fast path on the compiled
+/// engine, vs a full forward.
 void BM_Injection_FastPath(benchmark::State& state) {
   const NetContext& ctx = ctx_for(NetworkId::kConvNet);
-  const auto net = dnn::instantiate<numeric::Half>(ctx.model.spec, ctx.model.blob);
+  const auto net =
+      dnn::instantiate<numeric::Half>(ctx.model.spec, ctx.model.blob);
+  const dnn::Executor<numeric::Half> exec(net.plan());
+  dnn::Workspace<numeric::Half> ws(net.plan());
   const auto input = tensor::convert<numeric::Half>(ctx.inputs[0].image);
   const auto golden = net.forward_trace(input);
   fault::Sampler sampler(ctx.model.spec, numeric::DType::kFloat16);
   Rng rng(1);
   for (auto _ : state) {
     const auto f = sampler.sample(fault::SiteClass::kDatapathLatch, rng);
-    auto out = fault::inject(net, golden, f);
+    auto out = fault::inject(exec, ws, net.mac_layers(), golden, f);
     benchmark::DoNotOptimize(out);
   }
 }
@@ -84,6 +152,129 @@ void BM_Campaign_100Trials(benchmark::State& state) {
 }
 BENCHMARK(BM_Campaign_100Trials)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Counting-allocator section. Single-threaded on ConvNet/Half, the campaign's
+// default datapath: measures the compiled engine directly and enforces the
+// zero-allocation contract of the faulty hot path.
+// ---------------------------------------------------------------------------
+
+struct AllocatorReport {
+  double ns_per_inference = 0;
+  double ns_per_trial = 0;
+  double allocations_per_trial = 0;
+  std::size_t trials = 0;
+};
+
+AllocatorReport measure_hot_path() {
+  using T = numeric::Half;
+  using Clock = std::chrono::steady_clock;
+  constexpr std::size_t kWarmup = 32;
+  constexpr std::size_t kTrials = 1000;
+  constexpr std::size_t kInferences = 200;
+
+  const NetContext& ctx = ctx_for(NetworkId::kConvNet);
+  const auto net = dnn::instantiate<T>(ctx.model.spec, ctx.model.blob);
+  const dnn::Executor<T> exec(net.plan());
+  dnn::Workspace<T> ws(net.plan());
+  const auto input = tensor::convert<T>(ctx.inputs[0].image);
+  const auto golden = net.forward_trace(input);
+
+  // Pre-sample descriptors over every site class so the measured loop covers
+  // all four fault-lowering paths without touching the sampler.
+  fault::Sampler sampler(ctx.model.spec, numeric::DType::kFloat16);
+  Rng rng(7);
+  std::vector<fault::FaultDescriptor> faults;
+  faults.reserve(256);
+  for (std::size_t i = 0; i < 256; ++i)
+    faults.push_back(sampler.sample(
+        fault::kAllSiteClasses[i % fault::kAllSiteClasses.size()], rng));
+
+  AllocatorReport r;
+  r.trials = kTrials;
+
+  // Plain inference timing (steady state, workspace warm).
+  for (std::size_t i = 0; i < 8; ++i) {
+    dnn::RunRequest<T> req;
+    req.input = input;
+    benchmark::DoNotOptimize(exec.run(ws, req));
+  }
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < kInferences; ++i) {
+    dnn::RunRequest<T> req;
+    req.input = input;
+    benchmark::DoNotOptimize(exec.run(ws, req));
+  }
+  r.ns_per_inference =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count()) /
+      static_cast<double>(kInferences);
+
+  // Faulty-path warm-up, then the measured window.
+  for (std::size_t i = 0; i < kWarmup; ++i)
+    benchmark::DoNotOptimize(fault::inject(exec, ws, net.mac_layers(), golden,
+                                           faults[i % faults.size()]));
+
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto t1 = Clock::now();
+  for (std::size_t i = 0; i < kTrials; ++i)
+    benchmark::DoNotOptimize(fault::inject(exec, ws, net.mac_layers(), golden,
+                                           faults[i % faults.size()]));
+  const auto t2 = Clock::now();
+  const std::uint64_t allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
+
+  r.ns_per_trial =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+              .count()) /
+      static_cast<double>(kTrials);
+  r.allocations_per_trial =
+      static_cast<double>(allocs_after - allocs_before) /
+      static_cast<double>(kTrials);
+  return r;
+}
+
+void write_json(const AllocatorReport& r, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"network\": \"ConvNet\",\n"
+      << "  \"datapath\": \"float16\",\n"
+      << "  \"trials\": " << r.trials << ",\n"
+      << "  \"ns_per_inference\": " << r.ns_per_inference << ",\n"
+      << "  \"ns_per_trial\": " << r.ns_per_trial << ",\n"
+      << "  \"allocations_per_trial\": " << r.allocations_per_trial << "\n"
+      << "}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const AllocatorReport r = measure_hot_path();
+  std::filesystem::create_directories(results_dir());
+  const std::string json = results_dir() + "/BENCH_perf_micro.json";
+  write_json(r, json);
+  std::printf(
+      "\ncompiled-engine hot path (ConvNet, float16, counting allocator):\n"
+      "  ns/inference:      %.0f\n"
+      "  ns/trial:          %.0f\n"
+      "  allocations/trial: %g\n"
+      "[json] %s\n",
+      r.ns_per_inference, r.ns_per_trial, r.allocations_per_trial,
+      json.c_str());
+  if (r.allocations_per_trial > 0) {
+    std::fprintf(stderr,
+                 "FAIL: faulty hot path allocated %g times per trial; the "
+                 "zero-allocation contract is broken\n",
+                 r.allocations_per_trial);
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "dnnfi/common/rng.h"
 #include "dnnfi/data/image_io.h"
 #include "dnnfi/data/pretrain.h"
+#include "dnnfi/dnn/executor.h"
 #include "dnnfi/dnn/weights.h"
 #include "dnnfi/fault/campaign.h"
 #include "dnnfi/mitigate/sed.h"
@@ -43,6 +44,11 @@ int main(int argc, char** argv) {
   fault::Sampler sampler(model.spec, numeric::DType::kFx16r10);
   const auto ends = fault::block_end_layers(model.spec);
 
+  // One compiled plan and one reusable workspace drive the whole frame
+  // stream — no per-frame buffer allocation.
+  const dnn::Executor<T> exec(net.plan());
+  dnn::Workspace<T> ws(net.plan());
+
   Rng strike_rng(42);
   std::size_t upsets = 0, sdcs = 0, detected_sdcs = 0, misclassified_clean = 0;
   std::filesystem::create_directories("results/frames");
@@ -50,10 +56,14 @@ int main(int argc, char** argv) {
   std::cout << "driving " << frames << " frames; soft-error strike "
             << "probability per frame: 5%\n\n";
 
+  dnn::Trace<T> golden_trace;
   for (std::size_t f = 0; f < frames; ++f) {
     const auto sample = ds->sample(data::kTestSplitBegin + 100 + f);
     const auto input = tensor::convert<T>(sample.image);
-    const auto golden_trace = net.forward_trace(input);
+    dnn::RunRequest<T> golden_req;
+    golden_req.input = input;
+    golden_req.trace = &golden_trace;
+    exec.run(ws, golden_req);
     const auto golden = net.interpret(golden_trace.output());
     if (golden.top1() != sample.label) ++misclassified_clean;
 
@@ -65,20 +75,16 @@ int main(int argc, char** argv) {
     const auto fault = sampler.sample(site, strike_rng);
 
     bool flagged = false;
-    dnn::Network<T>::LayerObserverFn observer =
-        [&](std::size_t layer, const dnn::Tensor<T>& act) {
+    const dnn::LayerObserver<T> observer =
+        [&](std::size_t layer, tensor::ConstTensorView<T> act) {
           const auto it = std::find(ends.begin(), ends.end(), layer);
           if (it == ends.end() || flagged) return;
           const int block = static_cast<int>(it - ends.begin()) + 1;
-          for (std::size_t i = 0; i < act.size(); ++i) {
-            if (detector.anomalous(block, static_cast<double>(act[i]))) {
-              flagged = true;
-              return;
-            }
-          }
+          flagged = detector.flags(block, act);
         };
-    const auto faulty_out = net.forward_with_fault(
-        golden_trace, fault::lower(fault, net.mac_layers()), nullptr, &observer);
+    const auto faulty_out =
+        fault::inject(exec, ws, net.mac_layers(), golden_trace, fault,
+                      nullptr, &observer);
     const auto faulty = net.interpret(faulty_out);
     const auto outcome = fault::classify(golden, faulty);
 

@@ -9,43 +9,12 @@ using dnn::LayerSpec;
 using dnn::NetworkSpec;
 using dnn::Shape;
 
-namespace {
-
-/// Output shape of `spec` applied to `in` — mirrors the layer classes'
-/// out_shape without instantiating them.
-Shape shape_after(const LayerSpec& l, const Shape& in) {
-  switch (l.kind) {
-    case LayerKind::kConv: {
-      DNNFI_EXPECTS(in.h + 2 * l.pad >= l.kernel && in.w + 2 * l.pad >= l.kernel);
-      return tensor::chw(l.out_channels,
-                         (in.h + 2 * l.pad - l.kernel) / l.stride + 1,
-                         (in.w + 2 * l.pad - l.kernel) / l.stride + 1);
-    }
-    case LayerKind::kFullyConnected:
-      return tensor::vec(l.out_features);
-    case LayerKind::kMaxPool:
-      return tensor::chw(in.c, (in.h - l.pool_kernel) / l.pool_stride + 1,
-                         (in.w - l.pool_kernel) / l.pool_stride + 1);
-    case LayerKind::kGlobalAvgPool:
-      return tensor::vec(in.c);
-    case LayerKind::kSoftmax:
-      return tensor::vec(in.size());
-    case LayerKind::kRelu:
-    case LayerKind::kLrn:
-      return in;
-  }
-  DNNFI_EXPECTS(false);
-  return in;
-}
-
-}  // namespace
-
 std::vector<LayerFootprint> analyze(const NetworkSpec& spec) {
   std::vector<LayerFootprint> out;
   Shape shape = spec.input;
   for (std::size_t i = 0; i < spec.layers.size(); ++i) {
     const LayerSpec& l = spec.layers[i];
-    const Shape os = shape_after(l, shape);
+    const Shape os = dnn::shape_after(l, shape);
     if (l.kind == LayerKind::kConv || l.kind == LayerKind::kFullyConnected) {
       LayerFootprint fp;
       fp.layer_index = i;

@@ -51,11 +51,18 @@ dnn::Model pretrained(NetworkId id, bool verbose) {
   const std::string dir = model_dir();
   const std::string path = dir + "/" + dnn::zoo::model_filename(id);
   if (dnn::is_model_file(path)) {
-    dnn::Model m = dnn::load_model(path);
-    // Guard against stale caches: the spec on disk must match the code.
-    if (m.spec == dnn::zoo::network_spec(id)) return m;
-    std::cerr << "[dnnfi] cached model " << path
-              << " does not match current topology; retraining\n";
+    try {
+      dnn::Model m = dnn::load_model(path);
+      // Guard against stale caches: the spec on disk must match the code.
+      if (m.spec == dnn::zoo::network_spec(id)) return m;
+      std::cerr << "[dnnfi] cached model " << path
+                << " does not match current topology; retraining\n";
+    } catch (const std::exception& e) {
+      // A magic match with a corrupt body (truncated copy, bad transfer)
+      // must degrade to a deterministic retrain, not take the process down.
+      std::cerr << "[dnnfi] cached model " << path << " is unreadable ("
+                << e.what() << "); retraining\n";
+    }
   }
 
   const auto ds = dataset_for(id);

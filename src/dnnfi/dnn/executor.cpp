@@ -1,0 +1,119 @@
+#include "dnnfi/dnn/executor.h"
+
+#include <algorithm>
+
+namespace dnnfi::dnn {
+
+template <typename T>
+ExecutionPlan<T>::ExecutionPlan(const Network<T>& net)
+    : input_(net.spec().input) {
+  DNNFI_EXPECTS(net.num_layers() > 0);
+  steps_.reserve(net.num_layers());
+  Shape shape = input_;
+  input_elems_ = shape.size();
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    PlanStep<T> st;
+    st.layer = &net.layer(i);
+    st.in_shape = shape;
+    st.out_shape = st.layer->out_shape(shape);
+    st.macs = st.layer->macs(shape);
+    total_macs_ += st.macs;
+    buffer_elems_ = std::max(buffer_elems_, st.out_shape.size());
+    input_elems_ = std::max(input_elems_, st.in_shape.size());
+    shape = st.out_shape;
+    steps_.push_back(st);
+  }
+}
+
+template <typename T>
+ConstTensorView<T> Executor<T>::run(Workspace<T>& ws,
+                                    const RunRequest<T>& req) const {
+  ws.bind(*plan_);
+  if (req.fault != nullptr) return run_faulty(ws, req);
+  return run_plain(ws, req);
+}
+
+template <typename T>
+ConstTensorView<T> Executor<T>::run_plain(Workspace<T>& ws,
+                                          const RunRequest<T>& req) const {
+  DNNFI_EXPECTS(req.input.shape() == plan_->input_shape());
+  const auto& steps = plan_->steps();
+  if (req.trace != nullptr) {
+    req.trace->input.assign(req.input);
+    req.trace->acts.resize(steps.size());
+  }
+  ConstTensorView<T> cur = req.input;
+  unsigned parity = 0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    TensorView<T> out = ws.out_buffer(parity, steps[i].out_shape);
+    steps[i].layer->forward(cur, out);
+    if (req.trace != nullptr) req.trace->acts[i].assign(out);
+    if (req.observer != nullptr) (*req.observer)(i, out);
+    cur = out;
+    parity ^= 1U;
+  }
+  return cur;
+}
+
+template <typename T>
+ConstTensorView<T> Executor<T>::run_faulty(Workspace<T>& ws,
+                                           const RunRequest<T>& req) const {
+  DNNFI_EXPECTS(req.golden != nullptr);
+  const AppliedFault& f = *req.fault;
+  const auto& steps = plan_->steps();
+  DNNFI_EXPECTS(f.layer < steps.size());
+  DNNFI_EXPECTS(req.golden->acts.size() == steps.size());
+
+  TensorView<T> a = ws.out_buffer(0, steps[f.layer].out_shape);
+  if (f.flip_layer_input) {
+    // Global-buffer model: the corrupted ifmap word is read by every
+    // consumer, so the whole target layer re-executes on flipped input.
+    TensorView<T> in = ws.patch_buffer(steps[f.layer].in_shape);
+    in.copy_from(req.golden->layer_input(f.layer));
+    DNNFI_EXPECTS(f.input_index < in.size());
+    const T before = in[f.input_index];
+    const T after =
+        detail::storage_flip(before, f.input_bit, f.input_storage, f.input_burst);
+    in[f.input_index] = after;
+    if (req.record != nullptr) {
+      req.record->corrupted_before = detail::to_d(before);
+      req.record->corrupted_after = detail::to_d(after);
+      req.record->zero_to_one =
+          detail::storage_flip_dir(before, f.input_bit, f.input_storage);
+      req.record->applied = true;
+    }
+    steps[f.layer].layer->forward(ConstTensorView<T>(in), a, nullptr, nullptr);
+  } else {
+    // Patch the golden output of the target layer with the fault's effect.
+    a.copy_from(req.golden->acts[f.layer]);
+    steps[f.layer].layer->apply_faults(req.golden->layer_input(f.layer), a,
+                                       f.faults, req.record);
+  }
+  if (req.observer != nullptr) (*req.observer)(f.layer, a);
+  ConstTensorView<T> cur = a;
+  unsigned parity = 1;
+  for (std::size_t i = f.layer + 1; i < steps.size(); ++i) {
+    TensorView<T> out = ws.out_buffer(parity, steps[i].out_shape);
+    steps[i].layer->forward(cur, out);
+    if (req.observer != nullptr) (*req.observer)(i, out);
+    cur = out;
+    parity ^= 1U;
+  }
+  return cur;
+}
+
+template class ExecutionPlan<double>;
+template class ExecutionPlan<float>;
+template class ExecutionPlan<numeric::Half>;
+template class ExecutionPlan<numeric::Fx32r26>;
+template class ExecutionPlan<numeric::Fx32r10>;
+template class ExecutionPlan<numeric::Fx16r10>;
+
+template class Executor<double>;
+template class Executor<float>;
+template class Executor<numeric::Half>;
+template class Executor<numeric::Fx32r26>;
+template class Executor<numeric::Fx32r10>;
+template class Executor<numeric::Fx16r10>;
+
+}  // namespace dnnfi::dnn

@@ -1,0 +1,162 @@
+// Compiled execution plans.
+//
+// ExecutionPlan<T> is built once per Network<T>: it pre-resolves every
+// layer's input/output shape, per-layer MAC counts, and the arena high-water
+// mark a forward pass needs. Workspace<T> owns that arena (one contiguous
+// vector, reused across runs). Executor<T> runs a plan out of a workspace
+// and subsumes the three legacy forward variants — plain, traced, and
+// fault-patched partial re-execution — behind one RunRequest.
+//
+// Thread-safety contract: a plan is immutable after construction and may be
+// shared by any number of threads; an Executor is a stateless handle over a
+// plan and is likewise shareable. A Workspace is mutable scratch — use one
+// per thread (the campaign engine keeps one per worker for the whole
+// campaign). After warm-up, a faulty run performs zero heap allocations.
+//
+// Buffer lifetime: the arena is laid out as [ping | pong | patch]. Layer i
+// reads buffer (i % 2) and writes buffer (1 - i % 2); the patch slot holds
+// the flipped copy of a layer input for the global-buffer fault model. The
+// view returned by run() aliases the arena and is valid only until the
+// workspace is reused.
+#pragma once
+
+#include <vector>
+
+#include "dnnfi/dnn/network.h"
+
+namespace dnnfi::dnn {
+
+/// One layer of a compiled plan with its resolved shapes.
+template <typename T>
+struct PlanStep {
+  const Layer<T>* layer = nullptr;
+  Shape in_shape;
+  Shape out_shape;
+  std::size_t macs = 0;
+};
+
+/// Immutable forward schedule for one network topology. Holds raw layer
+/// pointers — valid as long as the Network that built it is alive (layer
+/// storage is stable across Network moves).
+template <typename T>
+class ExecutionPlan {
+ public:
+  explicit ExecutionPlan(const Network<T>& net);
+
+  const std::vector<PlanStep<T>>& steps() const noexcept { return steps_; }
+  std::size_t num_layers() const noexcept { return steps_.size(); }
+  const Shape& input_shape() const noexcept { return input_; }
+  const Shape& output_shape() const noexcept {
+    return steps_.back().out_shape;
+  }
+
+  /// Largest layer-output element count (sizes each ping-pong buffer).
+  std::size_t buffer_elems() const noexcept { return buffer_elems_; }
+  /// Largest layer-input element count (sizes the patch buffer).
+  std::size_t input_elems() const noexcept { return input_elems_; }
+  /// Arena high-water mark: ping + pong + patch.
+  std::size_t arena_elems() const noexcept {
+    return 2 * buffer_elems_ + input_elems_;
+  }
+
+  std::size_t total_macs() const noexcept { return total_macs_; }
+
+ private:
+  std::vector<PlanStep<T>> steps_;
+  Shape input_;
+  std::size_t buffer_elems_ = 0;
+  std::size_t input_elems_ = 0;
+  std::size_t total_macs_ = 0;
+};
+
+/// Reusable per-thread scratch arena sized to a plan's high-water mark.
+/// Never shrinks, so one workspace can serve plans of different sizes.
+template <typename T>
+class Workspace {
+ public:
+  Workspace() = default;
+  explicit Workspace(const ExecutionPlan<T>& plan) { bind(plan); }
+
+  /// Ensures capacity for `plan`. Idempotent; reallocates only when the
+  /// plan needs more room than any previously bound plan.
+  void bind(const ExecutionPlan<T>& plan) {
+    buffer_elems_ = std::max(buffer_elems_, plan.buffer_elems());
+    input_elems_ = std::max(input_elems_, plan.input_elems());
+    const std::size_t need = 2 * buffer_elems_ + input_elems_;
+    if (arena_.size() < need) arena_.resize(need);
+  }
+
+  /// Ping (`parity` 0) or pong (`parity` 1) output buffer, shaped `s`.
+  TensorView<T> out_buffer(unsigned parity, const Shape& s) {
+    DNNFI_EXPECTS(parity < 2 && s.size() <= buffer_elems_);
+    return {s, arena_.data() + parity * buffer_elems_};
+  }
+
+  /// Scratch copy of a layer input (global-buffer fault patching).
+  TensorView<T> patch_buffer(const Shape& s) {
+    DNNFI_EXPECTS(s.size() <= input_elems_);
+    return {s, arena_.data() + 2 * buffer_elems_};
+  }
+
+  std::size_t arena_bytes() const noexcept {
+    return arena_.size() * sizeof(T);
+  }
+
+ private:
+  std::vector<T> arena_;
+  std::size_t buffer_elems_ = 0;
+  std::size_t input_elems_ = 0;
+};
+
+/// One forward run, fully described. Exactly one of two modes:
+///  - plain/traced: `input` set; `trace`, when non-null, receives the
+///    golden trace (its tensors reuse capacity across runs); `observer`,
+///    when non-null, sees every layer output.
+///  - faulty: `fault` and `golden` set; only the fault layer (patched) and
+///    the layers after it execute. `observer` sees recomputed layers only.
+template <typename T>
+struct RunRequest {
+  ConstTensorView<T> input;
+  Trace<T>* trace = nullptr;
+  const Trace<T>* golden = nullptr;
+  const AppliedFault* fault = nullptr;
+  InjectionRecord* record = nullptr;
+  const LayerObserver<T>* observer = nullptr;
+};
+
+/// Stateless runner for a compiled plan. Cheap to copy; safe to share
+/// across threads (each thread supplies its own Workspace).
+template <typename T>
+class Executor {
+ public:
+  explicit Executor(const ExecutionPlan<T>& plan) : plan_(&plan) {}
+
+  const ExecutionPlan<T>& plan() const noexcept { return *plan_; }
+
+  /// Runs the request out of `ws` and returns a view of the final layer
+  /// output. The view aliases the workspace arena: copy it (or read it)
+  /// before the workspace runs again.
+  ConstTensorView<T> run(Workspace<T>& ws, const RunRequest<T>& req) const;
+
+ private:
+  ConstTensorView<T> run_plain(Workspace<T>& ws, const RunRequest<T>& req) const;
+  ConstTensorView<T> run_faulty(Workspace<T>& ws, const RunRequest<T>& req) const;
+
+  const ExecutionPlan<T>* plan_;
+};
+
+extern template class ExecutionPlan<double>;
+extern template class ExecutionPlan<float>;
+extern template class ExecutionPlan<numeric::Half>;
+extern template class ExecutionPlan<numeric::Fx32r26>;
+extern template class ExecutionPlan<numeric::Fx32r10>;
+extern template class ExecutionPlan<numeric::Fx16r10>;
+
+extern template class Executor<double>;
+extern template class Executor<float>;
+extern template class Executor<numeric::Half>;
+extern template class Executor<numeric::Fx32r26>;
+extern template class Executor<numeric::Fx32r10>;
+extern template class Executor<numeric::Fx16r10>;
+
+}  // namespace dnnfi::dnn

@@ -1,6 +1,11 @@
 // Layer interface. Layers are templated on the datapath numeric type T so
 // that MAC arithmetic (including fixed-point saturation and binary16
 // rounding) happens exactly as the modeled accelerator would perform it.
+//
+// The primitive compute interface works on TensorViews so the executor can
+// run whole networks out of a preallocated Workspace arena; the Tensor
+// overloads below are convenience wrappers that resize the destination and
+// dispatch to the view path.
 #pragma once
 
 #include <cstddef>
@@ -13,8 +18,10 @@
 
 namespace dnnfi::dnn {
 
+using tensor::ConstTensorView;
 using tensor::Shape;
 using tensor::Tensor;
+using tensor::TensorView;
 
 enum class LayerKind {
   kConv,
@@ -59,19 +66,36 @@ class Layer {
 
   virtual Shape out_shape(const Shape& in) const = 0;
 
-  /// Computes `out` from `in`. When `faults` is non-null the layer applies
+  /// Computes `out` from `in`. `out` must already have shape
+  /// out_shape(in.shape()); the caller (executor or Tensor wrapper) is
+  /// responsible for sizing it. When `faults` is non-null the layer applies
   /// them bit-exactly and, if `rec` is non-null, documents what it did.
-  /// Thread-safe: forward is const and uses no hidden mutable state.
-  virtual void forward(const Tensor<T>& in, Tensor<T>& out,
+  /// Thread-safe: forward is const, allocation-free, and uses no hidden
+  /// mutable state. `in` and `out` must not alias.
+  virtual void forward(ConstTensorView<T> in, TensorView<T> out,
                        const LayerFaults* faults = nullptr,
                        InjectionRecord* rec = nullptr) const = 0;
 
   /// Re-applies `faults` assuming `out` already holds the fault-free output
   /// for `in` (patches only affected elements). Default recomputes fully.
-  virtual void apply_faults(const Tensor<T>& in, Tensor<T>& out,
+  virtual void apply_faults(ConstTensorView<T> in, TensorView<T> out,
                             const LayerFaults& faults,
                             InjectionRecord* rec) const {
     forward(in, out, &faults, rec);
+  }
+
+  /// Tensor convenience wrappers: resize `out` then run the view path.
+  /// Derived classes pull these in with `using Layer<T>::forward;`.
+  void forward(const Tensor<T>& in, Tensor<T>& out,
+               const LayerFaults* faults = nullptr,
+               InjectionRecord* rec = nullptr) const {
+    out.reshape(out_shape(in.shape()));
+    forward(in.view(), out.view(), faults, rec);
+  }
+  void apply_faults(const Tensor<T>& in, Tensor<T>& out,
+                    const LayerFaults& faults, InjectionRecord* rec) const {
+    DNNFI_EXPECTS(out.shape() == out_shape(in.shape()));
+    apply_faults(in.view(), out.view(), faults, rec);
   }
 
   /// Backpropagation (used by the float trainer): given the layer input,

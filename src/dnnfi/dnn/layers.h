@@ -10,6 +10,10 @@
 // matters for error propagation is that their *masking* behaviour (value
 // averaging, winner selection, range compression) acts on T-typed inputs,
 // which it does here.
+//
+// All forward/apply_faults paths are allocation-free: they write into a
+// caller-sized output view, so the executor can drive a whole campaign out
+// of one arena.
 #pragma once
 
 #include <algorithm>
@@ -65,6 +69,9 @@ bool storage_flip_dir(T v, int bit, const std::optional<numeric::DType>& storage
 template <typename T>
 class Conv2d final : public Layer<T> {
  public:
+  using Layer<T>::forward;
+  using Layer<T>::apply_faults;
+
   Conv2d(std::string name, int block, std::size_t in_c, std::size_t out_c,
          std::size_t k, std::size_t stride, std::size_t pad)
       : Layer<T>(std::move(name), block),
@@ -100,20 +107,16 @@ class Conv2d final : public Layer<T> {
   std::span<T> biases() override { return bias_; }
   std::span<const T> biases() const override { return bias_; }
 
-  void forward(const Tensor<T>& in, Tensor<T>& out,
+  void forward(ConstTensorView<T> in, TensorView<T> out,
                const LayerFaults* faults = nullptr,
                InjectionRecord* rec = nullptr) const override {
-    const Shape os = out_shape(in.shape());
-    if (out.shape() != os) out.reshape(os);
-    for (std::size_t co = 0; co < os.c; ++co)
-      for (std::size_t oy = 0; oy < os.h; ++oy)
-        for (std::size_t ox = 0; ox < os.w; ++ox)
-          out.at(0, co, oy, ox) = compute_one(in, co, oy, ox, nullptr, nullptr,
-                                              kNoOverride, kNoOverride);
+    const Shape os = out.shape();
+    DNNFI_EXPECTS(os == out_shape(in.shape()));
+    forward_plain(in, out);
     if (faults != nullptr) apply_faults(in, out, *faults, rec);
   }
 
-  void apply_faults(const Tensor<T>& in, Tensor<T>& out,
+  void apply_faults(ConstTensorView<T> in, TensorView<T> out,
                     const LayerFaults& faults,
                     InjectionRecord* rec) const override {
     const Shape os = out.shape();
@@ -236,7 +239,7 @@ class Conv2d final : public Layer<T> {
   /// Computes a single output element, optionally applying a MacFault and/or
   /// weight/input overrides. This is the reference MAC pipeline: every
   /// product and accumulation is performed in T.
-  T compute_one(const Tensor<T>& in, std::size_t co, std::size_t oy,
+  T compute_one(ConstTensorView<T> in, std::size_t co, std::size_t oy,
                 std::size_t ox, const MacFault* mf, InjectionRecord* rec,
                 const std::optional<Override>& w_over,
                 const std::optional<Override>& in_over) const {
@@ -302,6 +305,54 @@ class Conv2d final : public Layer<T> {
     rec->applied = true;
   }
 
+  /// Fault-free fast path: bit-identical to compute_one with no fault and no
+  /// overrides — same (ci, ky, kx) accumulation order, same
+  /// multiply-then-accumulate per tap (padded taps multiply by a zero
+  /// activation), same trailing bias add — with the per-tap Shape::index
+  /// arithmetic replaced by hoisted row pointers. This is the bulk of every
+  /// injection trial (all downstream layers run fault-free).
+  void forward_plain(ConstTensorView<T> in, TensorView<T> out) const {
+    const Shape is = in.shape();
+    const Shape os = out.shape();
+    const T* const ip = in.data().data();
+    const T* const wp = weights_.data().data();
+    T* op = out.data().data();
+    const auto pad = static_cast<std::ptrdiff_t>(pad_);
+    for (std::size_t co = 0; co < os.c; ++co) {
+      const T* const wco = wp + co * in_c_ * k_ * k_;
+      const T bias = bias_[co];
+      for (std::size_t oy = 0; oy < os.h; ++oy) {
+        for (std::size_t ox = 0; ox < os.w; ++ox) {
+          T acc{};
+          const T* w = wco;
+          for (std::size_t ci = 0; ci < in_c_; ++ci) {
+            const T* const ic = ip + ci * is.h * is.w;
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) - pad;
+              const bool row_ok =
+                  iy >= 0 && iy < static_cast<std::ptrdiff_t>(is.h);
+              const T* const irow =
+                  row_ok ? ic + static_cast<std::size_t>(iy) * is.w : nullptr;
+              for (std::size_t kx = 0; kx < k_; ++kx, ++w) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) - pad;
+                T act{};
+                if (row_ok && ix >= 0 &&
+                    ix < static_cast<std::ptrdiff_t>(is.w))
+                  act = irow[static_cast<std::size_t>(ix)];
+                const T product = *w * act;
+                acc += product;
+              }
+            }
+          }
+          acc += bias;
+          *op++ = acc;
+        }
+      }
+    }
+  }
+
   std::size_t in_c_, out_c_, k_, stride_, pad_;
   Tensor<T> weights_;
   std::vector<T> bias_;
@@ -313,6 +364,9 @@ class Conv2d final : public Layer<T> {
 template <typename T>
 class FullyConnected final : public Layer<T> {
  public:
+  using Layer<T>::forward;
+  using Layer<T>::apply_faults;
+
   FullyConnected(std::string name, int block, std::size_t in_features,
                  std::size_t out_features)
       : Layer<T>(std::move(name), block),
@@ -342,17 +396,29 @@ class FullyConnected final : public Layer<T> {
   std::span<T> biases() override { return bias_; }
   std::span<const T> biases() const override { return bias_; }
 
-  void forward(const Tensor<T>& in, Tensor<T>& out,
+  void forward(ConstTensorView<T> in, TensorView<T> out,
                const LayerFaults* faults = nullptr,
                InjectionRecord* rec = nullptr) const override {
-    DNNFI_EXPECTS(in.size() == in_);
-    if (out.shape() != tensor::vec(out_)) out.reshape(tensor::vec(out_));
-    for (std::size_t o = 0; o < out_; ++o)
-      out[o] = compute_one(in, o, nullptr, nullptr, std::nullopt, std::nullopt);
+    DNNFI_EXPECTS(in.size() == in_ && out.size() == out_);
+    // Fault-free fast path: bit-identical to compute_one without fault or
+    // overrides (same per-input multiply-then-accumulate, same bias add).
+    const T* const ip = in.data().data();
+    const T* const wp = weights_.data().data();
+    T* const op = out.data().data();
+    for (std::size_t o = 0; o < out_; ++o) {
+      T acc{};
+      const T* const w = wp + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) {
+        const T product = w[i] * ip[i];
+        acc += product;
+      }
+      acc += bias_[o];
+      op[o] = acc;
+    }
     if (faults != nullptr) apply_faults(in, out, *faults, rec);
   }
 
-  void apply_faults(const Tensor<T>& in, Tensor<T>& out,
+  void apply_faults(ConstTensorView<T> in, TensorView<T> out,
                     const LayerFaults& faults,
                     InjectionRecord* rec) const override {
     if (faults.mac) {
@@ -433,7 +499,7 @@ class FullyConnected final : public Layer<T> {
     rec->act_after = detail::to_d(after);
   }
 
-  T compute_one(const Tensor<T>& in, std::size_t o, const MacFault* mf,
+  T compute_one(ConstTensorView<T> in, std::size_t o, const MacFault* mf,
                 InjectionRecord* rec, const std::optional<Override>& w_over,
                 const std::optional<Override>& in_over) const {
     T acc{};
@@ -487,12 +553,14 @@ template <typename T>
 class Relu final : public Layer<T> {
  public:
   using Layer<T>::Layer;
+  using Layer<T>::forward;
   LayerKind kind() const noexcept override { return LayerKind::kRelu; }
   Shape out_shape(const Shape& in) const override { return in; }
 
-  void forward(const Tensor<T>& in, Tensor<T>& out, const LayerFaults* = nullptr,
+  void forward(ConstTensorView<T> in, TensorView<T> out,
+               const LayerFaults* = nullptr,
                InjectionRecord* = nullptr) const override {
-    if (out.shape() != in.shape()) out.reshape(in.shape());
+    DNNFI_EXPECTS(out.size() == in.size());
     const T zero{};
     for (std::size_t i = 0; i < in.size(); ++i)
       out[i] = (in[i] > zero) ? in[i] : zero;
@@ -512,6 +580,8 @@ class Relu final : public Layer<T> {
 template <typename T>
 class MaxPool2d final : public Layer<T> {
  public:
+  using Layer<T>::forward;
+
   MaxPool2d(std::string name, int block, std::size_t k, std::size_t stride)
       : Layer<T>(std::move(name), block), k_(k), stride_(stride) {
     DNNFI_EXPECTS(k > 0 && stride > 0);
@@ -525,10 +595,11 @@ class MaxPool2d final : public Layer<T> {
                        (in.w - k_) / stride_ + 1);
   }
 
-  void forward(const Tensor<T>& in, Tensor<T>& out, const LayerFaults* = nullptr,
+  void forward(ConstTensorView<T> in, TensorView<T> out,
+               const LayerFaults* = nullptr,
                InjectionRecord* = nullptr) const override {
-    const Shape os = out_shape(in.shape());
-    if (out.shape() != os) out.reshape(os);
+    const Shape os = out.shape();
+    DNNFI_EXPECTS(os == out_shape(in.shape()));
     for (std::size_t c = 0; c < os.c; ++c)
       for (std::size_t oy = 0; oy < os.h; ++oy)
         for (std::size_t ox = 0; ox < os.w; ++ox) {
@@ -581,6 +652,8 @@ class MaxPool2d final : public Layer<T> {
 template <typename T>
 class Lrn final : public Layer<T> {
  public:
+  using Layer<T>::forward;
+
   Lrn(std::string name, int block, std::size_t size, double alpha, double beta,
       double k)
       : Layer<T>(std::move(name), block),
@@ -594,10 +667,11 @@ class Lrn final : public Layer<T> {
   LayerKind kind() const noexcept override { return LayerKind::kLrn; }
   Shape out_shape(const Shape& in) const override { return in; }
 
-  void forward(const Tensor<T>& in, Tensor<T>& out, const LayerFaults* = nullptr,
+  void forward(ConstTensorView<T> in, TensorView<T> out,
+               const LayerFaults* = nullptr,
                InjectionRecord* = nullptr) const override {
     const Shape& is = in.shape();
-    if (out.shape() != is) out.reshape(is);
+    DNNFI_EXPECTS(out.size() == in.size());
     const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(size_ / 2);
     for (std::size_t y = 0; y < is.h; ++y) {
       for (std::size_t x = 0; x < is.w; ++x) {
@@ -647,7 +721,7 @@ class Lrn final : public Layer<T> {
   double bias_k() const noexcept { return k_; }
 
  private:
-  double raw_scale(const Tensor<T>& in, std::size_t c, std::size_t y,
+  double raw_scale(ConstTensorView<T> in, std::size_t c, std::size_t y,
                    std::size_t x, std::ptrdiff_t half) const {
     const Shape& is = in.shape();
     const std::ptrdiff_t clo =
@@ -663,7 +737,7 @@ class Lrn final : public Layer<T> {
     return k_ + alpha_ / static_cast<double>(size_) * ss;
   }
 
-  double scale_at(const Tensor<T>& in, std::size_t c, std::size_t y,
+  double scale_at(ConstTensorView<T> in, std::size_t c, std::size_t y,
                   std::size_t x, std::ptrdiff_t half) const {
     return std::pow(raw_scale(in, c, y, x, half), beta_);
   }
@@ -674,18 +748,23 @@ class Lrn final : public Layer<T> {
 
 /// Numerically stabilized softmax over the flattened input. Produces the
 /// per-class confidence scores used by the SDC-10%/SDC-20% criteria.
+/// Runs three passes (max, exp-sum, normalize), recomputing exp() in the
+/// last pass instead of buffering it — exp is deterministic, so the result
+/// is bit-identical to the buffered form and the layer stays allocation-free.
 template <typename T>
 class Softmax final : public Layer<T> {
  public:
   using Layer<T>::Layer;
+  using Layer<T>::forward;
   LayerKind kind() const noexcept override { return LayerKind::kSoftmax; }
   Shape out_shape(const Shape& in) const override {
     return tensor::vec(in.size());
   }
 
-  void forward(const Tensor<T>& in, Tensor<T>& out, const LayerFaults* = nullptr,
+  void forward(ConstTensorView<T> in, TensorView<T> out,
+               const LayerFaults* = nullptr,
                InjectionRecord* = nullptr) const override {
-    if (out.shape() != tensor::vec(in.size())) out.reshape(tensor::vec(in.size()));
+    DNNFI_EXPECTS(out.size() == in.size());
     double mx = -std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < in.size(); ++i) {
       const double v = detail::to_d(in[i]);
@@ -693,15 +772,10 @@ class Softmax final : public Layer<T> {
     }
     if (!std::isfinite(mx)) mx = 0;
     double sum = 0;
-    std::vector<double> e(in.size());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      double v = detail::to_d(in[i]);
-      if (std::isnan(v)) v = -std::numeric_limits<double>::infinity();
-      e[i] = std::exp(std::min(v - mx, 700.0));
-      sum += e[i];
-    }
     for (std::size_t i = 0; i < in.size(); ++i)
-      out[i] = detail::from_d<T>(sum > 0 ? e[i] / sum : 0.0);
+      sum += shifted_exp(in[i], mx);
+    for (std::size_t i = 0; i < in.size(); ++i)
+      out[i] = detail::from_d<T>(sum > 0 ? shifted_exp(in[i], mx) / sum : 0.0);
   }
 
   void backward(const Tensor<T>& /*in*/, const Tensor<T>& out,
@@ -716,6 +790,13 @@ class Softmax final : public Layer<T> {
       gin[i] = detail::from_d<T>(oi * (detail::to_d(gout[i]) - dot));
     }
   }
+
+ private:
+  static double shifted_exp(T raw, double mx) {
+    double v = detail::to_d(raw);
+    if (std::isnan(v)) v = -std::numeric_limits<double>::infinity();
+    return std::exp(std::min(v - mx, 700.0));
+  }
 };
 
 /// Global average pooling (NiN's classifier head): one mean per channel.
@@ -723,13 +804,15 @@ template <typename T>
 class GlobalAvgPool final : public Layer<T> {
  public:
   using Layer<T>::Layer;
+  using Layer<T>::forward;
   LayerKind kind() const noexcept override { return LayerKind::kGlobalAvgPool; }
   Shape out_shape(const Shape& in) const override { return tensor::vec(in.c); }
 
-  void forward(const Tensor<T>& in, Tensor<T>& out, const LayerFaults* = nullptr,
+  void forward(ConstTensorView<T> in, TensorView<T> out,
+               const LayerFaults* = nullptr,
                InjectionRecord* = nullptr) const override {
     const Shape& is = in.shape();
-    if (out.shape() != tensor::vec(is.c)) out.reshape(tensor::vec(is.c));
+    DNNFI_EXPECTS(out.size() == is.c);
     const double inv = 1.0 / static_cast<double>(is.h * is.w);
     for (std::size_t c = 0; c < is.c; ++c) {
       double s = 0;

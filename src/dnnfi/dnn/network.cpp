@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "dnnfi/dnn/executor.h"
+
 namespace dnnfi::dnn {
 
 std::size_t Prediction::top1() const {
@@ -26,6 +28,34 @@ std::vector<std::size_t> Prediction::topk(std::size_t k) const {
 }
 
 double Prediction::top1_score() const { return scores[top1()]; }
+
+/// Output shape of `l` applied to `in` — mirrors the layer classes'
+/// out_shape without instantiating them. Shared by the accelerator model
+/// (dataflow footprints) and any spec-level shape walking.
+Shape shape_after(const LayerSpec& l, const Shape& in) {
+  switch (l.kind) {
+    case LayerKind::kConv: {
+      DNNFI_EXPECTS(in.h + 2 * l.pad >= l.kernel && in.w + 2 * l.pad >= l.kernel);
+      return tensor::chw(l.out_channels,
+                         (in.h + 2 * l.pad - l.kernel) / l.stride + 1,
+                         (in.w + 2 * l.pad - l.kernel) / l.stride + 1);
+    }
+    case LayerKind::kFullyConnected:
+      return tensor::vec(l.out_features);
+    case LayerKind::kMaxPool:
+      return tensor::chw(in.c, (in.h - l.pool_kernel) / l.pool_stride + 1,
+                         (in.w - l.pool_kernel) / l.pool_stride + 1);
+    case LayerKind::kGlobalAvgPool:
+      return tensor::vec(in.c);
+    case LayerKind::kSoftmax:
+      return tensor::vec(in.size());
+    case LayerKind::kRelu:
+    case LayerKind::kLrn:
+      return in;
+  }
+  DNNFI_EXPECTS(false);
+  return in;
+}
 
 template <typename T>
 std::unique_ptr<Layer<T>> make_layer(const LayerSpec& spec, const Shape& in_shape) {
@@ -68,31 +98,34 @@ Network<T>::Network(const NetworkSpec& spec) : spec_(spec) {
     layers_.push_back(std::move(layer));
   }
   DNNFI_ENSURES(shape.size() == spec.num_classes);
+  plan_ = std::make_unique<ExecutionPlan<T>>(*this);
 }
 
 template <typename T>
+Network<T>::~Network() = default;
+template <typename T>
+Network<T>::Network(Network&&) noexcept = default;
+template <typename T>
+Network<T>& Network<T>::operator=(Network&&) noexcept = default;
+
+template <typename T>
 Tensor<T> Network<T>::forward(const Tensor<T>& input) const {
-  DNNFI_EXPECTS(input.shape() == spec_.input);
-  Tensor<T> a = input;
-  Tensor<T> b;
-  for (const auto& layer : layers_) {
-    layer->forward(a, b);
-    std::swap(a, b);
-  }
-  return a;
+  Workspace<T> ws(*plan_);
+  RunRequest<T> req;
+  req.input = input;
+  Tensor<T> out;
+  out.assign(Executor<T>(*plan_).run(ws, req));
+  return out;
 }
 
 template <typename T>
 Trace<T> Network<T>::forward_trace(const Tensor<T>& input) const {
-  DNNFI_EXPECTS(input.shape() == spec_.input);
+  Workspace<T> ws(*plan_);
   Trace<T> tr;
-  tr.input = input;
-  tr.acts.resize(layers_.size());
-  const Tensor<T>* cur = &tr.input;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i]->forward(*cur, tr.acts[i]);
-    cur = &tr.acts[i];
-  }
+  RunRequest<T> req;
+  req.input = input;
+  req.trace = &tr;
+  Executor<T>(*plan_).run(ws, req);
   return tr;
 }
 
@@ -101,60 +134,19 @@ Tensor<T> Network<T>::forward_with_fault(const Trace<T>& golden,
                                          const AppliedFault& f,
                                          InjectionRecord* rec,
                                          const LayerObserverFn* observer) const {
-  DNNFI_EXPECTS(f.layer < layers_.size());
-  DNNFI_EXPECTS(golden.acts.size() == layers_.size());
-
-  Tensor<T> a;
-  Tensor<T> b;
-  if (f.flip_layer_input) {
-    // Global-buffer model: the corrupted ifmap word is read by every
-    // consumer, so the whole target layer re-executes on flipped input.
-    Tensor<T> in = golden.layer_input(f.layer);
-    DNNFI_EXPECTS(f.input_index < in.size());
-    const T before = in[f.input_index];
-    const T after =
-        f.input_storage
-            ? numeric::numeric_traits<T>::from_double(numeric::dispatch_dtype(
-                  *f.input_storage, [&]<typename S>() {
-                    using Tr = numeric::numeric_traits<S>;
-                    return Tr::to_double(numeric::flip_burst(
-                        Tr::from_double(
-                            numeric::numeric_traits<T>::to_double(before)),
-                        f.input_bit, f.input_burst));
-                  }))
-            : numeric::flip_burst(before, f.input_bit, f.input_burst);
-    in[f.input_index] = after;
-    if (rec != nullptr) {
-      rec->corrupted_before = numeric::numeric_traits<T>::to_double(before);
-      rec->corrupted_after = numeric::numeric_traits<T>::to_double(after);
-      rec->zero_to_one =
-          f.input_storage
-              ? numeric::dispatch_dtype(*f.input_storage, [&]<typename S>() {
-                  return numeric::flip_is_zero_to_one(
-                      numeric::numeric_traits<S>::from_double(
-                          numeric::numeric_traits<T>::to_double(before)),
-                      f.input_bit);
-                })
-              : numeric::flip_is_zero_to_one(before, f.input_bit);
-      rec->applied = true;
-    }
-    layers_[f.layer]->forward(in, a, nullptr, nullptr);
-  } else {
-    // Patch the golden output of the target layer with the fault's effect.
-    a = golden.acts[f.layer];
-    layers_[f.layer]->apply_faults(golden.layer_input(f.layer), a, f.faults, rec);
-  }
-  if (observer != nullptr) (*observer)(f.layer, a);
-  for (std::size_t i = f.layer + 1; i < layers_.size(); ++i) {
-    layers_[i]->forward(a, b);
-    std::swap(a, b);
-    if (observer != nullptr) (*observer)(i, a);
-  }
-  return a;
+  Workspace<T> ws(*plan_);
+  RunRequest<T> req;
+  req.golden = &golden;
+  req.fault = &f;
+  req.record = rec;
+  req.observer = observer;
+  Tensor<T> out;
+  out.assign(Executor<T>(*plan_).run(ws, req));
+  return out;
 }
 
 template <typename T>
-Prediction Network<T>::interpret(const Tensor<T>& output) const {
+Prediction Network<T>::interpret(ConstTensorView<T> output) const {
   DNNFI_EXPECTS(output.size() == spec_.num_classes);
   Prediction p;
   p.has_confidence = has_softmax();
@@ -171,13 +163,7 @@ Prediction Network<T>::classify(const Tensor<T>& input) const {
 
 template <typename T>
 std::size_t Network<T>::total_macs() const {
-  Shape shape = spec_.input;
-  std::size_t total = 0;
-  for (const auto& layer : layers_) {
-    total += layer->macs(shape);
-    shape = layer->out_shape(shape);
-  }
-  return total;
+  return plan_->total_macs();
 }
 
 template <typename T>

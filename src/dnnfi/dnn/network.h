@@ -5,6 +5,12 @@
 // layers [0, L) untouched: given a cached fault-free activation trace, a
 // faulty run re-executes only layer L (patching just the ACTs the fault
 // reaches) and the layers after it.
+//
+// Execution is delegated to the compiled-plan engine (executor.h): each
+// Network builds an ExecutionPlan once at construction; forward /
+// forward_trace / forward_with_fault are thin compatibility wrappers that
+// run the plan out of a local Workspace. Hot paths (the campaign engine)
+// use the plan and a long-lived per-thread Workspace directly.
 #pragma once
 
 #include <functional>
@@ -17,6 +23,14 @@
 #include "dnnfi/numeric/dtype.h"
 
 namespace dnnfi::dnn {
+
+template <typename T>
+class ExecutionPlan;
+
+/// Callback observing per-layer activations: (layer index, output view).
+/// The view aliases executor scratch — read it inside the callback.
+template <typename T>
+using LayerObserver = std::function<void(std::size_t, ConstTensorView<T>)>;
 
 /// Classification output: per-class scores (softmax confidences, or raw
 /// scores for networks without a softmax head) plus ranking utilities.
@@ -64,6 +78,9 @@ class Network {
  public:
   /// Instantiates the topology with zero-valued parameters.
   explicit Network(const NetworkSpec& spec);
+  ~Network();
+  Network(Network&&) noexcept;
+  Network& operator=(Network&&) noexcept;
 
   const NetworkSpec& spec() const noexcept { return spec_; }
   const std::string& name() const noexcept { return spec_.name; }
@@ -79,6 +96,10 @@ class Network {
     return mac_layers_;
   }
 
+  /// The compiled forward schedule for this network (built at construction,
+  /// immutable, shareable across threads).
+  const ExecutionPlan<T>& plan() const noexcept { return *plan_; }
+
   /// Plain forward pass; returns the final output tensor.
   Tensor<T> forward(const Tensor<T>& input) const;
 
@@ -88,7 +109,7 @@ class Network {
   /// Callback observing faulty per-layer activations: (layer index, output).
   /// Only layers at or after the fault layer are reported — earlier layers
   /// are bit-identical to the golden trace.
-  using LayerObserverFn = std::function<void(std::size_t, const Tensor<T>&)>;
+  using LayerObserverFn = LayerObserver<T>;
 
   /// Faulty forward pass re-using a golden trace: re-executes only the
   /// target layer (via fault patching) and everything after it. Returns the
@@ -98,8 +119,11 @@ class Network {
                                InjectionRecord* rec = nullptr,
                                const LayerObserverFn* observer = nullptr) const;
 
-  /// Interprets a final output tensor as a Prediction.
-  Prediction interpret(const Tensor<T>& output) const;
+  /// Interprets a final output as a Prediction.
+  Prediction interpret(ConstTensorView<T> output) const;
+  Prediction interpret(const Tensor<T>& output) const {
+    return interpret(output.view());
+  }
 
   /// Classification shorthand: forward + interpret.
   Prediction classify(const Tensor<T>& input) const;
@@ -114,6 +138,10 @@ class Network {
   NetworkSpec spec_;
   std::vector<std::unique_ptr<Layer<T>>> layers_;
   std::vector<std::size_t> mac_layers_;
+  // Built eagerly in the constructor; unique_ptr because ExecutionPlan is
+  // incomplete here (executor.h includes this header). Layer storage is
+  // owned via unique_ptr, so the plan's raw layer pointers survive moves.
+  std::unique_ptr<ExecutionPlan<T>> plan_;
 };
 
 /// Builds one concrete layer from its spec. `in_shape` is the layer's input

@@ -57,6 +57,11 @@ struct NetworkSpec {
   friend bool operator==(const NetworkSpec&, const NetworkSpec&) = default;
 };
 
+/// Output shape of `l` applied to `in` — mirrors the layer classes'
+/// out_shape without instantiating them. Used by the accelerator footprint
+/// model and anything else that walks shapes at the spec level.
+Shape shape_after(const LayerSpec& l, const Shape& in);
+
 /// Convenience builders for assembling specs fluently.
 class SpecBuilder {
  public:

@@ -77,14 +77,22 @@ struct Campaign::TypedBackend final : Campaign::Backend {
     predictions.reserve(inputs.size());
     ranges.assign(ends.size(), BlockRange{std::numeric_limits<double>::max(),
                                           std::numeric_limits<double>::lowest()});
+    const dnn::Executor<T> exec(net.plan());
+    dnn::Workspace<T> ws(net.plan());
     for (const auto& ex : inputs) {
-      goldens.push_back(net.forward_trace(tensor::convert<T>(ex.image)));
-      predictions.push_back(net.interpret(goldens.back().output()));
+      const dnn::Tensor<T> image = tensor::convert<T>(ex.image);
+      dnn::Trace<T> trace;
+      dnn::RunRequest<T> req;
+      req.input = image;
+      req.trace = &trace;
+      exec.run(ws, req);
+      predictions.push_back(net.interpret(trace.output()));
       for (std::size_t b = 0; b < ends.size(); ++b) {
-        const auto [lo, hi] = tensor::value_range(goldens.back().acts[ends[b]]);
+        const auto [lo, hi] = tensor::value_range(trace.acts[ends[b]]);
         ranges[b].lo = std::min(ranges[b].lo, lo);
         ranges[b].hi = std::max(ranges[b].hi, hi);
       }
+      goldens.push_back(std::move(trace));
     }
   }
 
@@ -93,21 +101,25 @@ struct Campaign::TypedBackend final : Campaign::Backend {
     CampaignResult result;
     result.trials.resize(opt.trials);
 
-    parallel_for(opt.trials, [&](std::size_t trial) {
-      Rng rng = derive_stream(opt.seed, trial);
-      TrialRecord& tr = result.trials[trial];
-      tr.input_index = trial % goldens.size();
-      tr.fault = site_sampler.sample(opt.site, rng, opt.constraint);
-
-      const dnn::Trace<T>& golden = goldens[tr.input_index];
+    const dnn::Executor<T> exec(net.plan());
+    // Chunked so each worker holds one Workspace (and one observer closure)
+    // for its whole share of the campaign: the per-trial loop is then free
+    // of heap allocation on the execution side. Chunk boundaries and the
+    // per-trial RNG streams depend only on (trials, seed), so results are
+    // identical to the serial order regardless of thread count.
+    parallel_for_chunks(ThreadPool::global(), opt.trials, [&](std::size_t begin,
+                                                              std::size_t end) {
+      dnn::Workspace<T> ws(net.plan());
       const std::size_t last_end = ends.back();
 
-      // Observer computing detector checks / distances / final corruption.
-      std::vector<double> dist(opt.record_block_distances ? ends.size() : 0, 0.0);
+      // Per-chunk observer state, reset per trial; the closure itself is
+      // built once per chunk.
+      std::vector<double> dist(ends.size(), 0.0);
+      const dnn::Trace<T>* golden = nullptr;
       bool detected = false;
       double corruption = 0;
-      typename dnn::Network<T>::LayerObserverFn observer =
-          [&](std::size_t layer, const dnn::Tensor<T>& act) {
+      const dnn::LayerObserver<T> observer =
+          [&](std::size_t layer, tensor::ConstTensorView<T> act) {
             // Map the layer to a block slot if it is a block end.
             const auto it = std::find(ends.begin(), ends.end(), layer);
             if (it == ends.end()) return;
@@ -123,26 +135,36 @@ struct Campaign::TypedBackend final : Campaign::Backend {
               }
             }
             if (opt.record_block_distances)
-              dist[b] = tensor::euclidean_distance(act, golden.acts[layer]);
+              dist[b] = tensor::euclidean_distance<T>(act, golden->acts[layer]);
             if (layer == last_end) {
               const std::size_t mism =
-                  tensor::bitwise_mismatch_count(act, golden.acts[layer]);
+                  tensor::bitwise_mismatch_count<T>(act, golden->acts[layer]);
               corruption = static_cast<double>(mism) /
                            static_cast<double>(act.size());
             }
           };
 
-      const bool need_observer = static_cast<bool>(opt.detector) ||
-                                 opt.record_block_distances;
-      // The final-corruption metric is cheap and always useful; keep the
-      // observer on unconditionally.
-      (void)need_observer;
-      const dnn::Tensor<T> out = inject(net, golden, tr.fault, &tr.record,
-                                        &observer);
-      tr.outcome = classify(predictions[tr.input_index], net.interpret(out));
-      tr.detected = detected;
-      tr.output_corruption = corruption;
-      if (opt.record_block_distances) tr.block_distance = std::move(dist);
+      for (std::size_t trial = begin; trial < end; ++trial) {
+        Rng rng = derive_stream(opt.seed, trial);
+        TrialRecord& tr = result.trials[trial];
+        tr.input_index = trial % goldens.size();
+        tr.fault = site_sampler.sample(opt.site, rng, opt.constraint);
+
+        golden = &goldens[tr.input_index];
+        detected = false;
+        corruption = 0;
+        std::fill(dist.begin(), dist.end(), 0.0);
+
+        // The final-corruption metric is cheap and always useful; keep the
+        // observer on unconditionally.
+        const auto out = inject(exec, ws, net.mac_layers(), *golden, tr.fault,
+                                &tr.record, &observer);
+        tr.outcome = classify(predictions[tr.input_index], net.interpret(out));
+        tr.detected = detected;
+        tr.output_corruption = corruption;
+        if (opt.record_block_distances)
+          tr.block_distance.assign(dist.begin(), dist.end());
+      }
     });
     return result;
   }
@@ -200,19 +222,32 @@ std::vector<BlockRange> profile_block_ranges(const dnn::NetworkSpec& spec,
                                              std::size_t count) {
   DNNFI_EXPECTS(count > 0);
   return numeric::dispatch_dtype(dtype, [&]<typename T>() {
-    dnn::Network<T> net = dnn::instantiate<T>(spec, blob);
+    const dnn::Network<T> net = dnn::instantiate<T>(spec, blob);
     const auto ends = block_end_layers(spec);
     std::vector<BlockRange> ranges(
         ends.size(), BlockRange{std::numeric_limits<double>::max(),
                                 std::numeric_limits<double>::lowest()});
+    // Observed via the executor instead of materializing traces: block-end
+    // fmaps are scanned as they land in the arena (as SED's host-side check
+    // scans them in the global buffer).
+    const dnn::Executor<T> exec(net.plan());
+    dnn::Workspace<T> ws(net.plan());
+    const dnn::LayerObserver<T> observer =
+        [&](std::size_t layer, tensor::ConstTensorView<T> act) {
+          const auto it = std::find(ends.begin(), ends.end(), layer);
+          if (it == ends.end()) return;
+          const auto b = static_cast<std::size_t>(it - ends.begin());
+          const auto [lo, hi] = tensor::value_range<T>(act);
+          ranges[b].lo = std::min(ranges[b].lo, lo);
+          ranges[b].hi = std::max(ranges[b].hi, hi);
+        };
     for (std::size_t s = 0; s < count; ++s) {
       const dnn::Example ex = source(begin + s);
-      const auto trace = net.forward_trace(tensor::convert<T>(ex.image));
-      for (std::size_t b = 0; b < ends.size(); ++b) {
-        const auto [lo, hi] = tensor::value_range(trace.acts[ends[b]]);
-        ranges[b].lo = std::min(ranges[b].lo, lo);
-        ranges[b].hi = std::max(ranges[b].hi, hi);
-      }
+      const dnn::Tensor<T> image = tensor::convert<T>(ex.image);
+      dnn::RunRequest<T> req;
+      req.input = image;
+      req.observer = &observer;
+      exec.run(ws, req);
     }
     return ranges;
   });

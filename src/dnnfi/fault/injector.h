@@ -1,7 +1,8 @@
 // Lowering from hardware fault descriptors to layer-level fault hooks, and
-// the single-trial injection entry point.
+// the single-trial injection entry points.
 #pragma once
 
+#include "dnnfi/dnn/executor.h"
 #include "dnnfi/dnn/network.h"
 #include "dnnfi/fault/descriptor.h"
 
@@ -12,9 +13,27 @@ namespace dnnfi::fault {
 dnn::AppliedFault lower(const FaultDescriptor& f,
                         const std::vector<std::size_t>& mac_layers);
 
-/// Runs one faulty inference against a cached golden trace. Returns the
-/// final output tensor; `rec` (optional) receives the corrupted values and
-/// `observer` (optional) sees each recomputed layer activation.
+/// Runs one faulty inference against a cached golden trace on the compiled
+/// engine: zero heap allocations after the workspace is warm. Returns a
+/// view of the final output that aliases `ws` — read or copy it before the
+/// workspace runs again. This is the campaign hot path.
+template <typename T>
+tensor::ConstTensorView<T> inject(
+    const dnn::Executor<T>& exec, dnn::Workspace<T>& ws,
+    const std::vector<std::size_t>& mac_layers, const dnn::Trace<T>& golden,
+    const FaultDescriptor& f, dnn::InjectionRecord* rec = nullptr,
+    const dnn::LayerObserver<T>* observer = nullptr) {
+  const dnn::AppliedFault af = lower(f, mac_layers);
+  dnn::RunRequest<T> req;
+  req.golden = &golden;
+  req.fault = &af;
+  req.record = rec;
+  req.observer = observer;
+  return exec.run(ws, req);
+}
+
+/// Convenience wrapper: one faulty inference via the network's compat path
+/// (allocates a workspace per call). Returns the final output tensor.
 template <typename T>
 dnn::Tensor<T> inject(
     const dnn::Network<T>& net, const dnn::Trace<T>& golden,

@@ -25,6 +25,18 @@ class SedDetector {
   /// Adapter for CampaignOptions::detector.
   std::function<bool(int, double)> as_predicate() const;
 
+  /// Scans a block-end fmap (e.g. an executor observer's view) the way the
+  /// host-side check scans the global buffer: true when any element is a
+  /// symptom.
+  template <typename T>
+  bool flags(int block, tensor::ConstTensorView<T> act) const {
+    for (std::size_t i = 0; i < act.size(); ++i) {
+      if (anomalous(block, numeric::numeric_traits<T>::to_double(act[i])))
+        return true;
+    }
+    return false;
+  }
+
   const std::vector<fault::BlockRange>& bounds() const noexcept {
     return bounds_;
   }

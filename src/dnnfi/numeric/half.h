@@ -13,12 +13,17 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
 
 namespace dnnfi::numeric {
 
 namespace detail {
 
-constexpr std::uint16_t float_to_half_bits(float value) noexcept {
+constexpr std::uint16_t float_to_half_bits_sw(float value) noexcept {
   const std::uint32_t x = std::bit_cast<std::uint32_t>(value);
   const std::uint32_t sign = (x >> 16) & 0x8000U;
   std::uint32_t mant = x & 0x007FFFFFU;
@@ -53,7 +58,7 @@ constexpr std::uint16_t float_to_half_bits(float value) noexcept {
   return static_cast<std::uint16_t>(half);
 }
 
-constexpr float half_bits_to_float(std::uint16_t h) noexcept {
+constexpr float half_bits_to_float_sw(std::uint16_t h) noexcept {
   const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000U) << 16;
   std::uint32_t exp = (h >> 10) & 0x1FU;
   std::uint32_t mant = h & 0x3FFU;
@@ -81,6 +86,36 @@ constexpr float half_bits_to_float(std::uint16_t h) noexcept {
     bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
   }
   return std::bit_cast<float>(bits);
+}
+
+// When the build enables x86 F16C (see DNNFI_F16C in CMakeLists.txt), the
+// hardware conversion instructions replace the software routines on the hot
+// path. VCVTPS2PH/VCVTPH2PS implement the same IEEE-754 round-to-nearest-even
+// conversion, so results are bit-identical — except for NaN payloads, where
+// the hardware truncates and this library canonicalizes to a fixed quiet
+// payload; NaNs are therefore routed through the software rule. The software
+// routines remain the constant-evaluation path and the reference the tests
+// compare the hardware against.
+constexpr std::uint16_t float_to_half_bits(float value) noexcept {
+#if defined(__F16C__)
+  if (!std::is_constant_evaluated()) {
+    if (value != value) {
+      const std::uint32_t sign =
+          (std::bit_cast<std::uint32_t>(value) >> 16) & 0x8000U;
+      return static_cast<std::uint16_t>(sign | 0x7E00U);
+    }
+    return static_cast<std::uint16_t>(
+        _cvtss_sh(value, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+  }
+#endif
+  return float_to_half_bits_sw(value);
+}
+
+constexpr float half_bits_to_float(std::uint16_t h) noexcept {
+#if defined(__F16C__)
+  if (!std::is_constant_evaluated()) return _cvtsh_ss(h);
+#endif
+  return half_bits_to_float_sw(h);
 }
 
 }  // namespace detail

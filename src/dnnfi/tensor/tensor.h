@@ -2,16 +2,52 @@
 // shapes; weights use rank-4 (Co,Ci,Kh,Kw). Everything is stored row-major
 // in one contiguous vector so a fault-site "element index" maps 1:1 to a
 // buffer word in the accelerator model.
+//
+// Two storage forms share one element layout:
+//   Tensor<T>      — owning, growable; golden traces and parameters.
+//   TensorView<T>  — non-owning window over arena/workspace storage; the
+//                    execution engine's currency (zero allocation, zero
+//                    copy). TensorView<const T> is the read-only form and
+//                    every Tensor converts to it implicitly.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "dnnfi/common/expects.h"
 #include "dnnfi/numeric/traits.h"
 
+// DNNFI_CHECKED_ACCESS controls the per-element bounds checks in
+// Shape::index / Tensor::operator[] / TensorView::operator[] — the checks
+// that sit inside the MAC inner loops. They default ON in Debug builds and
+// OFF in Release (where the ASan/UBSan CI job takes over the guarding
+// duty); tests always compile with them ON, and the -DDNNFI_CHECKED_ACCESS
+// CMake option forces them ON everywhere. The checked-ness is threaded
+// through a defaulted template parameter so checked and unchecked
+// instantiations have distinct symbols: TUs compiled in different modes can
+// link together without ODR aliasing.
+#if !defined(DNNFI_CHECKED_ACCESS)
+#if defined(NDEBUG)
+#define DNNFI_CHECKED_ACCESS 0
+#else
+#define DNNFI_CHECKED_ACCESS 1
+#endif
+#endif
+
 namespace dnnfi::tensor {
+
+namespace detail {
+constexpr bool kCheckedAccess = (DNNFI_CHECKED_ACCESS != 0);
+
+constexpr void check_access(bool ok, const char* expr,
+                            const std::source_location& loc) {
+  ::dnnfi::detail::contract_check(ok, "Bounds", expr, loc);
+}
+}  // namespace detail
 
 /// Logical shape with up to 4 dimensions (unused leading dims are 1).
 struct Shape {
@@ -22,9 +58,14 @@ struct Shape {
 
   constexpr std::size_t size() const noexcept { return n * c * h * w; }
 
+  template <bool Checked = detail::kCheckedAccess>
   constexpr std::size_t index(std::size_t in, std::size_t ic, std::size_t ih,
                               std::size_t iw) const {
-    DNNFI_EXPECTS(in < n && ic < c && ih < h && iw < w);
+    if constexpr (Checked) {
+      detail::check_access(in < n && ic < c && ih < h && iw < w,
+                           "in < n && ic < c && ih < h && iw < w",
+                           std::source_location::current());
+    }
     return ((in * c + ic) * h + ih) * w + iw;
   }
 
@@ -43,6 +84,82 @@ constexpr Shape oihw(std::size_t co, std::size_t ci, std::size_t kh,
 /// Flat vector shape.
 constexpr Shape vec(std::size_t len) { return Shape{1, 1, 1, len}; }
 
+template <typename T>
+class Tensor;
+
+/// Non-owning shaped window over contiguous storage (a Tensor or a
+/// Workspace arena). `TensorView<const T>` is the read-only form.
+///
+/// A view is a reference: copying it never copies elements, and const-ness
+/// of the view object does not protect the elements (like std::span).
+/// Views do not outlive the storage they were created from.
+template <typename T>
+class TensorView {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  TensorView() = default;
+
+  /// Views `data` (at least shape.size() elements) as `shape`.
+  TensorView(Shape shape, T* data) : shape_(shape), data_(data) {}
+
+  /// Tensors convert implicitly: Tensor<T>& -> TensorView<T>,
+  /// const Tensor<T>& -> TensorView<const T>.
+  TensorView(Tensor<value_type>& t) noexcept
+    requires(!std::is_const_v<T>)
+      : shape_(t.shape()), data_(t.data().data()) {}
+  TensorView(const Tensor<value_type>& t) noexcept
+    requires(std::is_const_v<T>)
+      : shape_(t.shape()), data_(t.data().data()) {}
+
+  /// Mutable views convert implicitly to read-only views. (Template so it
+  /// can never be mistaken for the copy constructor, which stays defaulted.)
+  template <typename U>
+    requires(std::is_const_v<T> && std::is_same_v<U, value_type>)
+  TensorView(const TensorView<U>& other) noexcept
+      : shape_(other.shape()), data_(other.data().data()) {}
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t size() const noexcept { return shape_.size(); }
+  bool empty() const noexcept { return size() == 0; }
+
+  template <bool Checked = detail::kCheckedAccess>
+  T& operator[](std::size_t i) const {
+    if constexpr (Checked) {
+      detail::check_access(i < size(), "i < view.size()",
+                           std::source_location::current());
+    }
+    return data_[i];
+  }
+
+  T& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[shape_.index(n, c, h, w)];
+  }
+
+  std::span<T> data() const noexcept { return {data_, size()}; }
+
+  void fill(value_type v) const
+    requires(!std::is_const_v<T>)
+  {
+    std::fill_n(data_, size(), v);
+  }
+
+  /// Copies all elements from a same-shaped source (no allocation).
+  void copy_from(TensorView<const value_type> src) const
+    requires(!std::is_const_v<T>)
+  {
+    DNNFI_EXPECTS(src.shape() == shape_);
+    std::copy_n(src.data().data(), size(), data_);
+  }
+
+ private:
+  Shape shape_{1, 1, 1, 0};
+  T* data_ = nullptr;
+};
+
+template <typename T>
+using ConstTensorView = TensorView<const T>;
+
 /// Owning dense tensor of T.
 template <typename T>
 class Tensor {
@@ -58,12 +175,20 @@ class Tensor {
   std::size_t size() const noexcept { return data_.size(); }
   bool empty() const noexcept { return data_.empty(); }
 
+  template <bool Checked = detail::kCheckedAccess>
   T& operator[](std::size_t i) {
-    DNNFI_EXPECTS(i < data_.size());
+    if constexpr (Checked) {
+      detail::check_access(i < data_.size(), "i < tensor.size()",
+                           std::source_location::current());
+    }
     return data_[i];
   }
+  template <bool Checked = detail::kCheckedAccess>
   const T& operator[](std::size_t i) const {
-    DNNFI_EXPECTS(i < data_.size());
+    if constexpr (Checked) {
+      detail::check_access(i < data_.size(), "i < tensor.size()",
+                           std::source_location::current());
+    }
     return data_[i];
   }
 
@@ -77,12 +202,22 @@ class Tensor {
   std::span<T> data() noexcept { return data_; }
   std::span<const T> data() const noexcept { return data_; }
 
+  TensorView<T> view() noexcept { return {shape_, data_.data()}; }
+  TensorView<const T> view() const noexcept { return {shape_, data_.data()}; }
+
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
   /// Resizes to `shape`, zero-filling; reuses storage when sizes match.
   void reshape(Shape shape) {
     shape_ = shape;
     data_.assign(shape.size(), T{});
+  }
+
+  /// Becomes a copy of `src`, reusing existing capacity when possible.
+  void assign(TensorView<const T> src) {
+    shape_ = src.shape();
+    const auto s = src.data();
+    data_.assign(s.begin(), s.end());
   }
 
  private:
@@ -106,7 +241,7 @@ Tensor<To> convert(const Tensor<From>& src) {
 /// L2 distance between two same-shaped tensors, computed in double.
 /// This is the Euclidean distance used for the paper's Fig 7.
 template <typename T>
-double euclidean_distance(const Tensor<T>& a, const Tensor<T>& b) {
+double euclidean_distance(TensorView<const T> a, TensorView<const T> b) {
   DNNFI_EXPECTS(a.shape() == b.shape());
   double acc = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -118,10 +253,14 @@ double euclidean_distance(const Tensor<T>& a, const Tensor<T>& b) {
   }
   return std::sqrt(acc);
 }
+template <typename T>
+double euclidean_distance(const Tensor<T>& a, const Tensor<T>& b) {
+  return euclidean_distance<T>(a.view(), b.view());
+}
 
 /// Count of elements whose bit patterns differ (paper's Table 5 metric).
 template <typename T>
-std::size_t bitwise_mismatch_count(const Tensor<T>& a, const Tensor<T>& b) {
+std::size_t bitwise_mismatch_count(TensorView<const T> a, TensorView<const T> b) {
   DNNFI_EXPECTS(a.shape() == b.shape());
   std::size_t n = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -131,10 +270,14 @@ std::size_t bitwise_mismatch_count(const Tensor<T>& a, const Tensor<T>& b) {
   }
   return n;
 }
+template <typename T>
+std::size_t bitwise_mismatch_count(const Tensor<T>& a, const Tensor<T>& b) {
+  return bitwise_mismatch_count<T>(a.view(), b.view());
+}
 
 /// Min/max over all elements, in double.
 template <typename T>
-std::pair<double, double> value_range(const Tensor<T>& t) {
+std::pair<double, double> value_range(TensorView<const T> t) {
   DNNFI_EXPECTS(!t.empty());
   double lo = numeric::numeric_traits<T>::to_double(t[0]);
   double hi = lo;
@@ -144,6 +287,10 @@ std::pair<double, double> value_range(const Tensor<T>& t) {
     hi = std::max(hi, v);
   }
   return {lo, hi};
+}
+template <typename T>
+std::pair<double, double> value_range(const Tensor<T>& t) {
+  return value_range<T>(t.view());
 }
 
 }  // namespace dnnfi::tensor

@@ -147,10 +147,10 @@ TEST(Network, ObserverSeesAllLayersFromFaultOnward) {
   f.layer = 0;
   f.faults.mac = MacFault{0, 0, MacSite::kProduct, 30};
   std::vector<std::size_t> seen;
-  Network<float>::LayerObserverFn obs = [&](std::size_t layer,
-                                            const Tensor<float>&) {
-    seen.push_back(layer);
-  };
+  Network<float>::LayerObserverFn obs =
+      [&](std::size_t layer, tensor::ConstTensorView<float>) {
+        seen.push_back(layer);
+      };
   (void)net.forward_with_fault(golden, f, nullptr, &obs);
   ASSERT_EQ(seen.size(), net.num_layers());
   for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);

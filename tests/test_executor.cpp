@@ -1,0 +1,306 @@
+// Compiled-plan engine: bit-exact equivalence of Executor<T> against the
+// legacy layer-by-layer execution semantics (plain, traced, and
+// fault-patched partial re-execution) for every datapath type, plus
+// workspace-reuse hygiene across many consecutive faulty runs.
+//
+// The references here are hand-rolled per-layer Tensor loops — the exact
+// semantics Network<T>::forward* had before it delegated to the executor —
+// so the equivalence claim does not depend on the wrappers under test.
+#include <gtest/gtest.h>
+
+#include "dnnfi/common/rng.h"
+#include "dnnfi/dnn/executor.h"
+#include "dnnfi/dnn/weights.h"
+#include "dnnfi/dnn/zoo.h"
+
+namespace dnnfi::dnn {
+namespace {
+
+using tensor::Tensor;
+
+NetworkSpec convnet_spec() { return zoo::network_spec(zoo::NetworkId::kConvNet); }
+
+WeightsBlob random_blob(const NetworkSpec& spec, std::uint64_t seed) {
+  Network<float> net(spec);
+  init_weights(net, seed);
+  return extract_weights(net);
+}
+
+template <typename T>
+Tensor<T> random_image(const tensor::Shape& s, std::uint64_t seed) {
+  Tensor<float> t(s);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal() * 0.5);
+  return tensor::convert<T>(t);
+}
+
+/// Legacy plain forward: fresh ping-pong Tensors through the compat layer API.
+template <typename T>
+Tensor<T> legacy_forward(const Network<T>& net, const Tensor<T>& input) {
+  Tensor<T> a = input, b;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    net.layer(i).forward(a, b);
+    std::swap(a, b);
+  }
+  return a;
+}
+
+/// Legacy trace: every layer output materialized into owning tensors.
+template <typename T>
+Trace<T> legacy_trace(const Network<T>& net, const Tensor<T>& input) {
+  Trace<T> tr;
+  tr.input = input;
+  tr.acts.resize(net.num_layers());
+  const Tensor<T>* cur = &tr.input;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    net.layer(i).forward(*cur, tr.acts[i]);
+    cur = &tr.acts[i];
+  }
+  return tr;
+}
+
+/// Legacy faulty run: patch (or recompute on flipped input) at the fault
+/// layer, then fresh-Tensor forward through the rest.
+template <typename T>
+Tensor<T> legacy_fault(const Network<T>& net, const Trace<T>& golden,
+                       const AppliedFault& f) {
+  Tensor<T> a, b;
+  if (f.flip_layer_input) {
+    Tensor<T> in = golden.layer_input(f.layer);
+    in[f.input_index] = detail::storage_flip(in[f.input_index], f.input_bit,
+                                             f.input_storage, f.input_burst);
+    net.layer(f.layer).forward(in, a);
+  } else {
+    a = golden.acts[f.layer];
+    net.layer(f.layer).apply_faults(golden.layer_input(f.layer), a, f.faults,
+                                    nullptr);
+  }
+  for (std::size_t i = f.layer + 1; i < net.num_layers(); ++i) {
+    net.layer(i).forward(a, b);
+    std::swap(a, b);
+  }
+  return a;
+}
+
+template <typename T>
+void expect_bits_equal(tensor::ConstTensorView<T> got, const Tensor<T>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(numeric::numeric_traits<T>::to_bits(got[i]),
+              numeric::numeric_traits<T>::to_bits(want[i]))
+        << "element " << i;
+}
+
+constexpr MacSite kMacSites[] = {MacSite::kOperandAct, MacSite::kOperandWeight,
+                                 MacSite::kProduct, MacSite::kAccumulator};
+
+/// Deterministic fault of class (trial % 4) targeting MAC layer
+/// (trial % mac count), with indices derived from the trial number.
+template <typename T>
+AppliedFault nth_fault(const Network<T>& net, std::size_t trial) {
+  const auto& macs = net.mac_layers();
+  const std::size_t layer = macs[trial % macs.size()];
+  const auto& step = net.plan().steps()[layer];
+  const std::size_t out_elems = step.out_shape.size();
+  const std::size_t mac_steps = step.macs / out_elems;
+  const int bit = static_cast<int>(trial % 10);  // low bits valid for all T
+
+  AppliedFault f;
+  f.layer = layer;
+  switch (trial % 4) {
+    case 0: {
+      MacFault mf;
+      mf.out_index = trial % out_elems;
+      mf.step = trial % mac_steps;
+      mf.site = kMacSites[trial % std::size(kMacSites)];
+      mf.bit = bit;
+      f.faults.mac = mf;
+      break;
+    }
+    case 1: {
+      WeightFault wf;
+      wf.weight_index = (trial * 7) % net.layer(layer).weights().size();
+      wf.bit = bit;
+      f.faults.weight = wf;
+      break;
+    }
+    case 2: {
+      ScopedInputFault sf;
+      sf.input_index = (trial * 11) % step.in_shape.size();
+      sf.out_channel = 0;
+      sf.out_row = 0;
+      sf.bit = bit;
+      f.faults.scoped_input = sf;
+      break;
+    }
+    default: {
+      f.flip_layer_input = true;
+      f.input_index = (trial * 13) % step.in_shape.size();
+      f.input_bit = bit;
+      break;
+    }
+  }
+  return f;
+}
+
+template <typename T>
+class ExecutorEquivalence : public ::testing::Test {};
+
+using DatapathTypes =
+    ::testing::Types<double, float, numeric::Half, numeric::Fx32r26,
+                     numeric::Fx32r10, numeric::Fx16r10>;
+TYPED_TEST_SUITE(ExecutorEquivalence, DatapathTypes);
+
+TYPED_TEST(ExecutorEquivalence, PlanResolvesShapesAndMacs) {
+  using T = TypeParam;
+  const auto spec = convnet_spec();
+  Network<T> net(spec);
+  const ExecutionPlan<T>& plan = net.plan();
+  ASSERT_EQ(plan.num_layers(), net.num_layers());
+  EXPECT_EQ(plan.input_shape(), spec.input);
+  EXPECT_EQ(plan.total_macs(), net.total_macs());
+  tensor::Shape shape = spec.input;
+  for (std::size_t i = 0; i < plan.num_layers(); ++i) {
+    EXPECT_EQ(plan.steps()[i].in_shape, shape);
+    shape = net.layer(i).out_shape(shape);
+    EXPECT_EQ(plan.steps()[i].out_shape, shape);
+    EXPECT_GE(plan.buffer_elems(), shape.size());
+  }
+  EXPECT_EQ(plan.output_shape().size(), spec.num_classes);
+  EXPECT_EQ(plan.arena_elems(),
+            2 * plan.buffer_elems() + plan.input_elems());
+}
+
+TYPED_TEST(ExecutorEquivalence, PlainAndTracedMatchLegacy) {
+  using T = TypeParam;
+  const auto spec = convnet_spec();
+  Network<T> net(spec);
+  load_weights(net, random_blob(spec, 21));
+  const auto img = random_image<T>(spec.input, 22);
+
+  const Tensor<T> want = legacy_forward(net, img);
+  const Trace<T> want_trace = legacy_trace(net, img);
+
+  const Executor<T> exec(net.plan());
+  Workspace<T> ws(net.plan());
+  RunRequest<T> req;
+  req.input = img;
+  expect_bits_equal<T>(exec.run(ws, req), want);
+
+  Trace<T> got_trace;
+  req.trace = &got_trace;
+  expect_bits_equal<T>(exec.run(ws, req), want);
+  ASSERT_EQ(got_trace.acts.size(), want_trace.acts.size());
+  expect_bits_equal<T>(got_trace.input.view(), want_trace.input);
+  for (std::size_t i = 0; i < got_trace.acts.size(); ++i)
+    expect_bits_equal<T>(got_trace.acts[i].view(), want_trace.acts[i]);
+}
+
+TYPED_TEST(ExecutorEquivalence, FaultyRunsMatchLegacyForAllFaultClasses) {
+  using T = TypeParam;
+  const auto spec = convnet_spec();
+  Network<T> net(spec);
+  load_weights(net, random_blob(spec, 31));
+  const auto img = random_image<T>(spec.input, 32);
+  const Trace<T> golden = legacy_trace(net, img);
+
+  const Executor<T> exec(net.plan());
+  Workspace<T> ws(net.plan());
+  // Eight trials cover all four fault classes on different MAC layers.
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const AppliedFault f = nth_fault(net, trial);
+    const Tensor<T> want = legacy_fault(net, golden, f);
+    RunRequest<T> req;
+    req.golden = &golden;
+    req.fault = &f;
+    expect_bits_equal<T>(exec.run(ws, req), want);
+  }
+}
+
+TYPED_TEST(ExecutorEquivalence, NetworkWrappersMatchLegacy) {
+  using T = TypeParam;
+  const auto spec = convnet_spec();
+  Network<T> net(spec);
+  load_weights(net, random_blob(spec, 41));
+  const auto img = random_image<T>(spec.input, 42);
+
+  expect_bits_equal<T>(net.forward(img).view(), legacy_forward(net, img));
+  const Trace<T> golden = net.forward_trace(img);
+  const Trace<T> want_trace = legacy_trace(net, img);
+  for (std::size_t i = 0; i < want_trace.acts.size(); ++i)
+    expect_bits_equal<T>(golden.acts[i].view(), want_trace.acts[i]);
+
+  const AppliedFault f = nth_fault(net, 3);  // global-buffer flip
+  expect_bits_equal<T>(net.forward_with_fault(golden, f).view(),
+                       legacy_fault(net, golden, f));
+}
+
+// A single workspace serving 100 consecutive faulty runs (mixed fault
+// classes, mixed layers, two different inputs) must leave no stale data
+// behind: every run is compared bit-for-bit against a fresh legacy run.
+TEST(ExecutorWorkspaceReuse, HundredFaultyRunsNoStaleData) {
+  using T = numeric::Half;
+  const auto spec = convnet_spec();
+  Network<T> net(spec);
+  load_weights(net, random_blob(spec, 51));
+  const auto img0 = random_image<T>(spec.input, 52);
+  const auto img1 = random_image<T>(spec.input, 53);
+  const Trace<T> goldens[2] = {legacy_trace(net, img0),
+                               legacy_trace(net, img1)};
+
+  const Executor<T> exec(net.plan());
+  Workspace<T> ws;  // deliberately unsized: first run binds it
+  for (std::size_t trial = 0; trial < 100; ++trial) {
+    const Trace<T>& golden = goldens[trial % 2];
+    const AppliedFault f = nth_fault(net, trial);
+    const Tensor<T> want = legacy_fault(net, golden, f);
+    RunRequest<T> req;
+    req.golden = &golden;
+    req.fault = &f;
+    const auto got = exec.run(ws, req);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(numeric::numeric_traits<T>::to_bits(got[i]),
+                numeric::numeric_traits<T>::to_bits(want[i]))
+          << "trial " << trial << " element " << i;
+  }
+}
+
+// The observer surfaces every recomputed layer exactly once, in order,
+// and its views must alias live arena contents (spot-check: the final
+// observed view equals the returned output).
+TEST(ExecutorObserver, SeesRecomputedLayersInOrder) {
+  using T = float;
+  const auto spec = convnet_spec();
+  Network<T> net(spec);
+  load_weights(net, random_blob(spec, 61));
+  const auto img = random_image<T>(spec.input, 62);
+  const Trace<T> golden = legacy_trace(net, img);
+
+  const AppliedFault f = nth_fault(net, 5);  // second MAC layer, weight fault
+  std::vector<std::size_t> seen;
+  Tensor<T> last;
+  const LayerObserver<T> observer =
+      [&](std::size_t layer, tensor::ConstTensorView<T> act) {
+        seen.push_back(layer);
+        last.assign(act);
+      };
+  const Executor<T> exec(net.plan());
+  Workspace<T> ws(net.plan());
+  RunRequest<T> req;
+  req.golden = &golden;
+  req.fault = &f;
+  req.observer = &observer;
+  const auto out = exec.run(ws, req);
+
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front(), f.layer);
+  EXPECT_EQ(seen.back(), net.num_layers() - 1);
+  for (std::size_t i = 1; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], seen[i - 1] + 1);
+  expect_bits_equal<T>(out, last);
+}
+
+}  // namespace
+}  // namespace dnnfi::dnn

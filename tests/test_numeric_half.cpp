@@ -140,6 +140,63 @@ TEST(DType, TagsRoundTripThroughDispatch) {
   }
 }
 
+// When the build uses F16C hardware conversions, the runtime path must agree
+// bit-for-bit with the software reference (the constant-evaluation path).
+// Exhaustive over all 65,536 half patterns in the half->float direction; the
+// float->half direction covers every half-representable value, the exact
+// midpoints between consecutive halves (round-to-nearest-even ties), their
+// neighbors, specials, and a dense pseudo-random sweep.
+TEST(Half, HardwareConversionMatchesSoftwareReference) {
+  for (std::uint32_t b = 0; b <= 0xFFFFU; ++b) {
+    const auto h = static_cast<std::uint16_t>(b);
+    if ((h & 0x7C00U) == 0x7C00U && (h & 0x03FFU) != 0) continue;  // NaN
+    const float hw = detail::half_bits_to_float(h);
+    const float sw = detail::half_bits_to_float_sw(h);
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(hw), std::bit_cast<std::uint32_t>(sw))
+        << "half bits 0x" << std::hex << b;
+  }
+
+  const auto check_f2h = [](float f) {
+    ASSERT_EQ(detail::float_to_half_bits(f), detail::float_to_half_bits_sw(f))
+        << "float bits 0x" << std::hex << std::bit_cast<std::uint32_t>(f);
+  };
+  for (std::uint32_t b = 0; b <= 0xFFFFU; ++b) {
+    const auto h = static_cast<std::uint16_t>(b);
+    if ((h & 0x7C00U) == 0x7C00U && (h & 0x03FFU) != 0) continue;  // NaN
+    const float f = detail::half_bits_to_float_sw(h);
+    check_f2h(f);
+    // Tie and near-tie cases around this half value.
+    const auto next = static_cast<std::uint16_t>(h + 1);
+    if ((next & 0x7C00U) != 0x7C00U && (h & 0x7FFFU) != 0x7BFFU &&
+        (h & 0x8000U) == (next & 0x8000U)) {
+      const float g = detail::half_bits_to_float_sw(next);
+      const float mid = f + (g - f) / 2.0F;
+      check_f2h(mid);
+      check_f2h(std::nextafterf(mid, f));
+      check_f2h(std::nextafterf(mid, g));
+    }
+  }
+  check_f2h(0.0F);
+  check_f2h(-0.0F);
+  check_f2h(std::numeric_limits<float>::infinity());
+  check_f2h(-std::numeric_limits<float>::infinity());
+  check_f2h(65519.9F);   // just below the overflow-to-inf boundary
+  check_f2h(65520.0F);   // the exact boundary (rounds to inf)
+  check_f2h(1e30F);      // far overflow
+  check_f2h(1e-30F);     // underflow to zero
+  check_f2h(5.96e-8F);   // smallest subnormal neighborhood
+  // NaN canonicalization is identical on both paths.
+  EXPECT_EQ(detail::float_to_half_bits(std::nanf("")),
+            detail::float_to_half_bits_sw(std::nanf("")));
+  std::uint32_t state = 0x9E3779B9U;
+  for (int i = 0; i < 1'000'000; ++i) {
+    state = state * 1664525U + 1013904223U;
+    const float f = std::bit_cast<float>(state);
+    if (std::isnan(f)) continue;
+    check_f2h(f);
+  }
+}
+
 TEST(DType, NamesAndWidths) {
   EXPECT_EQ(dtype_name(DType::kFloat16), "FLOAT16");
   EXPECT_EQ(dtype_name(DType::kFx32r10), "32b_rb10");
