@@ -26,7 +26,7 @@ int main() {
       opt.trials = n;
       opt.seed = 31015;
       opt.constraint.fixed_latch = latch;
-      const auto e = campaign.run(opt).sdc1();
+      const auto e = run_streaming(campaign, opt).sdc1();
       row.push_back(Table::pct_ci(e.p, e.ci95));
     }
     t.row(row);

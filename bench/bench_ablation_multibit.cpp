@@ -23,11 +23,11 @@ int main() {
       dp.trials = n;
       dp.seed = 31017;
       dp.constraint.burst = burst;
-      const auto e_dp = campaign.run(dp).sdc1();
+      const auto e_dp = run_streaming(campaign, dp).sdc1();
 
       fault::CampaignOptions gb = dp;
       gb.site = fault::SiteClass::kGlobalBuffer;
-      const auto e_gb = campaign.run(gb).sdc1();
+      const auto e_gb = run_streaming(campaign, gb).sdc1();
       t.row({std::to_string(burst), Table::pct_ci(e_dp.p, e_dp.ci95),
              Table::pct_ci(e_gb.p, e_gb.ci95)});
     }

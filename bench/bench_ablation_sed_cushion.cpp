@@ -26,7 +26,7 @@ int main() {
     opt.trials = n;
     opt.seed = 31016;
     opt.detector = det.as_predicate();
-    const auto ev = mitigate::evaluate_sed(campaign.run(opt));
+    const auto ev = mitigate::evaluate_sed(run_streaming(campaign, opt));
     t.row({Table::pct(cushion, 0), Table::pct(ev.precision.p),
            Table::pct(ev.recall.p)});
   }
@@ -41,7 +41,7 @@ int main() {
     opt.trials = n;
     opt.seed = 31016;
     opt.detector = det.as_predicate();
-    const auto ev = mitigate::evaluate_sed(campaign.run(opt));
+    const auto ev = mitigate::evaluate_sed(run_streaming(campaign, opt));
     t2.row({std::to_string(count), Table::pct(ev.precision.p),
             Table::pct(ev.recall.p)});
   }

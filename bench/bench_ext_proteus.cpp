@@ -41,7 +41,7 @@ int main() {
       opt.seed = 31014;
       opt.site = site;
       opt.constraint.buffer_storage = storage;
-      const auto e = campaign.run(opt).sdc1();
+      const auto e = run_streaming(campaign, opt).sdc1();
       row.push_back(Table::pct_ci(e.p, e.ci95));
     }
     t.row(row);

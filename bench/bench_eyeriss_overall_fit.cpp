@@ -48,12 +48,10 @@ int main() {
       opt.seed = 31013;
       opt.site = site;
       opt.detector = detector.as_predicate();
-      const auto r = campaign.run(opt);
+      const auto r = run_streaming(campaign, opt);
       const double sdc = r.sdc1().p;
       // Undetected SDC rate: SDC trials the detector missed.
-      const auto caught = r.rate([](const fault::TrialRecord& tr) {
-        return tr.outcome.sdc1 && tr.detected;
-      });
+      const auto caught = r.detected_and_sdc1();
       const double residual_sdc = std::max(0.0, sdc - caught.p);
 
       double raw_fit, sed_fit, full_fit;

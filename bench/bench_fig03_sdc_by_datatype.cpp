@@ -25,7 +25,7 @@ int main() {
       fault::CampaignOptions opt;
       opt.trials = n;
       opt.seed = 31003;
-      const auto r = campaign.run(opt);
+      const auto r = run_streaming(campaign, opt);
       const bool conf = ctx.model.spec.has_softmax();
       t.row({ctx.name, std::string(numeric::dtype_name(dt)),
              Table::pct_ci(r.sdc1().p, r.sdc1().ci95),

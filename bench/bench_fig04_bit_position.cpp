@@ -23,15 +23,11 @@ void per_bit_study(const NetContext& ctx, numeric::DType dt, std::size_t n_bit) 
     opt.trials = n_bit;
     opt.seed = 31004;
     opt.constraint.fixed_bit = bit;
-    const auto r = campaign.run(opt);
+    const auto r = run_streaming(campaign, opt);
     const auto all = r.sdc1();
     if (all.hits == 0) continue;  // the paper omits zero-SDC bits
-    const auto zto = r.rate_if(
-        [](const fault::TrialRecord& tr) { return tr.record.zero_to_one; },
-        [](const fault::TrialRecord& tr) { return tr.outcome.sdc1; });
-    const auto otz = r.rate_if(
-        [](const fault::TrialRecord& tr) { return !tr.record.zero_to_one; },
-        [](const fault::TrialRecord& tr) { return tr.outcome.sdc1; });
+    const auto zto = r.sdc1_given_zero_to_one();
+    const auto otz = r.sdc1_given_one_to_zero();
     t.row({std::to_string(bit), Table::pct_ci(all.p, all.ci95),
            Table::pct(zto.p), Table::pct(otz.p)});
   }

@@ -25,7 +25,7 @@ int main() {
       opt.trials = n;
       opt.seed = 31006;
       opt.constraint.fixed_block = b;
-      const auto r = campaign.run(opt);
+      const auto r = run_streaming(campaign, opt);
       // Report whether the block is conv or FC for readability.
       std::string kind = "conv";
       for (const auto& l : ctx.model.spec.layers)

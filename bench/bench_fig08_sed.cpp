@@ -43,7 +43,7 @@ int main() {
         opt.seed = 31011;
         opt.site = site;
         opt.detector = detector.as_predicate();
-        const auto ev = mitigate::evaluate_sed(campaign.run(opt));
+        const auto ev = mitigate::evaluate_sed(run_streaming(campaign, opt));
         p_sum += ev.precision.p;
         // Recall is undefined when a cell produced no SDCs; skip those.
         if (ev.sdc_count > 0) {

@@ -26,7 +26,7 @@ mitigate::BitProfile measure_profile(const NetContext& ctx, numeric::DType dt,
     opt.constraint.fixed_bit = bit;
     // Per-bit FIT is proportional to the per-bit SDC probability (equal raw
     // rate and equal latch count per bit position).
-    profile[static_cast<std::size_t>(bit)] = campaign.run(opt).sdc1().p;
+    profile[static_cast<std::size_t>(bit)] = run_streaming(campaign, opt).sdc1().p;
   }
   return profile;
 }

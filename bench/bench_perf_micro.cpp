@@ -5,10 +5,13 @@
 //
 // Beyond the google-benchmark tables, the binary runs a dedicated
 // counting-allocator measurement of the compiled-plan engine and writes
-// BENCH_perf_micro.json (ns/inference, ns/trial, allocations/trial) into
-// the results directory. It exits nonzero if the faulty hot path performs
-// any heap allocation per trial after warm-up — the engine's zero-alloc
-// contract is enforced here, not just documented.
+// BENCH_perf_micro.json (ns/inference, ns/trial, allocations/trial, peak
+// live-heap growth of the streaming campaign path) into the results
+// directory. It exits nonzero if the faulty hot path performs any heap
+// allocation per trial after warm-up, or if the streaming run_shard path's
+// peak live heap grows with trial count — the engine's zero-alloc and the
+// accumulator's flat-memory contracts are enforced here, not just
+// documented.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -19,30 +22,72 @@
 #include <fstream>
 #include <new>
 
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#define DNNFI_HAVE_MALLOC_USABLE 1
+#else
+#define DNNFI_HAVE_MALLOC_USABLE 0
+#endif
+
 #include "bench_util.h"
 #include "dnnfi/fault/injector.h"
 #include "dnnfi/fault/sampler.h"
 
 // ---------------------------------------------------------------------------
 // Counting allocator: every operator new/delete in the process routes through
-// malloc/free with an atomic tally. Relaxed ordering is fine — the measured
-// loops are single-threaded and the counter is only read at section edges.
+// malloc/free with an atomic tally of calls and (where malloc_usable_size is
+// available) live bytes + peak live bytes. Relaxed ordering is fine — the
+// measured loops are single-threaded and the counters are only read at
+// section edges.
 // ---------------------------------------------------------------------------
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_live{0};
+
+inline void track_alloc(void* p) {
+#if DNNFI_HAVE_MALLOC_USABLE
+  const auto sz = static_cast<std::uint64_t>(malloc_usable_size(p));
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(sz, std::memory_order_relaxed) + sz;
+  std::uint64_t peak = g_peak_live.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_live.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+  }
+#else
+  (void)p;
+#endif
+}
+
+inline void track_free(void* p) {
+#if DNNFI_HAVE_MALLOC_USABLE
+  if (p)
+    g_live_bytes.fetch_sub(
+        static_cast<std::uint64_t>(malloc_usable_size(p)),
+        std::memory_order_relaxed);
+#else
+  (void)p;
+#endif
+}
 }  // namespace
 
 void* operator new(std::size_t size) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
+  if (void* p = std::malloc(size ? size : 1)) {
+    track_alloc(p);
+    return p;
+  }
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
 void* operator new(std::size_t size, std::align_val_t align) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
-                                   size ? size : 1))
+                                   size ? size : 1)) {
+    track_alloc(p);
     return p;
+  }
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size, std::align_val_t align) {
@@ -52,17 +97,24 @@ void* operator new[](std::size_t size, std::align_val_t align) {
 // operator new above routes through malloc/aligned_alloc, so it is not one.
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+void operator delete(void* p) noexcept {
+  track_free(p);
   std::free(p);
 }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
+  ::operator delete(p);
 }
 #pragma GCC diagnostic pop
 
@@ -237,7 +289,52 @@ AllocatorReport measure_hot_path() {
   return r;
 }
 
-void write_json(const AllocatorReport& r, const std::string& path) {
+// ---------------------------------------------------------------------------
+// Streaming flat-memory section: the run_shard path must hold peak live heap
+// roughly constant as trial count grows (the aggregates are O(blocks), the
+// workers are O(pool)). Measured as peak-live growth over the campaign call
+// at 256 vs 2048 trials; the delta must stay within a small slack.
+// ---------------------------------------------------------------------------
+
+struct StreamingReport {
+  std::size_t small_trials = 256;
+  std::size_t large_trials = 2048;
+  std::uint64_t peak_growth_small = 0;  ///< bytes
+  std::uint64_t peak_growth_large = 0;  ///< bytes
+  bool supported = DNNFI_HAVE_MALLOC_USABLE != 0;
+};
+
+std::uint64_t measure_streaming_peak(const fault::Campaign& campaign,
+                                     std::size_t trials) {
+  ThreadPool serial(0);
+  fault::CampaignOptions opt;
+  opt.trials = trials;
+  opt.seed = 99;
+  opt.record_block_distances = true;
+  opt.pool = &serial;
+  const std::uint64_t before = g_live_bytes.load(std::memory_order_relaxed);
+  g_peak_live.store(before, std::memory_order_relaxed);
+  auto res = campaign.run_shard(opt, fault::ShardSpec{});
+  benchmark::DoNotOptimize(res);
+  const std::uint64_t peak = g_peak_live.load(std::memory_order_relaxed);
+  return peak > before ? peak - before : 0;
+}
+
+StreamingReport measure_streaming_memory() {
+  StreamingReport r;
+  if (!r.supported) return r;
+  const NetContext& ctx = ctx_for(NetworkId::kConvNet);
+  const fault::Campaign campaign(ctx.model.spec, ctx.model.blob,
+                                 numeric::DType::kFloat16, ctx.inputs);
+  // Warm-up run so one-time lazy state (sampler tables, etc.) is excluded.
+  (void)measure_streaming_peak(campaign, 64);
+  r.peak_growth_small = measure_streaming_peak(campaign, r.small_trials);
+  r.peak_growth_large = measure_streaming_peak(campaign, r.large_trials);
+  return r;
+}
+
+void write_json(const AllocatorReport& r, const StreamingReport& s,
+                const std::string& path) {
   std::ofstream out(path);
   out << "{\n"
       << "  \"network\": \"ConvNet\",\n"
@@ -245,7 +342,9 @@ void write_json(const AllocatorReport& r, const std::string& path) {
       << "  \"trials\": " << r.trials << ",\n"
       << "  \"ns_per_inference\": " << r.ns_per_inference << ",\n"
       << "  \"ns_per_trial\": " << r.ns_per_trial << ",\n"
-      << "  \"allocations_per_trial\": " << r.allocations_per_trial << "\n"
+      << "  \"allocations_per_trial\": " << r.allocations_per_trial << ",\n"
+      << "  \"streaming_peak_bytes_256\": " << s.peak_growth_small << ",\n"
+      << "  \"streaming_peak_bytes_2048\": " << s.peak_growth_large << "\n"
       << "}\n";
 }
 
@@ -258,23 +357,44 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   const AllocatorReport r = measure_hot_path();
+  const StreamingReport s = measure_streaming_memory();
   std::filesystem::create_directories(results_dir());
   const std::string json = results_dir() + "/BENCH_perf_micro.json";
-  write_json(r, json);
+  write_json(r, s, json);
   std::printf(
       "\ncompiled-engine hot path (ConvNet, float16, counting allocator):\n"
       "  ns/inference:      %.0f\n"
       "  ns/trial:          %.0f\n"
       "  allocations/trial: %g\n"
+      "streaming run_shard peak live-heap growth:\n"
+      "  %zu trials:  %llu bytes\n"
+      "  %zu trials: %llu bytes\n"
       "[json] %s\n",
       r.ns_per_inference, r.ns_per_trial, r.allocations_per_trial,
-      json.c_str());
+      s.small_trials,
+      static_cast<unsigned long long>(s.peak_growth_small), s.large_trials,
+      static_cast<unsigned long long>(s.peak_growth_large), json.c_str());
+  bool fail = false;
   if (r.allocations_per_trial > 0) {
     std::fprintf(stderr,
                  "FAIL: faulty hot path allocated %g times per trial; the "
                  "zero-allocation contract is broken\n",
                  r.allocations_per_trial);
-    return 1;
+    fail = true;
   }
-  return 0;
+  // 8x the trials must not cost more than a small fixed slack of extra peak
+  // heap: the streaming path's memory is flat in trial count.
+  constexpr std::uint64_t kFlatSlackBytes = 256 * 1024;
+  if (s.supported &&
+      s.peak_growth_large > s.peak_growth_small + kFlatSlackBytes) {
+    std::fprintf(stderr,
+                 "FAIL: streaming campaign peak heap grew from %llu to %llu "
+                 "bytes between %zu and %zu trials; the flat-memory "
+                 "contract is broken\n",
+                 static_cast<unsigned long long>(s.peak_growth_small),
+                 static_cast<unsigned long long>(s.peak_growth_large),
+                 s.small_trials, s.large_trials);
+    fail = true;
+  }
+  return fail ? 1 : 0;
 }

@@ -40,13 +40,11 @@ int main() {
     opt.seed = 31018;
     opt.site = site;
     opt.detector = detector.as_predicate();
-    const auto r = campaign.run(opt);
+    const auto r = run_streaming(campaign, opt);
     Component c;
     c.site = site;
     c.sdc = r.sdc1().p;
-    const double caught = r.rate([](const fault::TrialRecord& t) {
-                             return t.outcome.sdc1 && t.detected;
-                           }).p;
+    const double caught = r.detected_and_sdc1().p;
     c.sed_residual = std::max(0.0, c.sdc - caught);
     c.fit = (site == fault::SiteClass::kDatapathLatch)
                 ? fit::datapath_fit(dt, cfg.num_pes, c.sdc)

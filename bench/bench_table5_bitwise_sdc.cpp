@@ -28,21 +28,14 @@ int main() {
     opt.trials = n;
     opt.seed = 31008;
     opt.constraint.fixed_block = b;
-    const auto r = campaign.run(opt);
+    const auto r = run_streaming(campaign, opt);
 
-    const auto reached = r.rate(
-        [](const fault::TrialRecord& tr) { return tr.output_corruption > 0; });
-    double corr_sum = 0;
-    std::size_t reach_n = 0;
-    for (const auto& tr : r.trials) {
-      if (tr.output_corruption > 0) {
-        corr_sum += tr.output_corruption;
-        ++reach_n;
-      }
-    }
+    const auto reached = r.reached_output();
     const auto sdc = r.sdc1();
     t.row({std::to_string(b), Table::pct_ci(reached.p, reached.ci95),
-           reach_n ? Table::pct(corr_sum / static_cast<double>(reach_n)) : "-",
+           reached.hits
+               ? Table::pct(r.mean_output_corruption_reached())
+               : "-",
            Table::pct(sdc.p), Table::pct(1.0 - reached.p)});
     reach_sum += reached.p;
     sdc_sum += sdc.p;

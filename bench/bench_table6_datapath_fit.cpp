@@ -32,7 +32,7 @@ int main() {
       fault::CampaignOptions opt;
       opt.trials = n;
       opt.seed = 31009;
-      const double sdc = campaign.run(opt).sdc1().p;
+      const double sdc = run_streaming(campaign, opt).sdc1().p;
       row.push_back(Table::num(fit::datapath_fit(dt, cfg.num_pes, sdc), 4));
     }
     t.row(row);

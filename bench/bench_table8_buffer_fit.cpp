@@ -33,7 +33,7 @@ int main() {
       opt.trials = n;
       opt.seed = 31010;
       opt.site = site;
-      const auto sdc = campaign.run(opt).sdc1();
+      const auto sdc = run_streaming(campaign, opt).sdc1();
       const double f =
           fit::buffer_fit(fp, fault::buffer_of(site), cfg, sdc.p);
       row.push_back(Table::pct(sdc.p) + " / " + Table::num(f, 3));
@@ -42,7 +42,7 @@ int main() {
     fault::CampaignOptions dp;
     dp.trials = n;
     dp.seed = 31010;
-    const double dp_sdc = campaign.run(dp).sdc1().p;
+    const double dp_sdc = run_streaming(campaign, dp).sdc1().p;
     row.push_back(Table::pct(dp_sdc) + " / " +
                   Table::num(fit::datapath_fit(numeric::DType::kFx16r10,
                                                cfg.num_pes, dp_sdc), 4));

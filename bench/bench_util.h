@@ -55,6 +55,15 @@ inline dnn::ExampleSource train_source(NetworkId id) {
   };
 }
 
+/// Runs the whole campaign through the streaming shard path and returns the
+/// aggregates. The bench default: memory stays flat in trial count, and the
+/// result is bit-identical to any sharded execution of the same options.
+/// Reach for Campaign::run only when per-trial records are genuinely needed.
+inline fault::OutcomeAccumulator run_streaming(const fault::Campaign& campaign,
+                                               const fault::CampaignOptions& opt) {
+  return campaign.run_shard(opt, fault::ShardSpec{}).acc;
+}
+
 /// Campaign cell size. The paper used 3,000 injections per latch/component;
 /// the default here targets a single-core machine. Print `n` with results.
 inline std::size_t samples(std::size_t fallback = 300) {

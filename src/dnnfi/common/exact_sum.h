@@ -1,0 +1,172 @@
+// Exact, order-independent summation of doubles (a Kulisch-style fixed-point
+// superaccumulator).
+//
+// Sharded campaigns merge partial aggregates whose grouping depends on the
+// shard/batch/chunk partition. Floating-point addition is not associative,
+// so a naive `double` running sum would make "shard union == monolithic run"
+// hold only approximately. ExactSum instead accumulates every finite double
+// *exactly* into a wide fixed-point register (one 32-bit limb per 32 bits of
+// the full double exponent range, carried in 64-bit words), so addition and
+// merging are exactly associative and commutative: any partition of the same
+// multiset of inputs yields bit-identical state, serialized bytes, and
+// rounded `value()`.
+//
+// Cost: one add touches three limbs (~a handful of ns); state is ~1 KiB per
+// sign. That is noise next to a fault-injection trial and is the price of a
+// determinism contract strong enough to checkpoint, resume, and distribute.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "dnnfi/common/expects.h"
+#include "dnnfi/common/serial.h"
+
+namespace dnnfi {
+
+/// Exact signed sum of finite doubles with associative merge.
+class ExactSum {
+ public:
+  ExactSum() = default;
+
+  /// Adds a finite double exactly. Non-finite input is a precondition
+  /// violation — callers own the policy for inf/NaN contributions (the
+  /// campaign accumulator counts and excludes them).
+  void add(double v) {
+    DNNFI_EXPECTS(std::isfinite(v));
+    if (v == 0) return;
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    add_magnitude(bits >> 63 ? neg_ : pos_, bits);
+    if (++adds_ >= kNormalizeEvery) normalize();
+  }
+
+  /// Exact merge: state afterwards equals having added both input multisets
+  /// into one accumulator, in any order.
+  void merge(const ExactSum& o) {
+    normalize();
+    o.normalize();
+    for (std::size_t i = 0; i < kLimbs; ++i) {
+      pos_[i] += o.pos_[i];
+      neg_[i] += o.neg_[i];
+    }
+    normalize();
+  }
+
+  /// Deterministic conversion of the exact state to double: positive and
+  /// negative magnitudes are rounded independently from canonical limbs and
+  /// subtracted. Identical state always yields identical bits.
+  double value() const {
+    normalize();
+    return magnitude_value(pos_) - magnitude_value(neg_);
+  }
+
+  /// True when nothing (or only zeros) has been added.
+  bool zero() const {
+    normalize();
+    for (std::size_t i = 0; i < kLimbs; ++i)
+      if (pos_[i] != 0 || neg_[i] != 0) return false;
+    return true;
+  }
+
+  /// Canonical serialization: normalized limbs with zero runs trimmed.
+  void serialize(ByteWriter& w) const {
+    normalize();
+    write_magnitude(w, pos_);
+    write_magnitude(w, neg_);
+  }
+
+  static ExactSum deserialize(ByteReader& r) {
+    ExactSum s;
+    read_magnitude(r, s.pos_);
+    read_magnitude(r, s.neg_);
+    return s;
+  }
+
+ private:
+  // Fixed point with LSB weight 2^-1075: a finite double is M * 2^(p-1075)
+  // with M < 2^53 and p = max(biased_exponent, 1) in [1, 2046], so the top
+  // contribution bit is 52 + 2046 = 2098. 66 limbs cover the value; two
+  // more absorb shift spill and merge carries.
+  static constexpr std::size_t kLimbs = 68;
+  // Each add deposits < 2^32 per limb into a 64-bit word; normalizing every
+  // 2^30 adds keeps limbs far from overflow even through merges.
+  static constexpr std::uint32_t kNormalizeEvery = 1U << 30;
+  using Limbs = std::array<std::uint64_t, kLimbs>;
+
+  static void add_magnitude(Limbs& limbs, std::uint64_t bits) {
+    const std::uint64_t exp_field = (bits >> 52) & 0x7FF;
+    const std::uint64_t frac = bits & 0xFFFFFFFFFFFFFULL;
+    const std::uint64_t mantissa =
+        exp_field ? (frac | (1ULL << 52)) : frac;          // implicit bit
+    const std::uint64_t p = exp_field ? exp_field : 1;     // subnormal shares 2^-1074
+    const unsigned __int128 shifted =
+        static_cast<unsigned __int128>(mantissa) << (p % 32);
+    const std::size_t base = p / 32;
+    limbs[base] += static_cast<std::uint64_t>(shifted) & 0xFFFFFFFFULL;
+    limbs[base + 1] += static_cast<std::uint64_t>(shifted >> 32) & 0xFFFFFFFFULL;
+    limbs[base + 2] += static_cast<std::uint64_t>(shifted >> 64);
+  }
+
+  // Carry propagation to the canonical form (every limb < 2^32). Logically
+  // const — it rewrites the representation, never the represented value —
+  // hence the mutable state below. Not thread-safe; accumulators are
+  // per-worker and merged under the campaign's lock.
+  void normalize() const {
+    std::uint64_t carry_p = 0, carry_n = 0;
+    for (std::size_t i = 0; i < kLimbs; ++i) {
+      const std::uint64_t tp = pos_[i] + carry_p;
+      pos_[i] = tp & 0xFFFFFFFFULL;
+      carry_p = tp >> 32;
+      const std::uint64_t tn = neg_[i] + carry_n;
+      neg_[i] = tn & 0xFFFFFFFFULL;
+      carry_n = tn >> 32;
+    }
+    // The limb budget covers the maximum representable mass; a carry off the
+    // top would mean ~2^1024 * 2^30 worth of additions, unreachable here.
+    DNNFI_ENSURES(carry_p == 0 && carry_n == 0);
+    adds_ = 0;
+  }
+
+  /// Rounds one canonical (normalized) magnitude to double: the limbs below
+  /// the top three cannot move a 53-bit result by more than an ulp tie, and
+  /// the computation reads them in one fixed order, so it is deterministic.
+  static double magnitude_value(const Limbs& limbs) {
+    std::size_t hi = kLimbs;
+    for (std::size_t i = kLimbs; i-- > 0;) {
+      if (limbs[i] != 0) {
+        hi = i;
+        break;
+      }
+    }
+    if (hi == kLimbs) return 0.0;
+    double r = 0.0;
+    const std::size_t lo = hi >= 3 ? hi - 3 : 0;
+    for (std::size_t i = hi + 1; i-- > lo;)
+      r += std::ldexp(static_cast<double>(limbs[i]),
+                      32 * static_cast<int>(i) - 1075);
+    return r;
+  }
+
+  static void write_magnitude(ByteWriter& w, const Limbs& limbs) {
+    std::size_t count = kLimbs;
+    while (count > 0 && limbs[count - 1] == 0) --count;
+    w.u32(static_cast<std::uint32_t>(count));
+    for (std::size_t i = 0; i < count; ++i) w.u32(static_cast<std::uint32_t>(limbs[i]));
+  }
+
+  static void read_magnitude(ByteReader& r, Limbs& limbs) {
+    const std::uint32_t count = r.u32();
+    if (count > kLimbs)
+      throw SerialError("ExactSum: limb count " + std::to_string(count) +
+                        " exceeds maximum " + std::to_string(kLimbs));
+    for (std::size_t i = 0; i < count; ++i) limbs[i] = r.u32();
+  }
+
+  mutable Limbs pos_{};
+  mutable Limbs neg_{};
+  mutable std::uint32_t adds_ = 0;
+};
+
+}  // namespace dnnfi

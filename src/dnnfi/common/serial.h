@@ -1,0 +1,135 @@
+// Minimal byte-level serialization for shard state: a bounds-checked
+// little-endian writer/reader pair plus CRC-32 and a 64-bit fingerprint
+// fold. Checkpoint files written on one machine must parse (or fail
+// loudly) on any other, so everything is explicit-width and endianness-
+// normalized; no struct is ever memcpy'd wholesale.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dnnfi/common/rng.h"  // splitmix64 for fingerprint64
+
+namespace dnnfi {
+
+/// Thrown when serialized bytes are truncated or structurally invalid.
+/// Deliberately distinct from ContractViolation: a bad byte stream is an
+/// input error (corrupt file, version skew), not a programming bug.
+class SerialError : public std::runtime_error {
+ public:
+  explicit SerialError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width little-endian values to a growable byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  /// Doubles travel as their IEEE-754 bit pattern: bit-exact round trips.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void raw(const std::uint8_t* p, std::size_t n) { buf_.insert(buf_.end(), p, p + n); }
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads fixed-width little-endian values; every access is bounds-checked
+/// and throws SerialError (never UB) on truncated input.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& b)
+      : ByteReader(b.data(), b.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > size_ - pos_)
+      throw SerialError("truncated stream: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_) +
+                        ", only " + std::to_string(size_ - pos_) + " left");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Bitwise implementation —
+/// checkpoint payloads are kilobytes, table lookups buy nothing here.
+constexpr std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                              std::uint32_t seed = 0) noexcept {
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b)
+      crc = (crc >> 1) ^ (0xEDB88320U & (0U - (crc & 1U)));
+  }
+  return ~crc;
+}
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& b) noexcept {
+  return crc32(b.data(), b.size());
+}
+
+/// Order-sensitive 64-bit fold of a byte string (SplitMix64 over a running
+/// state). Used to fingerprint campaign configurations so a checkpoint
+/// refuses to resume under different options.
+constexpr std::uint64_t fingerprint64(const std::uint8_t* data,
+                                      std::size_t size) noexcept {
+  std::uint64_t state = 0x5DF1EB57C0FFEE42ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= data[i];
+    state = splitmix64(state);
+  }
+  return splitmix64(state);
+}
+
+}  // namespace dnnfi

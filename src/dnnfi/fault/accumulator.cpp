@@ -1,0 +1,128 @@
+#include "dnnfi/fault/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnnfi::fault {
+
+void OutcomeAccumulator::add(const TrialRecord& t) {
+  ++n_;
+  sdc1_ += t.outcome.sdc1 ? 1U : 0U;
+  sdc5_ += t.outcome.sdc5 ? 1U : 0U;
+  sdc10_ += t.outcome.sdc10 ? 1U : 0U;
+  sdc20_ += t.outcome.sdc20 ? 1U : 0U;
+  detected_ += t.detected ? 1U : 0U;
+  detected_sdc1_ += (t.detected && t.outcome.sdc1) ? 1U : 0U;
+  reached_ += t.output_corruption > 0 ? 1U : 0U;
+  z2o_ += t.record.zero_to_one ? 1U : 0U;
+  z2o_sdc1_ += (t.record.zero_to_one && t.outcome.sdc1) ? 1U : 0U;
+  corruption_.add(t.output_corruption);
+
+  if (!t.block_distance.empty()) {
+    if (blocks_.size() < t.block_distance.size())
+      blocks_.resize(t.block_distance.size());
+    for (std::size_t b = 0; b < t.block_distance.size(); ++b) {
+      const double d = t.block_distance[b];
+      BlockAgg& agg = blocks_[b];
+      if (d > 0 && std::isfinite(d)) {
+        ++agg.live;
+        agg.dist.add(d);
+        agg.log10_dist.add(std::log10(d));
+      } else {
+        // Covers exact zeros (fully masked before this block) and the
+        // inf/NaN distances a wide-dynamic-range corruption can produce.
+        ++agg.masked;
+      }
+    }
+  }
+}
+
+void OutcomeAccumulator::merge(const OutcomeAccumulator& o) {
+  n_ += o.n_;
+  sdc1_ += o.sdc1_;
+  sdc5_ += o.sdc5_;
+  sdc10_ += o.sdc10_;
+  sdc20_ += o.sdc20_;
+  detected_ += o.detected_;
+  detected_sdc1_ += o.detected_sdc1_;
+  reached_ += o.reached_;
+  z2o_ += o.z2o_;
+  z2o_sdc1_ += o.z2o_sdc1_;
+  corruption_.merge(o.corruption_);
+  if (blocks_.size() < o.blocks_.size()) blocks_.resize(o.blocks_.size());
+  for (std::size_t b = 0; b < o.blocks_.size(); ++b) {
+    blocks_[b].live += o.blocks_[b].live;
+    blocks_[b].masked += o.blocks_[b].masked;
+    blocks_[b].dist.merge(o.blocks_[b].dist);
+    blocks_[b].log10_dist.merge(o.blocks_[b].log10_dist);
+  }
+}
+
+double OutcomeAccumulator::mean_output_corruption_reached() const {
+  if (reached_ == 0) return 0.0;
+  // Non-reaching trials contribute exact zeros, so the all-trials sum over
+  // the reaching count is the reaching-trials mean.
+  return corruption_.value() / static_cast<double>(reached_);
+}
+
+double OutcomeAccumulator::block_log10_mean(std::size_t b) const {
+  const BlockAgg& agg = blocks_.at(b);
+  if (agg.live == 0) return 0.0;
+  return agg.log10_dist.value() / static_cast<double>(agg.live);
+}
+
+void OutcomeAccumulator::serialize(ByteWriter& w) const {
+  w.u64(n_);
+  w.u64(sdc1_);
+  w.u64(sdc5_);
+  w.u64(sdc10_);
+  w.u64(sdc20_);
+  w.u64(detected_);
+  w.u64(detected_sdc1_);
+  w.u64(reached_);
+  w.u64(z2o_);
+  w.u64(z2o_sdc1_);
+  corruption_.serialize(w);
+  w.u64(blocks_.size());
+  for (const BlockAgg& agg : blocks_) {
+    w.u64(agg.live);
+    w.u64(agg.masked);
+    agg.dist.serialize(w);
+    agg.log10_dist.serialize(w);
+  }
+}
+
+OutcomeAccumulator OutcomeAccumulator::deserialize(ByteReader& r) {
+  OutcomeAccumulator a;
+  a.n_ = r.u64();
+  a.sdc1_ = r.u64();
+  a.sdc5_ = r.u64();
+  a.sdc10_ = r.u64();
+  a.sdc20_ = r.u64();
+  a.detected_ = r.u64();
+  a.detected_sdc1_ = r.u64();
+  a.reached_ = r.u64();
+  a.z2o_ = r.u64();
+  a.z2o_sdc1_ = r.u64();
+  a.corruption_ = ExactSum::deserialize(r);
+  const std::uint64_t blocks = r.u64();
+  if (blocks > 4096)
+    throw SerialError("OutcomeAccumulator: implausible block count " +
+                      std::to_string(blocks));
+  a.blocks_.resize(blocks);
+  for (BlockAgg& agg : a.blocks_) {
+    agg.live = r.u64();
+    agg.masked = r.u64();
+    agg.dist = ExactSum::deserialize(r);
+    agg.log10_dist = ExactSum::deserialize(r);
+  }
+  return a;
+}
+
+std::vector<std::uint8_t> OutcomeAccumulator::bytes() const {
+  ByteWriter w;
+  serialize(w);
+  return w.take();
+}
+
+}  // namespace dnnfi::fault

@@ -1,0 +1,125 @@
+// Streaming campaign aggregation. An OutcomeAccumulator folds TrialRecords
+// into bounded-memory online aggregates — outcome counters, detection and
+// bit-direction joints, propagation sums, per-block distance sums — so a
+// campaign's memory footprint is flat in trial count, and shards can be
+// checkpointed, merged, and compared bit-for-bit.
+//
+// The merge is *exactly* associative and commutative: integer counters
+// trivially, floating-point sums via ExactSum. Any partition of the same
+// trial set (one process, k shards, resumed-after-kill) therefore produces
+// byte-identical serialized state. That invariant is what the determinism
+// test suite locks down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnnfi/common/exact_sum.h"
+#include "dnnfi/common/serial.h"
+#include "dnnfi/dnn/fault_hooks.h"
+#include "dnnfi/fault/descriptor.h"
+#include "dnnfi/fault/outcome.h"
+
+namespace dnnfi::fault {
+
+/// Result of a single trial.
+struct TrialRecord {
+  FaultDescriptor fault;
+  Outcome outcome;
+  dnn::InjectionRecord record;
+  std::size_t input_index = 0;
+  bool detected = false;
+  /// Fraction of elements of the final block-end activation whose bit
+  /// patterns differ from golden (Table 5's propagation metric).
+  double output_corruption = 0;
+  /// Per-block Euclidean distance to golden (empty unless requested).
+  std::vector<double> block_distance;
+};
+
+/// Bounded-memory online aggregates over a stream of TrialRecords.
+class OutcomeAccumulator {
+ public:
+  OutcomeAccumulator() = default;
+  /// Pre-sizes the per-block distance slots (one per logical layer).
+  explicit OutcomeAccumulator(std::size_t num_blocks) : blocks_(num_blocks) {}
+
+  /// Folds one trial in. Thread-compatible, not thread-safe: keep one
+  /// accumulator per worker and merge.
+  void add(const TrialRecord& t);
+
+  /// Exact associative merge; block slots grow to the larger operand.
+  void merge(const OutcomeAccumulator& o);
+
+  std::uint64_t trials() const noexcept { return n_; }
+  std::size_t num_blocks() const noexcept { return blocks_.size(); }
+
+  // SDC criteria (Wilson 95% intervals; zero-width when empty).
+  Estimate sdc1() const { return wilson(sdc1_, n_); }
+  Estimate sdc5() const { return wilson(sdc5_, n_); }
+  Estimate sdc10() const { return wilson(sdc10_, n_); }
+  Estimate sdc20() const { return wilson(sdc20_, n_); }
+
+  // Detection (SED) aggregates.
+  Estimate detected() const { return wilson(detected_, n_); }
+  /// P(detected AND SDC-1) over all trials — the "caught" rate.
+  Estimate detected_and_sdc1() const { return wilson(detected_sdc1_, n_); }
+  /// Recall: P(detected | SDC-1).
+  Estimate detected_given_sdc1() const { return wilson(detected_sdc1_, sdc1_); }
+  std::uint64_t detections() const noexcept { return detected_; }
+  std::uint64_t sdc1_count() const noexcept { return sdc1_; }
+  std::uint64_t benign_flagged() const noexcept {
+    return detected_ - detected_sdc1_;
+  }
+
+  // Propagation (Table 5) aggregates.
+  /// P(fault reaches the final block-end activation).
+  Estimate reached_output() const { return wilson(reached_, n_); }
+  /// Mean output corruption over reaching trials (0 when none reached).
+  double mean_output_corruption_reached() const;
+
+  // Bit-flip direction joints (Fig 4).
+  Estimate sdc1_given_zero_to_one() const { return wilson(z2o_sdc1_, z2o_); }
+  Estimate sdc1_given_one_to_zero() const {
+    return wilson(sdc1_ - z2o_sdc1_, n_ - z2o_);
+  }
+
+  // Per-block distance aggregates (Fig 7). A trial contributes to block b
+  // as "live" when its recorded distance is finite and > 0, else "masked"
+  // (identical to the paper-bench bucketing of fully-masked trials).
+  std::uint64_t block_live(std::size_t b) const { return blocks_.at(b).live; }
+  std::uint64_t block_masked(std::size_t b) const {
+    return blocks_.at(b).masked;
+  }
+  /// Sum of live distances for block b (exact).
+  double block_distance_sum(std::size_t b) const {
+    return blocks_.at(b).dist.value();
+  }
+  /// Mean log10 distance over live trials (the Fig 7 geometric mean's
+  /// exponent); 0 when no trial is live.
+  double block_log10_mean(std::size_t b) const;
+
+  /// Canonical byte serialization. Equal aggregate state always produces
+  /// equal bytes, so tests compare shard unions against monolithic runs by
+  /// comparing `bytes()`.
+  void serialize(ByteWriter& w) const;
+  static OutcomeAccumulator deserialize(ByteReader& r);
+  std::vector<std::uint8_t> bytes() const;
+
+ private:
+  struct BlockAgg {
+    std::uint64_t live = 0;    ///< distance finite and > 0
+    std::uint64_t masked = 0;  ///< distance 0 or non-finite
+    ExactSum dist;             ///< sum of live distances
+    ExactSum log10_dist;       ///< sum of log10(live distances)
+  };
+
+  std::uint64_t n_ = 0;
+  std::uint64_t sdc1_ = 0, sdc5_ = 0, sdc10_ = 0, sdc20_ = 0;
+  std::uint64_t detected_ = 0, detected_sdc1_ = 0;
+  std::uint64_t reached_ = 0;
+  std::uint64_t z2o_ = 0, z2o_sdc1_ = 0;
+  ExactSum corruption_;  ///< sum of output_corruption over all trials
+  std::vector<BlockAgg> blocks_;
+};
+
+}  // namespace dnnfi::fault

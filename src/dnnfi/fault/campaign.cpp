@@ -1,9 +1,13 @@
 #include "dnnfi/fault/campaign.h"
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
 #include <limits>
+#include <mutex>
 
 #include "dnnfi/common/thread_pool.h"
+#include "dnnfi/fault/checkpoint.h"
 
 namespace dnnfi::fault {
 
@@ -54,9 +58,13 @@ std::vector<std::size_t> block_end_layers(const dnn::NetworkSpec& spec) {
 }
 
 /// Type-erased backend interface; one TypedBackend<T> per datapath type.
+/// The fingerprint is computed by Campaign (it only needs type-erased
+/// accessors) and passed down so checkpoints can be validated.
 struct Campaign::Backend {
   virtual ~Backend() = default;
-  virtual CampaignResult run(const CampaignOptions& opt) const = 0;
+  virtual ShardResult run_shard(const CampaignOptions& opt,
+                                const ShardSpec& shard, const TrialSink* sink,
+                                std::uint64_t fingerprint) const = 0;
   virtual const dnn::NetworkSpec& spec() const = 0;
   virtual DType dtype() const = 0;
   virtual const Sampler& sampler() const = 0;
@@ -96,77 +104,195 @@ struct Campaign::TypedBackend final : Campaign::Backend {
     }
   }
 
-  CampaignResult run(const CampaignOptions& opt) const override {
-    DNNFI_EXPECTS(opt.trials > 0);
-    CampaignResult result;
-    result.trials.resize(opt.trials);
+  void write_checkpoint(const ShardSpec& shard, std::uint64_t fingerprint,
+                        std::uint64_t total, std::uint64_t begin,
+                        std::uint64_t end, const ShardResult& st) const {
+    ShardCheckpoint ck;
+    ck.fingerprint = fingerprint;
+    ck.network = net.spec().name;
+    ck.trials_total = total;
+    ck.shard_begin = begin;
+    ck.shard_end = end;
+    ck.next_trial = st.next_trial;
+    ck.complete = st.complete;
+    ck.acc = st.acc;
+    save_shard_checkpoint(shard.checkpoint, ck);
+  }
 
+  ShardResult run_shard(const CampaignOptions& opt, const ShardSpec& shard,
+                        const TrialSink* sink,
+                        std::uint64_t fingerprint) const override {
+    const std::uint64_t total = opt.trials;
+    const std::uint64_t begin = shard.begin;
+    const std::uint64_t end = shard.end == 0 ? total : shard.end;
+    DNNFI_EXPECTS(begin <= end && end <= total);
+
+    ShardResult st;
+    st.acc = OutcomeAccumulator(ends.size());
+    st.next_trial = begin;
+
+    if (!shard.checkpoint.empty() &&
+        std::filesystem::exists(shard.checkpoint)) {
+      ShardCheckpoint ck = load_shard_checkpoint(shard.checkpoint);
+      if (ck.fingerprint != fingerprint)
+        throw CheckpointError(
+            "checkpoint " + shard.checkpoint +
+            ": campaign fingerprint mismatch (file was written by a run "
+            "with different options; refusing to resume)");
+      if (ck.trials_total != total || ck.shard_begin != begin ||
+          ck.shard_end != end)
+        throw CheckpointError(
+            "checkpoint " + shard.checkpoint + ": shard range mismatch (file" +
+            " covers [" + std::to_string(ck.shard_begin) + ", " +
+            std::to_string(ck.shard_end) + ") of " +
+            std::to_string(ck.trials_total) + " trials, run requests [" +
+            std::to_string(begin) + ", " + std::to_string(end) + ") of " +
+            std::to_string(total) + ")");
+      st.acc = std::move(ck.acc);
+      st.next_trial = ck.next_trial;
+      st.resumed = true;
+      if (ck.complete || st.next_trial == end) {
+        st.next_trial = end;
+        st.complete = true;
+        return st;
+      }
+    }
+
+    ThreadPool& pool = opt.pool ? *opt.pool : ThreadPool::global();
     const dnn::Executor<T> exec(net.plan());
-    // Chunked so each worker holds one Workspace (and one observer closure)
-    // for its whole share of the campaign: the per-trial loop is then free
-    // of heap allocation on the execution side. Chunk boundaries and the
-    // per-trial RNG streams depend only on (trials, seed), so results are
-    // identical to the serial order regardless of thread count.
-    parallel_for_chunks(ThreadPool::global(), opt.trials, [&](std::size_t begin,
-                                                              std::size_t end) {
-      dnn::Workspace<T> ws(net.plan());
-      const std::size_t last_end = ends.back();
 
-      // Per-chunk observer state, reset per trial; the closure itself is
-      // built once per chunk.
-      std::vector<double> dist(ends.size(), 0.0);
-      const dnn::Trace<T>* golden = nullptr;
-      bool detected = false;
-      double corruption = 0;
-      const dnn::LayerObserver<T> observer =
-          [&](std::size_t layer, tensor::ConstTensorView<T> act) {
-            // Map the layer to a block slot if it is a block end.
-            const auto it = std::find(ends.begin(), ends.end(), layer);
-            if (it == ends.end()) return;
-            const auto b = static_cast<std::size_t>(it - ends.begin());
-            if (opt.detector && !detected) {
-              const int block = static_cast<int>(b) + 1;
-              for (std::size_t i = 0; i < act.size(); ++i) {
-                const double v = numeric::numeric_traits<T>::to_double(act[i]);
-                if (opt.detector(block, v)) {
-                  detected = true;
-                  break;
+    // Batches exist only to bound checkpoint/progress/stop latency. With
+    // none of those active, the whole remaining range is one batch so the
+    // chunk layout (and per-chunk allocations) match the legacy run() path.
+    const bool batched = !shard.checkpoint.empty() || opt.progress != nullptr ||
+                         shard.stop_after > 0;
+    std::uint64_t batch_size = end - st.next_trial;
+    if (batched) batch_size = std::max<std::uint64_t>(1, shard.batch);
+    if (batch_size == 0) batch_size = 1;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t ran = 0;          // new trials executed by this call
+    std::vector<TrialRecord> recbuf;  // one batch of records, iff sink
+    std::mutex merge_mu;
+
+    while (st.next_trial < end) {
+      const std::uint64_t b0 = st.next_trial;
+      const std::uint64_t b1 = std::min<std::uint64_t>(end, b0 + batch_size);
+      const auto count = static_cast<std::size_t>(b1 - b0);
+      if (sink) recbuf.resize(count);
+      OutcomeAccumulator batch_acc(ends.size());
+
+      // Chunk boundaries and per-trial RNG streams depend only on (count,
+      // seed, b0); each worker holds one Workspace, one observer closure,
+      // and one local accumulator for its whole share. Merging is exact
+      // (ExactSum), so the merge order across chunks cannot matter.
+      parallel_for_chunks(pool, count, [&](std::size_t cb, std::size_t ce) {
+        dnn::Workspace<T> ws(net.plan());
+        const std::size_t last_end = ends.back();
+
+        // Per-chunk observer state, reset per trial; the closure itself is
+        // built once per chunk.
+        std::vector<double> dist(ends.size(), 0.0);
+        const dnn::Trace<T>* golden = nullptr;
+        bool detected = false;
+        double corruption = 0;
+        const dnn::LayerObserver<T> observer =
+            [&](std::size_t layer, tensor::ConstTensorView<T> act) {
+              // Map the layer to a block slot if it is a block end.
+              const auto it = std::find(ends.begin(), ends.end(), layer);
+              if (it == ends.end()) return;
+              const auto b = static_cast<std::size_t>(it - ends.begin());
+              if (opt.detector && !detected) {
+                const int block = static_cast<int>(b) + 1;
+                for (std::size_t i = 0; i < act.size(); ++i) {
+                  const double v =
+                      numeric::numeric_traits<T>::to_double(act[i]);
+                  if (opt.detector(block, v)) {
+                    detected = true;
+                    break;
+                  }
                 }
               }
-            }
-            if (opt.record_block_distances)
-              dist[b] = tensor::euclidean_distance<T>(act, golden->acts[layer]);
-            if (layer == last_end) {
-              const std::size_t mism =
-                  tensor::bitwise_mismatch_count<T>(act, golden->acts[layer]);
-              corruption = static_cast<double>(mism) /
-                           static_cast<double>(act.size());
-            }
-          };
+              if (opt.record_block_distances)
+                dist[b] =
+                    tensor::euclidean_distance<T>(act, golden->acts[layer]);
+              if (layer == last_end) {
+                const std::size_t mism =
+                    tensor::bitwise_mismatch_count<T>(act, golden->acts[layer]);
+                corruption = static_cast<double>(mism) /
+                             static_cast<double>(act.size());
+              }
+            };
 
-      for (std::size_t trial = begin; trial < end; ++trial) {
-        Rng rng = derive_stream(opt.seed, trial);
-        TrialRecord& tr = result.trials[trial];
-        tr.input_index = trial % goldens.size();
-        tr.fault = site_sampler.sample(opt.site, rng, opt.constraint);
+        OutcomeAccumulator local(ends.size());
+        TrialRecord scratch;
+        for (std::size_t i = cb; i < ce; ++i) {
+          const std::uint64_t trial = b0 + i;
+          TrialRecord& tr = sink ? recbuf[i] : scratch;
+          Rng rng = derive_stream(opt.seed, trial);
+          tr.input_index = static_cast<std::size_t>(trial % goldens.size());
+          tr.fault = site_sampler.sample(opt.site, rng, opt.constraint);
 
-        golden = &goldens[tr.input_index];
-        detected = false;
-        corruption = 0;
-        std::fill(dist.begin(), dist.end(), 0.0);
+          golden = &goldens[tr.input_index];
+          detected = false;
+          corruption = 0;
+          std::fill(dist.begin(), dist.end(), 0.0);
 
-        // The final-corruption metric is cheap and always useful; keep the
-        // observer on unconditionally.
-        const auto out = inject(exec, ws, net.mac_layers(), *golden, tr.fault,
-                                &tr.record, &observer);
-        tr.outcome = classify(predictions[tr.input_index], net.interpret(out));
-        tr.detected = detected;
-        tr.output_corruption = corruption;
-        if (opt.record_block_distances)
-          tr.block_distance.assign(dist.begin(), dist.end());
+          // The final-corruption metric is cheap and always useful; keep
+          // the observer on unconditionally.
+          const auto out = inject(exec, ws, net.mac_layers(), *golden,
+                                  tr.fault, &tr.record, &observer);
+          tr.outcome =
+              classify(predictions[tr.input_index], net.interpret(out));
+          tr.detected = detected;
+          tr.output_corruption = corruption;
+          if (opt.record_block_distances)
+            tr.block_distance.assign(dist.begin(), dist.end());
+          else
+            tr.block_distance.clear();
+          local.add(tr);
+        }
+        const std::scoped_lock lk(merge_mu);
+        batch_acc.merge(local);
+      });
+
+      st.acc.merge(batch_acc);
+      st.next_trial = b1;
+      st.complete = st.next_trial == end;
+      ran += count;
+
+      if (sink)
+        for (std::size_t i = 0; i < count; ++i) (*sink)(b0 + i, recbuf[i]);
+      if (!shard.checkpoint.empty())
+        write_checkpoint(shard, fingerprint, total, begin, end, st);
+      if (opt.progress) {
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        CampaignProgress p;
+        p.done = st.next_trial - begin;
+        p.begin = begin;
+        p.end = end;
+        p.trials_per_sec =
+            secs > 0 ? static_cast<double>(ran) / secs : 0.0;
+        p.eta_seconds = p.trials_per_sec > 0
+                            ? static_cast<double>(end - st.next_trial) /
+                                  p.trials_per_sec
+                            : 0.0;
+        p.sdc1 = st.acc.sdc1();
+        opt.progress(p);
       }
-    });
-    return result;
+      if (!st.complete && shard.stop_after > 0 && ran >= shard.stop_after)
+        return st;  // clean preemption: checkpoint (if any) already on disk
+    }
+
+    st.complete = true;
+    // An empty shard (or one already finished on disk) never enters the
+    // loop; still leave a checkpoint behind so resume tooling sees it.
+    if (!shard.checkpoint.empty() && ran == 0 && !st.resumed)
+      write_checkpoint(shard, fingerprint, total, begin, end, st);
+    return st;
   }
 
   const dnn::NetworkSpec& spec() const override { return net.spec(); }
@@ -201,8 +327,47 @@ Campaign::Campaign(Campaign&&) noexcept = default;
 Campaign& Campaign::operator=(Campaign&&) noexcept = default;
 
 CampaignResult Campaign::run(const CampaignOptions& opt) const {
-  return backend_->run(opt);
+  CampaignResult result;
+  result.trials.resize(opt.trials);
+  if (opt.trials == 0) return result;
+  const TrialSink sink = [&](std::uint64_t trial, const TrialRecord& tr) {
+    result.trials[static_cast<std::size_t>(trial)] = tr;
+  };
+  backend_->run_shard(opt, ShardSpec{}, &sink, fingerprint(opt));
+  return result;
 }
+
+ShardResult Campaign::run_shard(const CampaignOptions& opt,
+                                const ShardSpec& shard,
+                                const TrialSink* sink) const {
+  return backend_->run_shard(opt, shard, sink, fingerprint(opt));
+}
+
+std::uint64_t Campaign::fingerprint(const CampaignOptions& opt) const {
+  ByteWriter w;
+  w.u64(opt.seed);
+  w.u64(opt.trials);
+  w.u32(static_cast<std::uint32_t>(opt.site));
+  w.u32(static_cast<std::uint32_t>(backend_->dtype()));
+  w.str(backend_->spec().name);
+  w.u64(backend_->num_inputs());
+  const SampleConstraint& c = opt.constraint;
+  w.u8(c.fixed_bit.has_value() ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(c.fixed_bit.value_or(0)));
+  w.u8(c.fixed_block.has_value() ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(c.fixed_block.value_or(0)));
+  w.u8(c.fixed_latch.has_value() ? 1 : 0);
+  w.u32(c.fixed_latch ? static_cast<std::uint32_t>(*c.fixed_latch) : 0);
+  w.u8(c.buffer_storage.has_value() ? 1 : 0);
+  w.u32(c.buffer_storage ? static_cast<std::uint32_t>(*c.buffer_storage) : 0);
+  w.u32(static_cast<std::uint32_t>(c.burst));
+  w.u8(opt.record_block_distances ? 1 : 0);
+  // The detector is a std::function and cannot be fingerprinted; record its
+  // presence only. Resuming with a *different* detector is on the caller.
+  w.u8(opt.detector ? 1 : 0);
+  return fingerprint64(w.bytes().data(), w.bytes().size());
+}
+
 const dnn::NetworkSpec& Campaign::spec() const { return backend_->spec(); }
 DType Campaign::dtype() const { return backend_->dtype(); }
 const Sampler& Campaign::sampler() const { return backend_->sampler(); }

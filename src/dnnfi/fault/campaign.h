@@ -2,14 +2,25 @@
 // -> classify), run in parallel with per-trial deterministic RNG streams.
 // One Campaign instance binds a (topology, weights, dtype, input set) tuple
 // and precomputes the golden traces every trial compares against.
+//
+// Campaigns execute as *shards*: trial indices [begin, end) of the logical
+// [0, trials) campaign. Trial t's RNG stream is derive_stream(seed, t) and
+// its input is t % num_inputs, both functions of the global index alone, so
+// any shard partition reproduces exactly the trials a monolithic run would
+// — the union of shard aggregates is bit-identical to the single-process
+// result, regardless of thread count, batching, or checkpoint/resume
+// boundaries (see DESIGN.md §7 and tests/test_campaign_determinism.cpp).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "dnnfi/common/thread_pool.h"
 #include "dnnfi/dnn/train.h"
 #include "dnnfi/dnn/weights.h"
+#include "dnnfi/fault/accumulator.h"
 #include "dnnfi/fault/descriptor.h"
 #include "dnnfi/fault/injector.h"
 #include "dnnfi/fault/outcome.h"
@@ -21,6 +32,16 @@ namespace dnnfi::fault {
 struct BlockRange {
   double lo = 0;
   double hi = 0;
+};
+
+/// Periodic progress report for long campaigns (one per completed batch).
+struct CampaignProgress {
+  std::uint64_t done = 0;         ///< trials folded so far (resumed included)
+  std::uint64_t begin = 0;        ///< shard range
+  std::uint64_t end = 0;
+  double trials_per_sec = 0;      ///< throughput of this process, this run
+  double eta_seconds = 0;         ///< remaining / trials_per_sec
+  Estimate sdc1;                  ///< running SDC-1 estimate (Wilson)
 };
 
 /// Campaign parameters.
@@ -40,29 +61,62 @@ struct CampaignOptions {
   /// Record per-block Euclidean distance between faulty and golden
   /// activations (Fig 7). Costs one pass over every recomputed layer.
   bool record_block_distances = false;
+
+  /// Worker pool override. Null uses ThreadPool::global(). Results are
+  /// bit-identical for any pool size — the determinism tests run the same
+  /// campaign at 1, 2, and 8 threads and compare bytes.
+  ThreadPool* pool = nullptr;
+
+  /// Invoked after every completed batch with throughput, ETA, and the
+  /// running SDC-1 estimate. Called on the campaign-driving thread.
+  std::function<void(const CampaignProgress&)> progress;
 };
 
-/// Result of a single trial.
-struct TrialRecord {
-  FaultDescriptor fault;
-  Outcome outcome;
-  dnn::InjectionRecord record;
-  std::size_t input_index = 0;
-  bool detected = false;
-  /// Fraction of elements of the final block-end activation whose bit
-  /// patterns differ from golden (Table 5's propagation metric).
-  double output_corruption = 0;
-  /// Per-block Euclidean distance to golden (empty unless requested).
-  std::vector<double> block_distance;
+/// One shard of a campaign: which trial-index range to run and how to
+/// persist it.
+struct ShardSpec {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  ///< exclusive; 0 means "opt.trials" (whole range)
+
+  /// Checkpoint file. Empty disables checkpointing. When the file already
+  /// exists it is loaded, validated against the campaign fingerprint, and
+  /// the run resumes from its next_trial cursor.
+  std::string checkpoint;
+
+  /// Trials per batch: the granularity of checkpoints, progress callbacks,
+  /// and stop_after. Only batches when one of those features is active —
+  /// otherwise the whole range runs as a single batch.
+  std::size_t batch = 512;
+
+  /// Testing/preemption hook: stop cleanly (checkpoint written, incomplete
+  /// result returned) after at least this many *new* trials. 0 = run to
+  /// the end of the shard.
+  std::uint64_t stop_after = 0;
 };
 
-/// All trials of one campaign plus aggregation helpers.
+/// Streaming consumer of per-trial records, invoked in ascending trial
+/// order after each batch completes. Optional: campaigns that only need
+/// aggregates skip record materialization entirely.
+using TrialSink = std::function<void(std::uint64_t trial, const TrialRecord&)>;
+
+/// What a shard run produced.
+struct ShardResult {
+  OutcomeAccumulator acc;
+  std::uint64_t next_trial = 0;  ///< == shard end iff complete
+  bool complete = false;
+  bool resumed = false;  ///< a checkpoint was loaded before running
+};
+
+/// All trials of one campaign plus aggregation helpers. The buffered
+/// counterpart of OutcomeAccumulator: keeps every record, for studies that
+/// need per-trial data (Fig 5's value buckets). Aggregate-only consumers
+/// should prefer Campaign::run_shard, whose memory is flat in trial count.
 struct CampaignResult {
   std::vector<TrialRecord> trials;
 
   using Pred = std::function<bool(const TrialRecord&)>;
 
-  /// Estimates P(pred) over all trials.
+  /// Estimates P(pred) over all trials (zero-width when empty).
   Estimate rate(const Pred& pred) const;
   /// Estimates P(pred) over trials satisfying `filter`.
   Estimate rate_if(const Pred& filter, const Pred& pred) const;
@@ -84,9 +138,24 @@ class Campaign {
   Campaign(Campaign&&) noexcept;
   Campaign& operator=(Campaign&&) noexcept;
 
-  /// Runs `opt.trials` independent injections. Deterministic in opt.seed,
-  /// regardless of thread count.
+  /// Runs `opt.trials` independent injections, buffering every record.
+  /// Deterministic in opt.seed, regardless of thread count. Zero trials
+  /// yields an empty result whose estimates are all zero-width.
   CampaignResult run(const CampaignOptions& opt) const;
+
+  /// Runs one shard of the campaign with streaming aggregation: records
+  /// are folded into the returned accumulator (and optionally streamed to
+  /// `sink` in trial order) instead of buffered. Honors `spec.checkpoint`
+  /// for resumable execution. Memory is bounded by (workers + batch), not
+  /// by trial count.
+  ShardResult run_shard(const CampaignOptions& opt, const ShardSpec& shard,
+                        const TrialSink* sink = nullptr) const;
+
+  /// Fold of every option that changes trial outcomes — seed, trial count,
+  /// site, constraint, dtype, topology, detector presence — used to refuse
+  /// resuming/merging under mismatched configurations. Not part of the
+  /// checkpoint payload semantics: equal fingerprints promise equal trials.
+  std::uint64_t fingerprint(const CampaignOptions& opt) const;
 
   const dnn::NetworkSpec& spec() const;
   numeric::DType dtype() const;

@@ -1,0 +1,106 @@
+#include "dnnfi/fault/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace dnnfi::fault {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw CheckpointError("checkpoint " + path + ": " + why);
+}
+
+}  // namespace
+
+void save_shard_checkpoint(const std::string& path,
+                           const ShardCheckpoint& ck) {
+  DNNFI_EXPECTS(!path.empty());
+  ByteWriter payload;
+  payload.u64(ck.fingerprint);
+  payload.str(ck.network);
+  payload.u64(ck.trials_total);
+  payload.u64(ck.shard_begin);
+  payload.u64(ck.shard_end);
+  payload.u64(ck.next_trial);
+  payload.u8(ck.complete ? 1 : 0);
+  ck.acc.serialize(payload);
+
+  ByteWriter file;
+  file.raw(reinterpret_cast<const std::uint8_t*>(kCheckpointMagic),
+           sizeof(kCheckpointMagic));
+  file.u32(kCheckpointVersion);
+  file.u32(crc32(payload.bytes()));
+  file.u64(payload.bytes().size());
+  file.raw(payload.bytes().data(), payload.bytes().size());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail(path, "cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(file.bytes().data()),
+              static_cast<std::streamsize>(file.bytes().size()));
+    out.flush();
+    if (!out) fail(path, "short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) fail(path, "rename from " + tmp + " failed: " + ec.message());
+}
+
+ShardCheckpoint load_shard_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+
+  ByteReader r(bytes);
+  try {
+    std::uint8_t magic[sizeof(kCheckpointMagic)];
+    for (auto& m : magic) m = r.u8();
+    if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0)
+      fail(path, "bad magic (not a dnnfi shard checkpoint)");
+    const std::uint32_t version = r.u32();
+    if (version != kCheckpointVersion)
+      fail(path, "unsupported format version " + std::to_string(version) +
+                     " (this build reads version " +
+                     std::to_string(kCheckpointVersion) + ")");
+    const std::uint32_t stored_crc = r.u32();
+    const std::uint64_t payload_size = r.u64();
+    if (payload_size != r.remaining())
+      fail(path, "payload size mismatch: header says " +
+                     std::to_string(payload_size) + ", file holds " +
+                     std::to_string(r.remaining()));
+    const std::uint32_t actual_crc =
+        crc32(bytes.data() + (bytes.size() - payload_size), payload_size);
+    if (actual_crc != stored_crc)
+      fail(path, "CRC mismatch (stored " + std::to_string(stored_crc) +
+                     ", computed " + std::to_string(actual_crc) +
+                     ") — file is corrupt");
+
+    ShardCheckpoint ck;
+    ck.fingerprint = r.u64();
+    ck.network = r.str();
+    ck.trials_total = r.u64();
+    ck.shard_begin = r.u64();
+    ck.shard_end = r.u64();
+    ck.next_trial = r.u64();
+    ck.complete = r.u8() != 0;
+    ck.acc = OutcomeAccumulator::deserialize(r);
+    if (!r.done()) fail(path, "trailing garbage after payload");
+    if (ck.shard_begin > ck.shard_end || ck.next_trial < ck.shard_begin ||
+        ck.next_trial > ck.shard_end || ck.shard_end > ck.trials_total)
+      fail(path, "inconsistent shard range [" +
+                     std::to_string(ck.shard_begin) + ", " +
+                     std::to_string(ck.shard_end) + ") next=" +
+                     std::to_string(ck.next_trial) + " total=" +
+                     std::to_string(ck.trials_total));
+    return ck;
+  } catch (const SerialError& e) {
+    fail(path, std::string("malformed payload: ") + e.what());
+  }
+}
+
+}  // namespace dnnfi::fault

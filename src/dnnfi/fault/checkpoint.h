@@ -1,0 +1,68 @@
+// Versioned shard checkpoints. A campaign shard persists (fingerprint,
+// trial-range, next-trial cursor, accumulator state) so a killed run
+// resumes from the last completed batch and finishes bit-identical to an
+// uninterrupted one.
+//
+// File layout (all little-endian):
+//
+//   offset  size  field
+//   0       8     magic "DNNFICKP"
+//   8       4     format version (currently 1)
+//   12      4     CRC-32 of the payload
+//   16      8     payload size in bytes
+//   24      ...   payload (ByteWriter stream):
+//                   u64 fingerprint       — campaign-config fold (below)
+//                   str network name      — diagnostics only
+//                   u64 trials_total      — opt.trials of the whole campaign
+//                   u64 shard_begin, shard_end
+//                   u64 next_trial        — first trial index NOT yet folded
+//                   u8  complete          — next_trial == shard_end
+//                   ...  OutcomeAccumulator::serialize
+//
+// Every structural defect — bad magic, unknown version, CRC mismatch,
+// truncation — raises CheckpointError with a message naming the file and
+// the defect; corrupt state is never silently (mis)loaded. Writes go to a
+// sibling ".tmp" file first and are renamed into place, so a crash
+// mid-write leaves the previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dnnfi/fault/accumulator.h"
+
+namespace dnnfi::fault {
+
+/// Thrown on any checkpoint load/validation failure (corrupt bytes,
+/// version skew, or a checkpoint that does not match the campaign being
+/// resumed). Catchable separately from programming-error ContractViolation.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+inline constexpr char kCheckpointMagic[8] = {'D', 'N', 'N', 'F',
+                                             'I', 'C', 'K', 'P'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// One shard's persistent state.
+struct ShardCheckpoint {
+  std::uint64_t fingerprint = 0;  ///< campaign-config fold (campaign.h)
+  std::string network;            ///< spec name, for diagnostics
+  std::uint64_t trials_total = 0;
+  std::uint64_t shard_begin = 0;
+  std::uint64_t shard_end = 0;
+  std::uint64_t next_trial = 0;
+  bool complete = false;
+  OutcomeAccumulator acc;
+};
+
+/// Atomically writes `ck` to `path` (tmp file + rename).
+void save_shard_checkpoint(const std::string& path, const ShardCheckpoint& ck);
+
+/// Loads and validates a checkpoint; throws CheckpointError on any defect.
+ShardCheckpoint load_shard_checkpoint(const std::string& path);
+
+}  // namespace dnnfi::fault

@@ -31,9 +31,31 @@ Estimate estimate(std::size_t hits, std::size_t n) {
   Estimate e;
   e.hits = hits;
   e.n = n;
-  if (n == 0) return e;
+  if (n == 0) return e;  // zero-width by contract (see header)
   e.p = static_cast<double>(hits) / static_cast<double>(n);
   e.ci95 = 1.96 * std::sqrt(e.p * (1.0 - e.p) / static_cast<double>(n));
+  e.lo = std::max(0.0, e.p - e.ci95);
+  e.hi = std::min(1.0, e.p + e.ci95);
+  return e;
+}
+
+Estimate wilson(std::size_t hits, std::size_t n) {
+  Estimate e;
+  e.hits = hits;
+  e.n = n;
+  if (n == 0) return e;  // zero-width by contract (see header)
+  constexpr double z = 1.96;
+  constexpr double z2 = z * z;
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(hits) / nn;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (phat + z2 / (2.0 * nn)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn)) / denom;
+  e.p = phat;
+  e.lo = std::max(0.0, center - half);
+  e.hi = std::min(1.0, center + half);
+  e.ci95 = (e.hi - e.lo) / 2.0;
   return e;
 }
 

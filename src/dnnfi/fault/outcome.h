@@ -24,14 +24,26 @@ struct Outcome {
 /// (NiN does not — its SDC-10%/20% stay false, matching the paper).
 Outcome classify(const dnn::Prediction& golden, const dnn::Prediction& faulty);
 
-/// Binomial estimate with normal-approximation 95% CI.
+/// Binomial estimate with a 95% confidence interval. An empty sample
+/// (n == 0) is a legal input everywhere and yields the zero-width estimate
+/// {p=0, ci95=0, lo=0, hi=0} — sharded campaigns routinely aggregate empty
+/// strata, so this is a contract, not an accident.
 struct Estimate {
-  double p = 0;      ///< point estimate
+  double p = 0;      ///< point estimate (hits / n; 0 when n == 0)
   double ci95 = 0;   ///< half-width of the 95% interval
+  double lo = 0;     ///< lower 95% bound, clamped to [0, 1]
+  double hi = 0;     ///< upper 95% bound, clamped to [0, 1]
   std::size_t hits = 0;
   std::size_t n = 0;
 };
 
+/// Normal-approximation (Wald) interval — matches the paper's error bars.
 Estimate estimate(std::size_t hits, std::size_t n);
+
+/// Wilson score interval: well-behaved at p near 0/1 and tiny n, where the
+/// Wald interval collapses to zero width. Streaming aggregates report this.
+/// `p` stays the MLE hits/n; `lo`/`hi` are the Wilson bounds and `ci95`
+/// their half-width.
+Estimate wilson(std::size_t hits, std::size_t n);
 
 }  // namespace dnnfi::fault

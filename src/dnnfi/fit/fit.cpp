@@ -25,6 +25,11 @@ double datapath_fit(numeric::DType t, std::size_t num_pes, double sdc) {
   return component_fit(datapath_bits(t, num_pes), sdc);
 }
 
+double datapath_fit(numeric::DType t, std::size_t num_pes,
+                    const fault::Estimate& sdc) {
+  return datapath_fit(t, num_pes, sdc.p);
+}
+
 double occupied_bits(const std::vector<accel::LayerFootprint>& footprints,
                      accel::BufferKind buffer,
                      const accel::EyerissConfig& cfg) {
@@ -49,6 +54,12 @@ double buffer_fit(const std::vector<accel::LayerFootprint>& footprints,
                   accel::BufferKind buffer, const accel::EyerissConfig& cfg,
                   double sdc) {
   return component_fit(occupied_bits(footprints, buffer, cfg), sdc);
+}
+
+double buffer_fit(const std::vector<accel::LayerFootprint>& footprints,
+                  accel::BufferKind buffer, const accel::EyerissConfig& cfg,
+                  const fault::Estimate& sdc) {
+  return buffer_fit(footprints, buffer, cfg, sdc.p);
 }
 
 double total_fit(const std::vector<ComponentFitRow>& rows) {

@@ -17,6 +17,7 @@
 #include "dnnfi/accel/dataflow.h"
 #include "dnnfi/accel/datapath.h"
 #include "dnnfi/accel/eyeriss.h"
+#include "dnnfi/fault/outcome.h"
 #include "dnnfi/numeric/dtype.h"
 
 namespace dnnfi::fit {
@@ -41,6 +42,11 @@ double datapath_bits(numeric::DType t, std::size_t num_pes);
 /// Datapath FIT: Eq. 1 over the PE-array latches.
 double datapath_fit(numeric::DType t, std::size_t num_pes, double sdc);
 
+/// Same, taking a campaign estimate directly (uses its point estimate), so
+/// streaming-accumulator consumers don't unpack `.p` by hand.
+double datapath_fit(numeric::DType t, std::size_t num_pes,
+                    const fault::Estimate& sdc);
+
 /// Time-averaged *occupied* bits of an Eyeriss buffer while running the
 /// network described by `footprints`: per layer, the live footprint (capped
 /// at the structure's physical capacity) weighted by layer duration (MACs).
@@ -53,6 +59,11 @@ double occupied_bits(const std::vector<accel::LayerFootprint>& footprints,
 double buffer_fit(const std::vector<accel::LayerFootprint>& footprints,
                   accel::BufferKind buffer, const accel::EyerissConfig& cfg,
                   double sdc);
+
+/// Estimate-taking counterpart of the above.
+double buffer_fit(const std::vector<accel::LayerFootprint>& footprints,
+                  accel::BufferKind buffer, const accel::EyerissConfig& cfg,
+                  const fault::Estimate& sdc);
 
 /// One line of a FIT report.
 struct ComponentFitRow {

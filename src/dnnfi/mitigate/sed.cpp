@@ -55,13 +55,21 @@ SedEvaluation evaluate_sed(const fault::CampaignResult& result) {
   }
   SedEvaluation ev;
   // Paper definition: precision = 1 - benign-flagged / injected.
-  const auto fp = fault::estimate(benign_flagged, result.trials.size());
-  ev.precision = fp;
-  ev.precision.p = 1.0 - fp.p;
-  ev.precision.hits = result.trials.size() - benign_flagged;
+  ev.precision = fault::estimate(result.trials.size() - benign_flagged,
+                                 result.trials.size());
   ev.recall = fault::estimate(sdc_flagged, sdc_total);
   ev.detections = detections;
   ev.sdc_count = sdc_total;
+  return ev;
+}
+
+SedEvaluation evaluate_sed(const fault::OutcomeAccumulator& acc) {
+  SedEvaluation ev;
+  const std::uint64_t n = acc.trials();
+  ev.precision = fault::wilson(n - acc.benign_flagged(), n);
+  ev.recall = acc.detected_given_sdc1();
+  ev.detections = static_cast<std::size_t>(acc.detections());
+  ev.sdc_count = static_cast<std::size_t>(acc.sdc1_count());
   return ev;
 }
 

@@ -67,4 +67,9 @@ struct SedEvaluation {
 
 SedEvaluation evaluate_sed(const fault::CampaignResult& result);
 
+/// Streaming counterpart: same definitions computed from an accumulator
+/// (Wilson intervals). `evaluate_sed(run(...))` and
+/// `evaluate_sed(run_shard(...).acc)` agree on every point estimate.
+SedEvaluation evaluate_sed(const fault::OutcomeAccumulator& acc);
+
 }  // namespace dnnfi::mitigate

@@ -184,7 +184,7 @@ TEST(CampaignInputs, EmptyInputSetRejected) {
                ContractViolation);
 }
 
-TEST(CampaignOptions, ZeroTrialsRejected) {
+TEST(CampaignOptions, ZeroTrialsYieldEmptyResult) {
   const auto spec = dnn::SpecBuilder("z", chw(1, 6, 6), 2)
                         .conv(2, 3, 1, 1).relu().global_avg_pool()
                         .build();
@@ -196,7 +196,23 @@ TEST(CampaignOptions, ZeroTrialsRejected) {
                     std::move(inputs));
   fault::CampaignOptions opt;
   opt.trials = 0;
-  EXPECT_THROW(c.run(opt), ContractViolation);
+  // Empty shards are a natural edge of sharded execution: legal, and every
+  // estimate over them is an exact zero-width zero.
+  const auto r = c.run(opt);
+  EXPECT_TRUE(r.trials.empty());
+  for (const auto& e : {r.sdc1(), r.sdc5(), r.sdc10(), r.sdc20(),
+                        r.rate([](const fault::TrialRecord&) { return true; })}) {
+    EXPECT_EQ(e.n, 0u);
+    EXPECT_EQ(e.hits, 0u);
+    EXPECT_EQ(e.p, 0.0);
+    EXPECT_EQ(e.ci95, 0.0);
+    EXPECT_EQ(e.lo, 0.0);
+    EXPECT_EQ(e.hi, 0.0);
+  }
+  const auto sh = c.run_shard(opt, fault::ShardSpec{});
+  EXPECT_TRUE(sh.complete);
+  EXPECT_EQ(sh.acc.trials(), 0u);
+  EXPECT_EQ(sh.acc.sdc1().ci95, 0.0);
 }
 
 }  // namespace

@@ -4,10 +4,16 @@
 // TEST_P style.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 
+#include "dnnfi/common/exact_sum.h"
 #include "dnnfi/common/rng.h"
+#include "dnnfi/common/serial.h"
+#include "dnnfi/dnn/spec.h"
 #include "dnnfi/fault/descriptor.h"
+#include "dnnfi/fault/sampler.h"
 #include "dnnfi/mitigate/slh.h"
 #include "dnnfi/numeric/dtype.h"
 
@@ -206,6 +212,178 @@ TEST(Descriptor, BufferOfMapsAllBufferClasses) {
             accel::BufferKind::kImgReg);
   EXPECT_THROW(fault::buffer_of(fault::SiteClass::kDatapathLatch),
                ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Rng contract: `below(bound)` stays strictly inside the bound and is
+// (roughly) uniform, and `derive_stream` is injective in the stream index.
+// These two are the foundation of the sharded-campaign determinism contract
+// (DESIGN.md §7): trial t's entire randomness is derive_stream(seed, t).
+
+class RngBelow : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelow, NeverReachesBound) {
+  Rng rng(GetParam());
+  for (const std::uint64_t bound :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3},
+        std::uint64_t{64}, std::uint64_t{1000},
+        std::uint64_t{1} << 33, std::uint64_t{0} - 2}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST_P(RngBelow, RoughlyUniformOver64Buckets) {
+  Rng rng(GetParam() ^ 0xB0C4);
+  constexpr int kBuckets = 64;
+  constexpr int kDraws = 64 * 1000;
+  std::array<int, kBuckets> hist{};
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.below(kBuckets)];
+  // Pearson chi-square with 63 dof: mean 63, stddev ~11.2. 150 is ~7.8
+  // sigma above the mean — a deterministic seed either passes or the
+  // generator is genuinely broken.
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (const int h : hist) {
+    const double d = h - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 150.0) << "chi2=" << chi2;
+  // And no bucket is starved or flooded outright.
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    EXPECT_GT(hist[b], expected * 0.8) << "bucket " << b;
+    EXPECT_LT(hist[b], expected * 1.2) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBelow, ::testing::Values(0, 1, 2017, 31013));
+
+TEST(DeriveStream, IdenticalInputsYieldIdenticalStreams) {
+  for (const std::uint64_t seed : {0ULL, 42ULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    for (const std::uint64_t i : {0ULL, 1ULL, 1000000ULL}) {
+      Rng a = derive_stream(seed, i);
+      Rng b = derive_stream(seed, i);
+      for (int k = 0; k < 64; ++k) ASSERT_EQ(a(), b());
+    }
+  }
+}
+
+TEST(DeriveStream, DistinctIndicesYieldDistinctStreams) {
+  // Any two of the first 256 trial streams must diverge within the first
+  // few draws; a campaign where two trials shared randomness would silently
+  // double-count one fault site.
+  constexpr std::uint64_t kSeed = 2017;
+  constexpr int kStreams = 256;
+  std::set<std::array<std::uint64_t, 4>> prefixes;
+  for (int i = 0; i < kStreams; ++i) {
+    Rng r = derive_stream(kSeed, static_cast<std::uint64_t>(i));
+    prefixes.insert({r(), r(), r(), r()});
+  }
+  EXPECT_EQ(prefixes.size(), static_cast<std::size_t>(kStreams));
+}
+
+TEST(DeriveStream, DifferentSeedsYieldDistinctStreams) {
+  Rng a = derive_stream(1, 0);
+  Rng b = derive_stream(2, 0);
+  bool differs = false;
+  for (int k = 0; k < 4; ++k) differs |= (a() != b());
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler coverage: over 10k draws, every layer a SiteClass can legally
+// strike (pick_layer weight > 0) is hit at least once, and no illegal layer
+// is ever hit. Legality mirrors the sampler's weighting rule: datapath
+// latches weight by MACs; buffer classes by MACs x occupied words.
+
+TEST(SamplerCoverage, EveryLegalLayerHitWithinTenThousandDraws) {
+  const auto spec = dnn::SpecBuilder("cov", tensor::chw(2, 8, 8), 4)
+                        .conv(3, 3, 1, 1).relu()
+                        .conv(4, 3, 1, 1).relu().maxpool(2, 2)
+                        .fc(4).softmax()
+                        .build();
+  const fault::Sampler sampler(spec, numeric::DType::kFloat16);
+  const auto& fp = sampler.footprints();
+  for (const auto cls : fault::kAllSiteClasses) {
+    std::set<std::size_t> legal;
+    for (std::size_t l = 0; l < fp.size(); ++l) {
+      double w = static_cast<double>(fp[l].macs);
+      if (cls != fault::SiteClass::kDatapathLatch)
+        w *= static_cast<double>(accel::occupied_elems(fp[l], fault::buffer_of(cls)));
+      if (w > 0) legal.insert(l);
+    }
+    ASSERT_FALSE(legal.empty()) << fault::site_class_name(cls);
+
+    Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(cls));
+    std::set<std::size_t> hit;
+    for (int i = 0; i < 10000; ++i)
+      hit.insert(sampler.sample(cls, rng).mac_ordinal);
+    EXPECT_EQ(hit, legal) << fault::site_class_name(cls);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ExactSum: the partition-independence property the sharded merge relies on.
+// Any grouping and ordering of the same multiset of doubles must yield
+// bit-identical value() and serialized bytes.
+
+namespace {
+std::vector<std::uint8_t> exact_sum_bytes(const ExactSum& s) {
+  ByteWriter w;
+  s.serialize(w);
+  return w.take();
+}
+}  // namespace
+
+TEST(ExactSumProperty, PartitionAndOrderIndependent) {
+  Rng rng(0xE5);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    // Wild dynamic range: magnitudes from 2^-300 to 2^+300, both signs.
+    xs.push_back(std::ldexp(rng.normal(), static_cast<int>(rng.between(-300, 300))));
+  }
+  ExactSum forward;
+  for (const double x : xs) forward.add(x);
+
+  ExactSum reverse;
+  for (std::size_t i = xs.size(); i-- > 0;) reverse.add(xs[i]);
+
+  // Random 8-way partition merged in shuffled order.
+  std::array<ExactSum, 8> parts;
+  for (const double x : xs) parts[rng.below(parts.size())].add(x);
+  std::array<std::size_t, 8> order{0, 1, 2, 3, 4, 5, 6, 7};
+  for (std::size_t i = order.size(); i-- > 1;)
+    std::swap(order[i], order[rng.below(i + 1)]);
+  ExactSum merged;
+  for (const std::size_t i : order) merged.merge(parts[i]);
+
+  const auto want = exact_sum_bytes(forward);
+  EXPECT_EQ(exact_sum_bytes(reverse), want);
+  EXPECT_EQ(exact_sum_bytes(merged), want);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(reverse.value()),
+            std::bit_cast<std::uint64_t>(forward.value()));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(merged.value()),
+            std::bit_cast<std::uint64_t>(forward.value()));
+}
+
+TEST(ExactSumProperty, ExactWhenMagnitudesAreRepresentable) {
+  // Each sign's magnitude accumulates exactly; value() subtracts the two
+  // rounded magnitudes, so it is exact whenever both are representable.
+  ExactSum s;
+  s.add(3.5);
+  s.add(-1.25);
+  s.add(0x1.0p-40);
+  s.add(-0x1.0p-40);
+  EXPECT_EQ(s.value(), 2.25);
+}
+
+TEST(ExactSumProperty, ZeroMeansNothingAdded) {
+  ExactSum s;
+  EXPECT_TRUE(s.zero());
+  EXPECT_EQ(s.value(), 0.0);
+  s.add(0.0);  // zeros do not perturb the state
+  EXPECT_TRUE(s.zero());
+  s.add(1.0);
+  EXPECT_FALSE(s.zero());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,331 @@
+// Sharded, resumable fault-injection campaign runner.
+//
+// Subcommands:
+//   run     --network <name> --dtype <name> [--site <name>] [--trials N]
+//           [--seed S] [--shard B:E] [--checkpoint FILE] [--batch N]
+//           [--stop-after N] [--bit B] [--layer L] [--inputs N]
+//           [--distances] [--out FILE] [--no-progress]
+//           Runs trial indices [B, E) of an N-trial campaign, streaming
+//           records into an accumulator. With --checkpoint, state is saved
+//           after every batch and an existing file resumes transparently.
+//   resume  Same flags as run; requires the checkpoint file to exist.
+//   merge   [--out FILE] <checkpoint>...
+//           Validates that the checkpoints belong to one campaign (equal
+//           fingerprints, disjoint complete shards) and merges them. The
+//           merged aggregates are bit-identical to a single-process run.
+//
+// Exit codes: 0 shard/merge complete, 2 usage error, 3 stopped before the
+// shard end (--stop-after), 1 anything else (corrupt checkpoint, ...).
+//
+// --out writes a deterministic stats dump (counters in decimal, doubles as
+// C99 hex floats), so bit-identity across shardings is a textual diff.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnnfi/common/table.h"
+#include "dnnfi/data/pretrain.h"
+#include "dnnfi/fault/campaign.h"
+#include "dnnfi/fault/checkpoint.h"
+
+namespace {
+
+using namespace dnnfi;
+using dnn::zoo::NetworkId;
+
+[[noreturn]] void usage(const std::string& why) {
+  std::cerr
+      << "error: " << why << "\n\n"
+      << "usage: dnnfi_campaign <run|resume> --network <name> "
+         "[--dtype <name>] [options]\n"
+         "       dnnfi_campaign merge [--out FILE] <checkpoint>...\n"
+         "  networks: convnet alexnet caffenet nin\n"
+         "  dtypes:   DOUBLE FLOAT FLOAT16 32b_rb26 32b_rb10 16b_rb10\n"
+         "  sites:    datapath global-buffer filter-sram img-reg psum-reg\n"
+         "  options:  --trials N --seed S --shard B:E --checkpoint FILE\n"
+         "            --batch N --stop-after N --bit B --layer L --inputs N\n"
+         "            --distances --out FILE --no-progress\n";
+  std::exit(2);
+}
+
+NetworkId parse_network(const std::string& s) {
+  if (s == "convnet") return NetworkId::kConvNet;
+  if (s == "alexnet") return NetworkId::kAlexNetS;
+  if (s == "caffenet") return NetworkId::kCaffeNetS;
+  if (s == "nin") return NetworkId::kNiNS;
+  usage("unknown network " + s);
+}
+
+numeric::DType parse_dtype(const std::string& s) {
+  for (const auto t : numeric::kAllDTypes)
+    if (s == numeric::dtype_name(t)) return t;
+  usage("unknown dtype " + s);
+}
+
+fault::SiteClass parse_site(const std::string& s) {
+  for (const auto c : fault::kAllSiteClasses)
+    if (s == fault::site_class_name(c)) return c;
+  usage("unknown site " + s);
+}
+
+struct Args {
+  std::string command;
+  NetworkId network = NetworkId::kConvNet;
+  numeric::DType dtype = numeric::DType::kFloat16;
+  fault::SiteClass site = fault::SiteClass::kDatapathLatch;
+  std::size_t trials = 2000;
+  std::uint64_t seed = 2017;
+  std::uint64_t shard_begin = 0;
+  std::uint64_t shard_end = 0;  // 0 = trials
+  std::string checkpoint;
+  std::size_t batch = 512;
+  std::uint64_t stop_after = 0;
+  std::optional<int> bit;
+  std::optional<int> layer;
+  std::size_t inputs = 8;
+  bool distances = false;
+  std::string out;
+  bool progress = true;
+  std::vector<std::string> files;  // merge operands
+};
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage("missing command");
+  Args a;
+  a.command = argv[1];
+  bool have_network = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (!key.starts_with("--")) {
+      a.files.push_back(key);
+      continue;
+    }
+    if (key == "--distances") {
+      a.distances = true;
+      continue;
+    }
+    if (key == "--no-progress") {
+      a.progress = false;
+      continue;
+    }
+    if (i + 1 >= argc) usage("missing value for " + key);
+    const std::string val = argv[++i];
+    if (key == "--network") {
+      a.network = parse_network(val);
+      have_network = true;
+    } else if (key == "--dtype") {
+      a.dtype = parse_dtype(val);
+    } else if (key == "--site") {
+      a.site = parse_site(val);
+    } else if (key == "--trials") {
+      a.trials = std::stoull(val);
+    } else if (key == "--seed") {
+      a.seed = std::stoull(val);
+    } else if (key == "--shard") {
+      const auto colon = val.find(':');
+      if (colon == std::string::npos) usage("--shard expects B:E");
+      a.shard_begin = std::stoull(val.substr(0, colon));
+      a.shard_end = std::stoull(val.substr(colon + 1));
+    } else if (key == "--checkpoint") {
+      a.checkpoint = val;
+    } else if (key == "--batch") {
+      a.batch = std::stoull(val);
+    } else if (key == "--stop-after") {
+      a.stop_after = std::stoull(val);
+    } else if (key == "--bit") {
+      a.bit = std::stoi(val);
+    } else if (key == "--layer") {
+      a.layer = std::stoi(val);
+    } else if (key == "--inputs") {
+      a.inputs = std::stoull(val);
+    } else if (key == "--out") {
+      a.out = val;
+    } else {
+      usage("unknown option " + key);
+    }
+  }
+  if (a.command != "merge" && !have_network) usage("--network is required");
+  return a;
+}
+
+std::vector<dnn::Example> test_inputs(NetworkId id, std::size_t n) {
+  const auto ds = data::dataset_for(id);
+  std::vector<dnn::Example> v;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = ds->sample(data::kTestSplitBegin + i);
+    v.push_back(dnn::Example{std::move(s.image), s.label});
+  }
+  return v;
+}
+
+/// Deterministic aggregate dump: equal accumulator state <=> equal text.
+void write_stats(std::ostream& os, std::uint64_t fingerprint,
+                 const fault::OutcomeAccumulator& acc) {
+  os << "dnnfi-campaign-stats v1\n";
+  os << "fingerprint " << fingerprint << "\n";
+  os << "trials " << acc.trials() << "\n";
+  os << "sdc1 " << acc.sdc1().hits << "\n";
+  os << "sdc5 " << acc.sdc5().hits << "\n";
+  os << "sdc10 " << acc.sdc10().hits << "\n";
+  os << "sdc20 " << acc.sdc20().hits << "\n";
+  os << "detections " << acc.detections() << "\n";
+  os << "benign_flagged " << acc.benign_flagged() << "\n";
+  os << "reached " << acc.reached_output().hits << "\n";
+  os << std::hexfloat;
+  os << "mean_corruption_reached " << acc.mean_output_corruption_reached()
+     << "\n";
+  for (std::size_t b = 0; b < acc.num_blocks(); ++b) {
+    os << "block " << b + 1 << " live " << std::defaultfloat
+       << acc.block_live(b) << " masked " << acc.block_masked(b)
+       << " dist_sum " << std::hexfloat << acc.block_distance_sum(b)
+       << " log10_mean " << acc.block_log10_mean(b) << "\n";
+  }
+  os << std::defaultfloat;
+}
+
+void write_stats_file(const std::string& path, std::uint64_t fingerprint,
+                      const fault::OutcomeAccumulator& acc) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_stats(out, fingerprint, acc);
+}
+
+void print_summary(const std::string& title,
+                   const fault::OutcomeAccumulator& acc) {
+  Table t(title);
+  t.header({"metric", "value"});
+  const auto row = [&t](const char* name, const fault::Estimate& e) {
+    t.row({name, Table::pct_ci(e.p, e.ci95) + " (" + std::to_string(e.hits) +
+                     "/" + std::to_string(e.n) + ")"});
+  };
+  row("SDC-1", acc.sdc1());
+  row("SDC-5", acc.sdc5());
+  row("SDC-10%", acc.sdc10());
+  row("SDC-20%", acc.sdc20());
+  row("reached output", acc.reached_output());
+  t.print(std::cout);
+}
+
+int cmd_run(const Args& a, bool resume) {
+  if (resume) {
+    if (a.checkpoint.empty()) usage("resume requires --checkpoint");
+    if (!std::filesystem::exists(a.checkpoint)) {
+      std::cerr << "error: checkpoint " << a.checkpoint
+                << " does not exist; nothing to resume\n";
+      return 1;
+    }
+  }
+  const dnn::Model m = data::pretrained(a.network);
+  const fault::Campaign c(m.spec, m.blob, a.dtype,
+                          test_inputs(a.network, a.inputs));
+
+  fault::CampaignOptions opt;
+  opt.trials = a.trials;
+  opt.seed = a.seed;
+  opt.site = a.site;
+  opt.constraint.fixed_bit = a.bit;
+  opt.constraint.fixed_block = a.layer;
+  opt.record_block_distances = a.distances;
+  if (a.progress) {
+    opt.progress = [](const fault::CampaignProgress& p) {
+      const std::uint64_t span = p.end - p.begin;
+      std::cerr << "\rshard [" << p.begin << ", " << p.end << "): " << p.done
+                << "/" << span << " trials, " << static_cast<int>(p.trials_per_sec)
+                << "/s, ETA " << static_cast<int>(p.eta_seconds) << "s, SDC-1 "
+                << Table::pct_ci(p.sdc1.p, p.sdc1.ci95) << "   " << std::flush;
+    };
+  }
+
+  fault::ShardSpec shard;
+  shard.begin = a.shard_begin;
+  shard.end = a.shard_end;
+  shard.checkpoint = a.checkpoint;
+  shard.batch = a.batch;
+  shard.stop_after = a.stop_after;
+
+  const auto res = c.run_shard(opt, shard);
+  if (a.progress) std::cerr << "\n";
+
+  const std::uint64_t end = a.shard_end == 0 ? a.trials : a.shard_end;
+  if (!res.complete) {
+    std::cerr << "stopped at trial " << res.next_trial << " of shard ["
+              << a.shard_begin << ", " << end << ")"
+              << (a.checkpoint.empty() ? "" : "; checkpoint saved") << "\n";
+    return 3;
+  }
+  print_summary("shard [" + std::to_string(a.shard_begin) + ", " +
+                    std::to_string(end) + ") of " + std::to_string(a.trials) +
+                    " trials: " +
+                    std::string(dnn::zoo::network_name(a.network)) + " " +
+                    std::string(numeric::dtype_name(a.dtype)) + " " +
+                    fault::site_class_name(a.site),
+                res.acc);
+  if (!a.out.empty()) write_stats_file(a.out, c.fingerprint(opt), res.acc);
+  return 0;
+}
+
+int cmd_merge(const Args& a) {
+  if (a.files.empty()) usage("merge needs at least one checkpoint");
+  std::vector<fault::ShardCheckpoint> cks;
+  for (const auto& f : a.files)
+    cks.push_back(fault::load_shard_checkpoint(f));
+
+  for (std::size_t i = 0; i < cks.size(); ++i) {
+    if (!cks[i].complete)
+      throw std::runtime_error("shard " + a.files[i] +
+                               " is incomplete; finish it before merging");
+    if (cks[i].fingerprint != cks[0].fingerprint ||
+        cks[i].trials_total != cks[0].trials_total)
+      throw std::runtime_error(
+          "shard " + a.files[i] +
+          " belongs to a different campaign than " + a.files[0]);
+  }
+  std::vector<std::size_t> order(cks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return cks[x].shard_begin < cks[y].shard_begin;
+  });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (cks[order[i]].shard_begin < cks[order[i - 1]].shard_end)
+      throw std::runtime_error("shards " + a.files[order[i - 1]] + " and " +
+                               a.files[order[i]] + " overlap");
+  }
+
+  fault::OutcomeAccumulator merged;
+  std::uint64_t covered = 0;
+  for (const auto& ck : cks) {
+    merged.merge(ck.acc);
+    covered += ck.shard_end - ck.shard_begin;
+  }
+  if (covered != cks[0].trials_total)
+    std::cerr << "note: shards cover " << covered << " of "
+              << cks[0].trials_total << " trials\n";
+
+  print_summary("merged " + std::to_string(cks.size()) + " shard(s), " +
+                    std::to_string(merged.trials()) + " trials: " +
+                    cks[0].network,
+                merged);
+  if (!a.out.empty()) write_stats_file(a.out, cks[0].fingerprint, merged);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.command == "run") return cmd_run(a, /*resume=*/false);
+    if (a.command == "resume") return cmd_run(a, /*resume=*/true);
+    if (a.command == "merge") return cmd_merge(a);
+    usage("unknown command " + a.command);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Nightly end-to-end check of the sharded campaign engine (DESIGN.md §7).
+#
+# Runs a real 2000-trial ConvNet campaign three ways and requires them to
+# agree bit-for-bit (stats files serialize doubles as hex floats, so `diff`
+# is an exact comparison):
+#
+#   1. shard [0,1000) killed at 50% via --stop-after, then resumed;
+#   2. shard [1000,2000) run straight through;
+#   3. the merge of both checkpoints vs. one uninterrupted [0,2000) run.
+#
+# Usage: tools/nightly_campaign.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CAMPAIGN="$REPO_ROOT/$BUILD_DIR/tools/dnnfi_campaign"
+[ -x "$CAMPAIGN" ] || { echo "error: $CAMPAIGN not built" >&2; exit 1; }
+
+# The model cache lives in the repo; without this, the CLI would retrain
+# ConvNet from scratch on every nightly run.
+export DNNFI_MODEL_DIR="${DNNFI_MODEL_DIR:-$REPO_ROOT/models}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+COMMON=(--network convnet --dtype FLOAT16 --trials 2000 --seed 20170101
+        --inputs 8 --distances --no-progress)
+
+echo "== shard A [0,1000): run to 50%, expect exit 3 (stopped) =="
+rc=0
+"$CAMPAIGN" run "${COMMON[@]}" --shard 0:1000 --batch 100 --stop-after 500 \
+    --checkpoint "$WORK/a.ckpt" || rc=$?
+[ "$rc" -eq 3 ] || { echo "error: expected exit 3 after --stop-after, got $rc" >&2; exit 1; }
+
+echo "== shard A: resume from checkpoint to completion =="
+"$CAMPAIGN" resume "${COMMON[@]}" --shard 0:1000 --batch 100 \
+    --checkpoint "$WORK/a.ckpt"
+
+echo "== shard B [1000,2000): uninterrupted =="
+"$CAMPAIGN" run "${COMMON[@]}" --shard 1000:2000 --batch 100 \
+    --checkpoint "$WORK/b.ckpt"
+
+echo "== merge shards =="
+"$CAMPAIGN" merge "$WORK/a.ckpt" "$WORK/b.ckpt" --out "$WORK/merged.stats"
+
+echo "== monolithic [0,2000) reference =="
+"$CAMPAIGN" run "${COMMON[@]}" --out "$WORK/full.stats"
+
+echo "== compare =="
+if diff -u "$WORK/full.stats" "$WORK/merged.stats"; then
+  echo "PASS: resumed+merged shards are bit-identical to the monolithic run"
+else
+  echo "FAIL: sharded/resumed campaign diverged from the monolithic run" >&2
+  exit 1
+fi
