@@ -1,0 +1,179 @@
+// Campaign throughput with and without incremental fault replay.
+//
+// For AlexNet-S and ConvNet at FLOAT16 and FLOAT, runs the same campaign
+// twice — full replay (--no-incremental semantics) and incremental replay
+// (cache seeding + masked-fault early exit) — and reports trials/s for
+// each, the speedup, and the masked-exit rate. The two runs are asserted
+// byte-identical at the aggregate level before any timing is reported: a
+// speedup that changed results would be a bug, not a win.
+//
+// Writes BENCH_campaign_throughput.json into the results directory. With
+// --check, exits nonzero if incremental replay is slower than full replay
+// on any cell (the nightly smoke gate).
+//
+// Alongside the measured rates, each network row carries a static estimate
+// of the replayed-MAC fraction: with faults sampled MAC-uniformly, the
+// expected fraction of network MACs a replay starting at the fault layer
+// executes, from accel::analyze_range — the arithmetic incremental replay
+// saves before the early exit saves anything at all.
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dnnfi/accel/dataflow.h"
+
+using namespace dnnfi;
+using namespace dnnfi::benchutil;
+
+namespace {
+
+struct Cell {
+  std::string network;
+  std::string dtype;
+  double full_tps = 0;
+  double incremental_tps = 0;
+  double speedup = 0;
+  double masked_rate = 0;
+  double suffix_mac_fraction = 0;  ///< static replay-cost estimate
+};
+
+/// Expected fraction of network MACs a replay starting at the fault layer
+/// executes, with fault sites sampled proportional to per-layer MACs:
+/// sum_f (macs_f / total) * (macs in [f, end) / total).
+double expected_suffix_mac_fraction(const dnn::NetworkSpec& spec) {
+  const auto fp = accel::analyze(spec);
+  const double total = static_cast<double>(accel::total_macs(fp));
+  const std::size_t n = spec.layers.size();
+  double acc = 0;
+  for (const auto& f : fp) {
+    const double suffix = static_cast<double>(
+        accel::macs_in_range(fp, f.layer_index, n));
+    acc += (static_cast<double>(f.macs) / total) * (suffix / total);
+  }
+  return acc;
+}
+
+struct TimedRun {
+  double tps = 0;
+  fault::ShardResult result;
+};
+
+TimedRun timed_run(const fault::Campaign& campaign, fault::CampaignOptions opt,
+                   bool incremental) {
+  opt.incremental_replay = incremental;
+  const auto t0 = std::chrono::steady_clock::now();
+  TimedRun r;
+  r.result = campaign.run_shard(opt, fault::ShardSpec{});
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.tps = secs > 0 ? static_cast<double>(opt.trials) / secs : 0;
+  return r;
+}
+
+Cell measure(const NetContext& ctx, numeric::DType dt, std::size_t trials) {
+  fault::Campaign campaign(ctx.model.spec, ctx.model.blob, dt, ctx.inputs);
+  fault::CampaignOptions opt;
+  opt.trials = trials;
+  opt.seed = 2017;
+
+  // Warm-up (thread pool spin-up, lazy tables) outside the timed windows.
+  {
+    fault::CampaignOptions warm = opt;
+    warm.trials = std::min<std::size_t>(32, trials);
+    (void)campaign.run_shard(warm, fault::ShardSpec{});
+  }
+
+  const TimedRun full = timed_run(campaign, opt, /*incremental=*/false);
+  const TimedRun inc = timed_run(campaign, opt, /*incremental=*/true);
+  if (full.result.acc.bytes() != inc.result.acc.bytes()) {
+    std::cerr << "FATAL: incremental and full replay disagree on "
+              << ctx.name << " " << numeric::dtype_name(dt)
+              << " — refusing to report timings for wrong results\n";
+    std::exit(1);
+  }
+
+  Cell cell;
+  cell.network = ctx.name;
+  cell.dtype = std::string(numeric::dtype_name(dt));
+  cell.full_tps = full.tps;
+  cell.incremental_tps = inc.tps;
+  cell.speedup = full.tps > 0 ? inc.tps / full.tps : 0;
+  cell.masked_rate =
+      static_cast<double>(inc.result.masked_exits) / static_cast<double>(trials);
+  cell.suffix_mac_fraction = expected_suffix_mac_fraction(ctx.model.spec);
+  return cell;
+}
+
+void write_json(const std::vector<Cell>& cells, std::size_t trials,
+                const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"trials_per_cell\": " << trials << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"network\": \"" << c.network << "\", \"dtype\": \""
+        << c.dtype << "\", \"full_trials_per_sec\": " << c.full_tps
+        << ", \"incremental_trials_per_sec\": " << c.incremental_tps
+        << ", \"speedup\": " << c.speedup
+        << ", \"masked_exit_rate\": " << c.masked_rate
+        << ", \"expected_suffix_mac_fraction\": " << c.suffix_mac_fraction
+        << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+
+  const std::size_t trials = samples(400);
+  banner("campaign throughput: incremental vs full fault replay", trials);
+
+  std::vector<Cell> cells;
+  Table t("campaign throughput (trials/s)");
+  t.header({"network", "dtype", "full", "incremental", "speedup", "masked",
+            "E[suffix MACs]"});
+  for (const NetworkId id : {NetworkId::kAlexNetS, NetworkId::kConvNet}) {
+    const NetContext ctx = load_net(id);
+    for (const numeric::DType dt :
+         {numeric::DType::kFloat16, numeric::DType::kFloat}) {
+      const Cell c = measure(ctx, dt, trials);
+      t.row({c.network, c.dtype, Table::num(c.full_tps, 1),
+             Table::num(c.incremental_tps, 1),
+             Table::num(c.speedup, 2) + "x",
+             Table::pct(c.masked_rate),
+             Table::pct(c.suffix_mac_fraction)});
+      cells.push_back(c);
+    }
+  }
+  emit(t, "BENCH_campaign_throughput");
+
+  std::filesystem::create_directories(results_dir());
+  const std::string json = results_dir() + "/BENCH_campaign_throughput.json";
+  write_json(cells, trials, json);
+  std::cout << "[json] " << json << "\n";
+
+  if (check) {
+    bool fail = false;
+    for (const Cell& c : cells) {
+      if (c.incremental_tps < c.full_tps) {
+        std::cerr << "FAIL: incremental replay slower than full on "
+                  << c.network << " " << c.dtype << " ("
+                  << c.incremental_tps << " vs " << c.full_tps
+                  << " trials/s)\n";
+        fail = true;
+      }
+    }
+    if (fail) return 1;
+    std::cout << "check passed: incremental >= full on every cell\n";
+  }
+  return 0;
+}

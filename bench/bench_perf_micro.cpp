@@ -214,6 +214,8 @@ struct AllocatorReport {
   double ns_per_inference = 0;
   double ns_per_trial = 0;
   double allocations_per_trial = 0;
+  double ns_per_trial_incremental = 0;
+  double allocations_per_trial_incremental = 0;
   std::size_t trials = 0;
 };
 
@@ -286,6 +288,31 @@ AllocatorReport measure_hot_path() {
   r.allocations_per_trial =
       static_cast<double>(allocs_after - allocs_before) /
       static_cast<double>(kTrials);
+
+  // Incremental-replay hot path: cache-seeded trials with masked-fault
+  // early exit. Same zero-allocation contract as the golden-trace path —
+  // the ActivationCache is immutable and replays touch only workspace slots.
+  const dnn::ActivationCache<T> cache(net.plan(), input);
+  for (std::size_t i = 0; i < kWarmup; ++i)
+    benchmark::DoNotOptimize(fault::inject(exec, ws, net.mac_layers(), cache,
+                                           faults[i % faults.size()]));
+  const std::uint64_t inc_allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto t3 = Clock::now();
+  for (std::size_t i = 0; i < kTrials; ++i)
+    benchmark::DoNotOptimize(fault::inject(exec, ws, net.mac_layers(), cache,
+                                           faults[i % faults.size()]));
+  const auto t4 = Clock::now();
+  const std::uint64_t inc_allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
+  r.ns_per_trial_incremental =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t4 - t3)
+              .count()) /
+      static_cast<double>(kTrials);
+  r.allocations_per_trial_incremental =
+      static_cast<double>(inc_allocs_after - inc_allocs_before) /
+      static_cast<double>(kTrials);
   return r;
 }
 
@@ -343,6 +370,10 @@ void write_json(const AllocatorReport& r, const StreamingReport& s,
       << "  \"ns_per_inference\": " << r.ns_per_inference << ",\n"
       << "  \"ns_per_trial\": " << r.ns_per_trial << ",\n"
       << "  \"allocations_per_trial\": " << r.allocations_per_trial << ",\n"
+      << "  \"ns_per_trial_incremental\": " << r.ns_per_trial_incremental
+      << ",\n"
+      << "  \"allocations_per_trial_incremental\": "
+      << r.allocations_per_trial_incremental << ",\n"
       << "  \"streaming_peak_bytes_256\": " << s.peak_growth_small << ",\n"
       << "  \"streaming_peak_bytes_2048\": " << s.peak_growth_large << "\n"
       << "}\n";
@@ -363,14 +394,17 @@ int main(int argc, char** argv) {
   write_json(r, s, json);
   std::printf(
       "\ncompiled-engine hot path (ConvNet, float16, counting allocator):\n"
-      "  ns/inference:      %.0f\n"
-      "  ns/trial:          %.0f\n"
-      "  allocations/trial: %g\n"
+      "  ns/inference:                    %.0f\n"
+      "  ns/trial (full replay):          %.0f\n"
+      "  allocations/trial:               %g\n"
+      "  ns/trial (incremental replay):   %.0f\n"
+      "  allocations/trial (incremental): %g\n"
       "streaming run_shard peak live-heap growth:\n"
       "  %zu trials:  %llu bytes\n"
       "  %zu trials: %llu bytes\n"
       "[json] %s\n",
       r.ns_per_inference, r.ns_per_trial, r.allocations_per_trial,
+      r.ns_per_trial_incremental, r.allocations_per_trial_incremental,
       s.small_trials,
       static_cast<unsigned long long>(s.peak_growth_small), s.large_trials,
       static_cast<unsigned long long>(s.peak_growth_large), json.c_str());
@@ -380,6 +414,13 @@ int main(int argc, char** argv) {
                  "FAIL: faulty hot path allocated %g times per trial; the "
                  "zero-allocation contract is broken\n",
                  r.allocations_per_trial);
+    fail = true;
+  }
+  if (r.allocations_per_trial_incremental > 0) {
+    std::fprintf(stderr,
+                 "FAIL: incremental-replay hot path allocated %g times per "
+                 "trial; the zero-allocation contract is broken\n",
+                 r.allocations_per_trial_incremental);
     fail = true;
   }
   // 8x the trials must not cost more than a small fixed slack of extra peak

@@ -40,9 +40,26 @@ std::vector<LayerFootprint> analyze(const NetworkSpec& spec) {
   return out;
 }
 
+std::vector<LayerFootprint> analyze_range(const NetworkSpec& spec,
+                                          std::size_t from, std::size_t to) {
+  DNNFI_EXPECTS(from < to && to <= spec.layers.size());
+  std::vector<LayerFootprint> out;
+  for (const auto& fp : analyze(spec))
+    if (fp.layer_index >= from && fp.layer_index < to) out.push_back(fp);
+  return out;
+}
+
 std::size_t total_macs(const std::vector<LayerFootprint>& fp) {
   std::size_t total = 0;
   for (const auto& f : fp) total += f.macs;
+  return total;
+}
+
+std::size_t macs_in_range(const std::vector<LayerFootprint>& fp,
+                          std::size_t from, std::size_t to) {
+  std::size_t total = 0;
+  for (const auto& f : fp)
+    if (f.layer_index >= from && f.layer_index < to) total += f.macs;
   return total;
 }
 

@@ -28,8 +28,20 @@ struct LayerFootprint {
 /// Footprints of all MAC layers, in execution order.
 std::vector<LayerFootprint> analyze(const dnn::NetworkSpec& spec);
 
+/// Footprints of the MAC layers whose NetworkSpec index lies in [from, to)
+/// — the static counterpart of Executor::run_range, used to account for
+/// the work incremental replay actually executes (DESIGN.md §8).
+std::vector<LayerFootprint> analyze_range(const dnn::NetworkSpec& spec,
+                                          std::size_t from, std::size_t to);
+
 /// Total MACs across all layers of `fp`.
 std::size_t total_macs(const std::vector<LayerFootprint>& fp);
+
+/// MACs of the layers of `fp` whose NetworkSpec index lies in [from, to):
+/// the arithmetic a replay starting at layer `from` and early-exiting
+/// before layer `to` performs.
+std::size_t macs_in_range(const std::vector<LayerFootprint>& fp,
+                          std::size_t from, std::size_t to);
 
 /// How many elements of `buffer` hold *live* network data during layer `fp`
 /// (occupied words; faults landing in unoccupied space are masked by

@@ -26,25 +26,79 @@ ExecutionPlan<T>::ExecutionPlan(const Network<T>& net)
 }
 
 template <typename T>
+void ActivationCache<T>::build(const ExecutionPlan<T>& plan,
+                               ConstTensorView<T> input) {
+  DNNFI_EXPECTS(input.shape() == plan.input_shape());
+  const auto& steps = plan.steps();
+  if (plan_ != &plan) {
+    plan_ = &plan;
+    offsets_.resize(steps.size());
+    std::size_t off = plan.input_shape().size();
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      offsets_[i] = off;
+      off += steps[i].out_shape.size();
+    }
+    store_.resize(off);
+  }
+  // Layers write straight into their cache segment: no ping-pong, no
+  // copies, and forward calls identical to a plain Executor run.
+  std::copy_n(input.data().data(), input.size(), store_.data());
+  ConstTensorView<T> cur{plan.input_shape(), store_.data()};
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    TensorView<T> out{steps[i].out_shape, store_.data() + offsets_[i]};
+    steps[i].layer->forward(cur, out);
+    cur = out;
+  }
+}
+
+namespace {
+
+/// Golden-source adapter for the legacy Trace-based fault path.
+template <typename T>
+struct TraceGolden {
+  const Trace<T>* t;
+  ConstTensorView<T> act(std::size_t i) const { return t->acts[i]; }
+  ConstTensorView<T> layer_input(std::size_t i) const {
+    return t->layer_input(i);
+  }
+  ConstTensorView<T> output() const { return t->output(); }
+};
+
+}  // namespace
+
+template <typename T>
 ConstTensorView<T> Executor<T>::run(Workspace<T>& ws,
                                     const RunRequest<T>& req) const {
   ws.bind(*plan_);
-  if (req.fault != nullptr) return run_faulty(ws, req);
-  return run_plain(ws, req);
+  if (req.fault != nullptr) {
+    if (req.cache != nullptr) {
+      DNNFI_EXPECTS(req.cache->num_layers() == plan_->num_layers());
+      return run_faulty(ws, req, *req.cache);
+    }
+    DNNFI_EXPECTS(req.golden != nullptr);
+    DNNFI_EXPECTS(req.golden->acts.size() == plan_->num_layers());
+    return run_faulty(ws, req, TraceGolden<T>{req.golden});
+  }
+  return run_range(ws, 0, plan_->num_layers(), req);
 }
 
 template <typename T>
-ConstTensorView<T> Executor<T>::run_plain(Workspace<T>& ws,
+ConstTensorView<T> Executor<T>::run_range(Workspace<T>& ws, std::size_t from,
+                                          std::size_t to,
                                           const RunRequest<T>& req) const {
-  DNNFI_EXPECTS(req.input.shape() == plan_->input_shape());
+  ws.bind(*plan_);
   const auto& steps = plan_->steps();
+  DNNFI_EXPECTS(from < to && to <= steps.size());
+  DNNFI_EXPECTS(req.fault == nullptr);
+  DNNFI_EXPECTS(req.input.shape() == steps[from].in_shape);
   if (req.trace != nullptr) {
+    DNNFI_EXPECTS(from == 0 && to == steps.size());
     req.trace->input.assign(req.input);
     req.trace->acts.resize(steps.size());
   }
   ConstTensorView<T> cur = req.input;
   unsigned parity = 0;
-  for (std::size_t i = 0; i < steps.size(); ++i) {
+  for (std::size_t i = from; i < to; ++i) {
     TensorView<T> out = ws.out_buffer(parity, steps[i].out_shape);
     steps[i].layer->forward(cur, out);
     if (req.trace != nullptr) req.trace->acts[i].assign(out);
@@ -56,20 +110,22 @@ ConstTensorView<T> Executor<T>::run_plain(Workspace<T>& ws,
 }
 
 template <typename T>
+template <typename Golden>
 ConstTensorView<T> Executor<T>::run_faulty(Workspace<T>& ws,
-                                           const RunRequest<T>& req) const {
-  DNNFI_EXPECTS(req.golden != nullptr);
+                                           const RunRequest<T>& req,
+                                           const Golden& g) const {
   const AppliedFault& f = *req.fault;
   const auto& steps = plan_->steps();
   DNNFI_EXPECTS(f.layer < steps.size());
-  DNNFI_EXPECTS(req.golden->acts.size() == steps.size());
+  ReplayInfo info;
+  info.fault_layer = f.layer;
 
   TensorView<T> a = ws.out_buffer(0, steps[f.layer].out_shape);
   if (f.flip_layer_input) {
     // Global-buffer model: the corrupted ifmap word is read by every
     // consumer, so the whole target layer re-executes on flipped input.
     TensorView<T> in = ws.patch_buffer(steps[f.layer].in_shape);
-    in.copy_from(req.golden->layer_input(f.layer));
+    in.copy_from(g.layer_input(f.layer));
     DNNFI_EXPECTS(f.input_index < in.size());
     const T before = in[f.input_index];
     const T after =
@@ -85,20 +141,41 @@ ConstTensorView<T> Executor<T>::run_faulty(Workspace<T>& ws,
     steps[f.layer].layer->forward(ConstTensorView<T>(in), a, nullptr, nullptr);
   } else {
     // Patch the golden output of the target layer with the fault's effect.
-    a.copy_from(req.golden->acts[f.layer]);
-    steps[f.layer].layer->apply_faults(req.golden->layer_input(f.layer), a,
-                                       f.faults, req.record);
+    a.copy_from(g.act(f.layer));
+    steps[f.layer].layer->apply_faults(g.layer_input(f.layer), a, f.faults,
+                                       req.record);
   }
   if (req.observer != nullptr) (*req.observer)(f.layer, a);
+  info.layers_run = 1;
+
   ConstTensorView<T> cur = a;
-  unsigned parity = 1;
-  for (std::size_t i = f.layer + 1; i < steps.size(); ++i) {
-    TensorView<T> out = ws.out_buffer(parity, steps[i].out_shape);
-    steps[i].layer->forward(cur, out);
-    if (req.observer != nullptr) (*req.observer)(i, out);
-    cur = out;
-    parity ^= 1U;
+  std::size_t i = f.layer;
+  // A replayed layer whose output matches the fault-free activation
+  // bit-for-bit has erased the fault: every remaining layer is a
+  // deterministic function of identical state, so the cached final output
+  // IS the run's output and the suffix can be skipped entirely.
+  if (req.early_exit && tensor::bitwise_equal<T>(cur, g.act(i))) {
+    info.masked = true;
+  } else {
+    unsigned parity = 1;
+    for (i = f.layer + 1; i < steps.size(); ++i) {
+      TensorView<T> out = ws.out_buffer(parity, steps[i].out_shape);
+      steps[i].layer->forward(cur, out);
+      if (req.observer != nullptr) (*req.observer)(i, out);
+      cur = out;
+      parity ^= 1U;
+      ++info.layers_run;
+      if (req.early_exit && tensor::bitwise_equal<T>(cur, g.act(i))) {
+        info.masked = true;
+        break;
+      }
+    }
   }
+  if (info.masked) {
+    info.masked_at = i;
+    cur = g.output();
+  }
+  if (req.replay != nullptr) *req.replay = info;
   return cur;
 }
 
@@ -108,6 +185,13 @@ template class ExecutionPlan<numeric::Half>;
 template class ExecutionPlan<numeric::Fx32r26>;
 template class ExecutionPlan<numeric::Fx32r10>;
 template class ExecutionPlan<numeric::Fx16r10>;
+
+template class ActivationCache<double>;
+template class ActivationCache<float>;
+template class ActivationCache<numeric::Half>;
+template class ActivationCache<numeric::Fx32r26>;
+template class ActivationCache<numeric::Fx32r10>;
+template class ActivationCache<numeric::Fx16r10>;
 
 template class Executor<double>;
 template class Executor<float>;

@@ -5,11 +5,16 @@
 // mark a forward pass needs. Workspace<T> owns that arena (one contiguous
 // vector, reused across runs). Executor<T> runs a plan out of a workspace
 // and subsumes the three legacy forward variants — plain, traced, and
-// fault-patched partial re-execution — behind one RunRequest.
+// fault-patched partial re-execution — behind one RunRequest. Arbitrary
+// layer ranges run through run_range; ActivationCache<T> holds the
+// fault-free output of every layer boundary for one input in one contiguous
+// block, so faulty replays can seed from any layer and stop as soon as the
+// fault's effect is erased (see DESIGN.md §8).
 //
 // Thread-safety contract: a plan is immutable after construction and may be
 // shared by any number of threads; an Executor is a stateless handle over a
-// plan and is likewise shareable. A Workspace is mutable scratch — use one
+// plan and is likewise shareable; an ActivationCache is immutable after
+// build() and likewise shareable. A Workspace is mutable scratch — use one
 // per thread (the campaign engine keeps one per worker for the whole
 // campaign). After warm-up, a faulty run performs zero heap allocations.
 //
@@ -17,7 +22,8 @@
 // reads buffer (i % 2) and writes buffer (1 - i % 2); the patch slot holds
 // the flipped copy of a layer input for the global-buffer fault model. The
 // view returned by run() aliases the arena and is valid only until the
-// workspace is reused.
+// workspace is reused — except after a masked early exit, where it aliases
+// the (stable) ActivationCache instead.
 #pragma once
 
 #include <vector>
@@ -108,20 +114,86 @@ class Workspace {
   std::size_t input_elems_ = 0;
 };
 
+/// Immutable fault-free activations of one input under one plan: the
+/// network input plus every layer's output, packed into a single
+/// contiguous block whose layout comes from the plan's step metadata (one
+/// allocation per cache; rebuilds against the same plan reuse it). This is
+/// the golden source of incremental fault replay: a faulty run seeds the
+/// workspace from act(fault_layer - 1) for free and compares each replayed
+/// layer against act(i) to detect that the fault has been masked.
+template <typename T>
+class ActivationCache {
+ public:
+  ActivationCache() = default;
+  ActivationCache(const ExecutionPlan<T>& plan, ConstTensorView<T> input) {
+    build(plan, input);
+  }
+
+  /// Runs the fault-free forward pass for `input`, storing every layer
+  /// boundary. Layer outputs are bit-identical to an Executor plain run
+  /// (same forward calls on the same values, in the same order).
+  void build(const ExecutionPlan<T>& plan, ConstTensorView<T> input);
+
+  bool bound() const noexcept { return plan_ != nullptr; }
+  std::size_t num_layers() const noexcept {
+    return plan_ == nullptr ? 0 : plan_->num_layers();
+  }
+
+  /// The network input the cache was built from.
+  ConstTensorView<T> input() const {
+    DNNFI_EXPECTS(bound());
+    return {plan_->input_shape(), store_.data()};
+  }
+  /// Fault-free output of layer `i`.
+  ConstTensorView<T> act(std::size_t i) const {
+    DNNFI_EXPECTS(bound() && i < num_layers());
+    return {plan_->steps()[i].out_shape, store_.data() + offsets_[i]};
+  }
+  /// Fault-free input of layer `i` (the previous layer's output).
+  ConstTensorView<T> layer_input(std::size_t i) const {
+    return i == 0 ? input() : act(i - 1);
+  }
+  /// Fault-free final output (the cached logits a masked trial emits).
+  ConstTensorView<T> output() const { return act(num_layers() - 1); }
+
+ private:
+  const ExecutionPlan<T>* plan_ = nullptr;
+  std::vector<std::size_t> offsets_;  ///< start of act(i); input sits at 0
+  std::vector<T> store_;
+};
+
+/// What an incremental faulty run actually executed (RunRequest::replay).
+struct ReplayInfo {
+  std::size_t fault_layer = 0;
+  std::size_t layers_run = 0;  ///< layers executed, fault layer included
+  /// Early exit fired: a replayed layer's output matched the fault-free
+  /// cache bit-for-bit, so the run stopped and returned the cached final
+  /// output (which the remaining layers would have reproduced exactly).
+  bool masked = false;
+  std::size_t masked_at = 0;  ///< layer whose output matched (iff masked)
+};
+
 /// One forward run, fully described. Exactly one of two modes:
 ///  - plain/traced: `input` set; `trace`, when non-null, receives the
 ///    golden trace (its tensors reuse capacity across runs); `observer`,
 ///    when non-null, sees every layer output.
-///  - faulty: `fault` and `golden` set; only the fault layer (patched) and
-///    the layers after it execute. `observer` sees recomputed layers only.
+///  - faulty: `fault` plus a golden source — `cache` (preferred) or
+///    `golden` — set; only the fault layer (patched) and the layers after
+///    it execute. `observer` sees recomputed layers only. With
+///    `early_exit`, the run stops at the first replayed layer whose output
+///    matches the golden source bit-for-bit and returns the cached final
+///    output; `replay`, when non-null, reports what actually ran.
 template <typename T>
 struct RunRequest {
   ConstTensorView<T> input;
   Trace<T>* trace = nullptr;
   const Trace<T>* golden = nullptr;
+  const ActivationCache<T>* cache = nullptr;
   const AppliedFault* fault = nullptr;
   InjectionRecord* record = nullptr;
   const LayerObserver<T>* observer = nullptr;
+  bool early_exit = false;
+  ReplayInfo* replay = nullptr;
 };
 
 /// Stateless runner for a compiled plan. Cheap to copy; safe to share
@@ -134,13 +206,23 @@ class Executor {
   const ExecutionPlan<T>& plan() const noexcept { return *plan_; }
 
   /// Runs the request out of `ws` and returns a view of the final layer
-  /// output. The view aliases the workspace arena: copy it (or read it)
-  /// before the workspace runs again.
+  /// output. The view aliases the workspace arena (or, after a masked
+  /// early exit, the activation cache): copy it (or read it) before the
+  /// workspace runs again.
   ConstTensorView<T> run(Workspace<T>& ws, const RunRequest<T>& req) const;
 
+  /// Runs layers [from, to) of the plan: `req.input` must have layer
+  /// `from`'s input shape, and the returned view is layer `to - 1`'s
+  /// output. `req.fault` must be null (fault replay picks its own range);
+  /// `req.trace` is only legal for the full range. The observer sees every
+  /// executed layer, indexed by its plan position.
+  ConstTensorView<T> run_range(Workspace<T>& ws, std::size_t from,
+                               std::size_t to, const RunRequest<T>& req) const;
+
  private:
-  ConstTensorView<T> run_plain(Workspace<T>& ws, const RunRequest<T>& req) const;
-  ConstTensorView<T> run_faulty(Workspace<T>& ws, const RunRequest<T>& req) const;
+  template <typename Golden>
+  ConstTensorView<T> run_faulty(Workspace<T>& ws, const RunRequest<T>& req,
+                                const Golden& g) const;
 
   const ExecutionPlan<T>* plan_;
 };
@@ -151,6 +233,13 @@ extern template class ExecutionPlan<numeric::Half>;
 extern template class ExecutionPlan<numeric::Fx32r26>;
 extern template class ExecutionPlan<numeric::Fx32r10>;
 extern template class ExecutionPlan<numeric::Fx16r10>;
+
+extern template class ActivationCache<double>;
+extern template class ActivationCache<float>;
+extern template class ActivationCache<numeric::Half>;
+extern template class ActivationCache<numeric::Fx32r26>;
+extern template class ActivationCache<numeric::Fx32r10>;
+extern template class ActivationCache<numeric::Fx16r10>;
 
 extern template class Executor<double>;
 extern template class Executor<float>;

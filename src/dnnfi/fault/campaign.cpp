@@ -81,26 +81,25 @@ struct Campaign::TypedBackend final : Campaign::Backend {
         site_sampler(network_spec, numeric::dtype_of<T>()),
         ends(block_end_layers(network_spec)) {
     DNNFI_EXPECTS(!inputs.empty());
-    goldens.reserve(inputs.size());
+    // Per-layer -> block-slot map, so the hot-path observer is a table
+    // lookup instead of a std::find over the block-end list.
+    layer_to_block.assign(net.num_layers(), -1);
+    for (std::size_t b = 0; b < ends.size(); ++b)
+      layer_to_block[ends[b]] = static_cast<int>(b);
+    caches.reserve(inputs.size());
     predictions.reserve(inputs.size());
     ranges.assign(ends.size(), BlockRange{std::numeric_limits<double>::max(),
                                           std::numeric_limits<double>::lowest()});
-    const dnn::Executor<T> exec(net.plan());
-    dnn::Workspace<T> ws(net.plan());
     for (const auto& ex : inputs) {
       const dnn::Tensor<T> image = tensor::convert<T>(ex.image);
-      dnn::Trace<T> trace;
-      dnn::RunRequest<T> req;
-      req.input = image;
-      req.trace = &trace;
-      exec.run(ws, req);
-      predictions.push_back(net.interpret(trace.output()));
+      dnn::ActivationCache<T> cache(net.plan(), image);
+      predictions.push_back(net.interpret(cache.output()));
       for (std::size_t b = 0; b < ends.size(); ++b) {
-        const auto [lo, hi] = tensor::value_range(trace.acts[ends[b]]);
+        const auto [lo, hi] = tensor::value_range<T>(cache.act(ends[b]));
         ranges[b].lo = std::min(ranges[b].lo, lo);
         ranges[b].hi = std::max(ranges[b].hi, hi);
       }
-      goldens.push_back(std::move(trace));
+      caches.push_back(std::move(cache));
     }
   }
 
@@ -115,6 +114,7 @@ struct Campaign::TypedBackend final : Campaign::Backend {
     ck.shard_end = end;
     ck.next_trial = st.next_trial;
     ck.complete = st.complete;
+    ck.masked_exits = st.masked_exits;
     ck.acc = st.acc;
     save_shard_checkpoint(shard.checkpoint, ck);
   }
@@ -150,6 +150,7 @@ struct Campaign::TypedBackend final : Campaign::Backend {
             std::to_string(total) + ")");
       st.acc = std::move(ck.acc);
       st.next_trial = ck.next_trial;
+      st.masked_exits = ck.masked_exits;
       st.resumed = true;
       if (ck.complete || st.next_trial == end) {
         st.next_trial = end;
@@ -160,6 +161,39 @@ struct Campaign::TypedBackend final : Campaign::Backend {
 
     ThreadPool& pool = opt.pool ? *opt.pool : ThreadPool::global();
     const dnn::Executor<T> exec(net.plan());
+    const bool incremental = opt.incremental_replay;
+
+    // Golden truths for blocks a masked-fault early exit skips: in the full
+    // replay those blocks carry exactly the fault-free activations, so the
+    // detector verdict and block distance can be read off precomputed
+    // tables instead of replaying the suffix. The self-distance is almost
+    // always zero, but euclidean_distance clamps non-finite deltas to 1e30,
+    // so an activation holding Inf/NaN has a nonzero distance to itself —
+    // precomputing it (rather than assuming 0) keeps records byte-identical.
+    std::vector<char> golden_fires;
+    std::vector<double> golden_self;
+    if (incremental && opt.detector) {
+      golden_fires.assign(caches.size() * ends.size(), 0);
+      for (std::size_t in = 0; in < caches.size(); ++in) {
+        for (std::size_t b = 0; b < ends.size(); ++b) {
+          const auto act = caches[in].act(ends[b]);
+          for (std::size_t i = 0; i < act.size(); ++i) {
+            const double v = numeric::numeric_traits<T>::to_double(act[i]);
+            if (opt.detector(static_cast<int>(b) + 1, v)) {
+              golden_fires[in * ends.size() + b] = 1;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (incremental && opt.record_block_distances) {
+      golden_self.assign(caches.size() * ends.size(), 0.0);
+      for (std::size_t in = 0; in < caches.size(); ++in)
+        for (std::size_t b = 0; b < ends.size(); ++b)
+          golden_self[in * ends.size() + b] = tensor::euclidean_distance<T>(
+              caches[in].act(ends[b]), caches[in].act(ends[b]));
+    }
 
     // Batches exist only to bound checkpoint/progress/stop latency. With
     // none of those active, the whole remaining range is one batch so the
@@ -190,20 +224,53 @@ struct Campaign::TypedBackend final : Campaign::Backend {
         dnn::Workspace<T> ws(net.plan());
         const std::size_t last_end = ends.back();
 
+        // Sample and lower every trial of the chunk up front (each trial's
+        // RNG stream depends only on its global index, so sampling order is
+        // free), then execute sorted by (input, fault layer): trials that
+        // share an activation cache and injection depth run back to back,
+        // keeping the cache segment hot. Records land at recbuf[idx], which
+        // restores trial order for the sink, and accumulator folds are
+        // exact (ExactSum), so execution order cannot leak into results.
+        struct Pending {
+          std::size_t idx;
+          std::size_t input;
+          FaultDescriptor fd;
+          dnn::AppliedFault af;
+        };
+        std::vector<Pending> pending;
+        pending.reserve(ce - cb);
+        for (std::size_t i = cb; i < ce; ++i) {
+          const std::uint64_t trial = b0 + i;
+          Rng rng = derive_stream(opt.seed, trial);
+          Pending p;
+          p.idx = i;
+          p.input = static_cast<std::size_t>(trial % caches.size());
+          p.fd = site_sampler.sample(opt.site, rng, opt.constraint);
+          p.af = lower(p.fd, net.mac_layers());
+          pending.push_back(p);
+        }
+        std::sort(pending.begin(), pending.end(),
+                  [](const Pending& a, const Pending& b) {
+                    if (a.input != b.input) return a.input < b.input;
+                    if (a.af.layer != b.af.layer) return a.af.layer < b.af.layer;
+                    return a.idx < b.idx;
+                  });
+
         // Per-chunk observer state, reset per trial; the closure itself is
         // built once per chunk.
         std::vector<double> dist(ends.size(), 0.0);
-        const dnn::Trace<T>* golden = nullptr;
+        const dnn::ActivationCache<T>* cache = nullptr;
         bool detected = false;
         double corruption = 0;
         const dnn::LayerObserver<T> observer =
             [&](std::size_t layer, tensor::ConstTensorView<T> act) {
-              // Map the layer to a block slot if it is a block end.
-              const auto it = std::find(ends.begin(), ends.end(), layer);
-              if (it == ends.end()) return;
-              const auto b = static_cast<std::size_t>(it - ends.begin());
+              // Block-slot table lookup (hoisted out of the std::find the
+              // observer used to do per layer).
+              const int bslot = layer_to_block[layer];
+              if (bslot < 0) return;
+              const auto b = static_cast<std::size_t>(bslot);
               if (opt.detector && !detected) {
-                const int block = static_cast<int>(b) + 1;
+                const int block = bslot + 1;
                 for (std::size_t i = 0; i < act.size(); ++i) {
                   const double v =
                       numeric::numeric_traits<T>::to_double(act[i]);
@@ -215,35 +282,61 @@ struct Campaign::TypedBackend final : Campaign::Backend {
               }
               if (opt.record_block_distances)
                 dist[b] =
-                    tensor::euclidean_distance<T>(act, golden->acts[layer]);
+                    tensor::euclidean_distance<T>(act, cache->act(layer));
               if (layer == last_end) {
                 const std::size_t mism =
-                    tensor::bitwise_mismatch_count<T>(act, golden->acts[layer]);
+                    tensor::bitwise_mismatch_count<T>(act, cache->act(layer));
                 corruption = static_cast<double>(mism) /
                              static_cast<double>(act.size());
               }
             };
 
         OutcomeAccumulator local(ends.size());
+        std::uint64_t local_masked = 0;
         TrialRecord scratch;
-        for (std::size_t i = cb; i < ce; ++i) {
-          const std::uint64_t trial = b0 + i;
-          TrialRecord& tr = sink ? recbuf[i] : scratch;
-          Rng rng = derive_stream(opt.seed, trial);
-          tr.input_index = static_cast<std::size_t>(trial % goldens.size());
-          tr.fault = site_sampler.sample(opt.site, rng, opt.constraint);
+        dnn::ReplayInfo replay;
+        for (const Pending& p : pending) {
+          TrialRecord& tr = sink ? recbuf[p.idx] : scratch;
+          tr.input_index = p.input;
+          tr.fault = p.fd;
+          // Layers write record fields only when the fault touches them;
+          // start from a fresh record so buffer reuse cannot leak one
+          // trial's values into the next.
+          tr.record = dnn::InjectionRecord{};
 
-          golden = &goldens[tr.input_index];
+          cache = &caches[p.input];
           detected = false;
           corruption = 0;
           std::fill(dist.begin(), dist.end(), 0.0);
 
           // The final-corruption metric is cheap and always useful; keep
-          // the observer on unconditionally.
-          const auto out = inject(exec, ws, net.mac_layers(), *golden,
-                                  tr.fault, &tr.record, &observer);
-          tr.outcome =
-              classify(predictions[tr.input_index], net.interpret(out));
+          // the observer on unconditionally. The fault was lowered in the
+          // sampling pass, so run the executor directly instead of going
+          // through inject().
+          dnn::RunRequest<T> req;
+          req.cache = cache;
+          req.fault = &p.af;
+          req.record = &tr.record;
+          req.observer = &observer;
+          req.early_exit = incremental;
+          req.replay = &replay;
+          const auto out = exec.run(ws, req);
+          if (replay.masked) {
+            ++local_masked;
+            // Blocks past the exit point would have replayed bit-identical
+            // to the fault-free run; read their observations off the
+            // precomputed golden tables. Final corruption stays exactly 0
+            // when last_end was skipped (golden vs golden never mismatches).
+            for (std::size_t b = 0; b < ends.size(); ++b) {
+              if (ends[b] <= replay.masked_at) continue;
+              if (opt.detector && !detected &&
+                  golden_fires[p.input * ends.size() + b] != 0)
+                detected = true;
+              if (opt.record_block_distances)
+                dist[b] = golden_self[p.input * ends.size() + b];
+            }
+          }
+          tr.outcome = classify(predictions[p.input], net.interpret(out));
           tr.detected = detected;
           tr.output_corruption = corruption;
           if (opt.record_block_distances)
@@ -254,6 +347,7 @@ struct Campaign::TypedBackend final : Campaign::Backend {
         }
         const std::scoped_lock lk(merge_mu);
         batch_acc.merge(local);
+        st.masked_exits += local_masked;
       });
 
       st.acc.merge(batch_acc);
@@ -281,6 +375,12 @@ struct Campaign::TypedBackend final : Campaign::Backend {
                                   p.trials_per_sec
                             : 0.0;
         p.sdc1 = st.acc.sdc1();
+        p.masked_exits = st.masked_exits;
+        p.masked_exit_rate =
+            p.done > 0
+                ? static_cast<double>(st.masked_exits) /
+                      static_cast<double>(p.done)
+                : 0.0;
         opt.progress(p);
       }
       if (!st.complete && shard.stop_after > 0 && ran >= shard.stop_after)
@@ -298,7 +398,7 @@ struct Campaign::TypedBackend final : Campaign::Backend {
   const dnn::NetworkSpec& spec() const override { return net.spec(); }
   DType dtype() const override { return numeric::dtype_of<T>(); }
   const Sampler& sampler() const override { return site_sampler; }
-  std::size_t num_inputs() const override { return goldens.size(); }
+  std::size_t num_inputs() const override { return caches.size(); }
   const dnn::Prediction& golden_prediction(std::size_t i) const override {
     return predictions.at(i);
   }
@@ -309,7 +409,11 @@ struct Campaign::TypedBackend final : Campaign::Backend {
   dnn::Network<T> net;
   Sampler site_sampler;
   std::vector<std::size_t> ends;
-  std::vector<dnn::Trace<T>> goldens;
+  /// layer index -> block slot (or -1): the observer's hot-path lookup.
+  std::vector<int> layer_to_block;
+  /// Fault-free activations of every layer boundary, one cache per input;
+  /// trials seed their replay from (and early-exit against) these.
+  std::vector<dnn::ActivationCache<T>> caches;
   std::vector<dnn::Prediction> predictions;
   std::vector<BlockRange> ranges;
 };

@@ -1,7 +1,8 @@
 // Fault-injection campaigns: N independent trials of (sample site -> inject
 // -> classify), run in parallel with per-trial deterministic RNG streams.
 // One Campaign instance binds a (topology, weights, dtype, input set) tuple
-// and precomputes the golden traces every trial compares against.
+// and precomputes the fault-free activation caches every trial replays
+// from and compares against (incremental replay, DESIGN.md §8).
 //
 // Campaigns execute as *shards*: trial indices [begin, end) of the logical
 // [0, trials) campaign. Trial t's RNG stream is derive_stream(seed, t) and
@@ -42,6 +43,11 @@ struct CampaignProgress {
   double trials_per_sec = 0;      ///< throughput of this process, this run
   double eta_seconds = 0;         ///< remaining / trials_per_sec
   Estimate sdc1;                  ///< running SDC-1 estimate (Wilson)
+  /// Trials (resumed included) that early-exited because a replayed layer
+  /// matched the fault-free cache bit-for-bit. 0 when incremental replay
+  /// is disabled.
+  std::uint64_t masked_exits = 0;
+  double masked_exit_rate = 0;    ///< masked_exits / done
 };
 
 /// Campaign parameters.
@@ -61,6 +67,16 @@ struct CampaignOptions {
   /// Record per-block Euclidean distance between faulty and golden
   /// activations (Fig 7). Costs one pass over every recomputed layer.
   bool record_block_distances = false;
+
+  /// Incremental fault replay: seed each trial from the fault-free
+  /// activation cache at the injection layer and stop as soon as a replayed
+  /// layer matches the cache bit-for-bit (the fault was masked), emitting
+  /// the cached final logits. Per-trial results are byte-identical either
+  /// way — a masked trial's suffix is a deterministic function of state
+  /// identical to the fault-free run — so this is purely a speed knob
+  /// (tests/test_incremental_replay.cpp asserts the equivalence). Not part
+  /// of the campaign fingerprint for the same reason.
+  bool incremental_replay = true;
 
   /// Worker pool override. Null uses ThreadPool::global(). Results are
   /// bit-identical for any pool size — the determinism tests run the same
@@ -105,6 +121,10 @@ struct ShardResult {
   std::uint64_t next_trial = 0;  ///< == shard end iff complete
   bool complete = false;
   bool resumed = false;  ///< a checkpoint was loaded before running
+  /// Trials that early-exited on an exact cache match (masked faults).
+  /// Deterministic per trial, carried through checkpoints, and summed by
+  /// merge; always 0 when incremental replay is disabled.
+  std::uint64_t masked_exits = 0;
 };
 
 /// All trials of one campaign plus aggregation helpers. The buffered

@@ -26,6 +26,7 @@ void save_shard_checkpoint(const std::string& path,
   payload.u64(ck.shard_end);
   payload.u64(ck.next_trial);
   payload.u8(ck.complete ? 1 : 0);
+  payload.u64(ck.masked_exits);
   ck.acc.serialize(payload);
 
   ByteWriter file;
@@ -88,6 +89,7 @@ ShardCheckpoint load_shard_checkpoint(const std::string& path) {
     ck.shard_end = r.u64();
     ck.next_trial = r.u64();
     ck.complete = r.u8() != 0;
+    ck.masked_exits = r.u64();
     ck.acc = OutcomeAccumulator::deserialize(r);
     if (!r.done()) fail(path, "trailing garbage after payload");
     if (ck.shard_begin > ck.shard_end || ck.next_trial < ck.shard_begin ||

@@ -7,7 +7,7 @@
 //
 //   offset  size  field
 //   0       8     magic "DNNFICKP"
-//   8       4     format version (currently 1)
+//   8       4     format version (currently 2)
 //   12      4     CRC-32 of the payload
 //   16      8     payload size in bytes
 //   24      ...   payload (ByteWriter stream):
@@ -17,7 +17,12 @@
 //                   u64 shard_begin, shard_end
 //                   u64 next_trial        — first trial index NOT yet folded
 //                   u8  complete          — next_trial == shard_end
+//                   u64 masked_exits      — v2: early-exited (masked) trials
 //                   ...  OutcomeAccumulator::serialize
+//
+// Version history: v1 lacked masked_exits. Loads of v1 files fail with a
+// version error (campaign semantics are unchanged, but mixing counters
+// across formats silently would corrupt masked-rate reporting).
 //
 // Every structural defect — bad magic, unknown version, CRC mismatch,
 // truncation — raises CheckpointError with a message naming the file and
@@ -45,7 +50,7 @@ class CheckpointError : public std::runtime_error {
 
 inline constexpr char kCheckpointMagic[8] = {'D', 'N', 'N', 'F',
                                              'I', 'C', 'K', 'P'};
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// One shard's persistent state.
 struct ShardCheckpoint {
@@ -56,6 +61,9 @@ struct ShardCheckpoint {
   std::uint64_t shard_end = 0;
   std::uint64_t next_trial = 0;
   bool complete = false;
+  /// Trials that early-exited on an exact cache match (masked faults);
+  /// 0 when incremental replay was disabled. New in format v2.
+  std::uint64_t masked_exits = 0;
   OutcomeAccumulator acc;
 };
 

@@ -32,6 +32,30 @@ tensor::ConstTensorView<T> inject(
   return exec.run(ws, req);
 }
 
+/// Incremental-replay counterpart: the golden source is an ActivationCache
+/// and, when `early_exit` is set, the run stops at the first replayed layer
+/// whose output matches the cache bit-for-bit (returning the cached final
+/// logits). Zero heap allocations after workspace warm-up, like the Trace
+/// path above. `replay`, when non-null, reports what actually executed.
+template <typename T>
+tensor::ConstTensorView<T> inject(
+    const dnn::Executor<T>& exec, dnn::Workspace<T>& ws,
+    const std::vector<std::size_t>& mac_layers,
+    const dnn::ActivationCache<T>& cache, const FaultDescriptor& f,
+    bool early_exit = true, dnn::ReplayInfo* replay = nullptr,
+    dnn::InjectionRecord* rec = nullptr,
+    const dnn::LayerObserver<T>* observer = nullptr) {
+  const dnn::AppliedFault af = lower(f, mac_layers);
+  dnn::RunRequest<T> req;
+  req.cache = &cache;
+  req.fault = &af;
+  req.record = rec;
+  req.observer = observer;
+  req.early_exit = early_exit;
+  req.replay = replay;
+  return exec.run(ws, req);
+}
+
 /// Convenience wrapper: one faulty inference via the network's compat path
 /// (allocates a workspace per call). Returns the final output tensor.
 template <typename T>

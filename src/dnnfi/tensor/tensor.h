@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -256,6 +257,22 @@ double euclidean_distance(TensorView<const T> a, TensorView<const T> b) {
 template <typename T>
 double euclidean_distance(const Tensor<T>& a, const Tensor<T>& b) {
   return euclidean_distance<T>(a.view(), b.view());
+}
+
+/// True when two same-shaped views hold byte-identical element data — the
+/// masked-fault test of incremental replay (NaN- and -0.0-exact, unlike
+/// operator== on the values). Raw memcmp: every datapath type is a
+/// trivially copyable scalar with no padding.
+template <typename T>
+bool bitwise_equal(TensorView<const T> a, TensorView<const T> b) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  DNNFI_EXPECTS(a.shape() == b.shape());
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(T)) == 0;
+}
+template <typename T>
+bool bitwise_equal(const Tensor<T>& a, const Tensor<T>& b) {
+  return bitwise_equal<T>(a.view(), b.view());
 }
 
 /// Count of elements whose bit patterns differ (paper's Table 5 metric).

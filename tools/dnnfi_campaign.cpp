@@ -4,10 +4,13 @@
 //   run     --network <name> --dtype <name> [--site <name>] [--trials N]
 //           [--seed S] [--shard B:E] [--checkpoint FILE] [--batch N]
 //           [--stop-after N] [--bit B] [--layer L] [--inputs N]
-//           [--distances] [--out FILE] [--no-progress]
+//           [--distances] [--out FILE] [--no-progress] [--no-incremental]
 //           Runs trial indices [B, E) of an N-trial campaign, streaming
 //           records into an accumulator. With --checkpoint, state is saved
 //           after every batch and an existing file resumes transparently.
+//           --no-incremental disables incremental fault replay (the
+//           masked-fault early exit); results are byte-identical either
+//           way, the flag only trades speed for a full-replay cross-check.
 //   resume  Same flags as run; requires the checkpoint file to exist.
 //   merge   [--out FILE] <checkpoint>...
 //           Validates that the checkpoints belong to one campaign (equal
@@ -50,7 +53,7 @@ using dnn::zoo::NetworkId;
          "  sites:    datapath global-buffer filter-sram img-reg psum-reg\n"
          "  options:  --trials N --seed S --shard B:E --checkpoint FILE\n"
          "            --batch N --stop-after N --bit B --layer L --inputs N\n"
-         "            --distances --out FILE --no-progress\n";
+         "            --distances --out FILE --no-progress --no-incremental\n";
   std::exit(2);
 }
 
@@ -90,6 +93,7 @@ struct Args {
   std::optional<int> layer;
   std::size_t inputs = 8;
   bool distances = false;
+  bool incremental = true;
   std::string out;
   bool progress = true;
   std::vector<std::string> files;  // merge operands
@@ -112,6 +116,10 @@ Args parse(int argc, char** argv) {
     }
     if (key == "--no-progress") {
       a.progress = false;
+      continue;
+    }
+    if (key == "--no-incremental") {
+      a.incremental = false;
       continue;
     }
     if (i + 1 >= argc) usage("missing value for " + key);
@@ -165,11 +173,17 @@ std::vector<dnn::Example> test_inputs(NetworkId id, std::size_t n) {
 }
 
 /// Deterministic aggregate dump: equal accumulator state <=> equal text.
+/// masked_exits is deterministic per trial too, so shardings of one
+/// campaign diff clean — but an incremental vs full run of the SAME
+/// campaign differs only on that line (full replay never early-exits);
+/// cross-mode checks filter it (see tools/nightly_campaign.sh).
 void write_stats(std::ostream& os, std::uint64_t fingerprint,
-                 const fault::OutcomeAccumulator& acc) {
-  os << "dnnfi-campaign-stats v1\n";
+                 const fault::OutcomeAccumulator& acc,
+                 std::uint64_t masked_exits) {
+  os << "dnnfi-campaign-stats v2\n";
   os << "fingerprint " << fingerprint << "\n";
   os << "trials " << acc.trials() << "\n";
+  os << "masked_exits " << masked_exits << "\n";
   os << "sdc1 " << acc.sdc1().hits << "\n";
   os << "sdc5 " << acc.sdc5().hits << "\n";
   os << "sdc10 " << acc.sdc10().hits << "\n";
@@ -190,10 +204,11 @@ void write_stats(std::ostream& os, std::uint64_t fingerprint,
 }
 
 void write_stats_file(const std::string& path, std::uint64_t fingerprint,
-                      const fault::OutcomeAccumulator& acc) {
+                      const fault::OutcomeAccumulator& acc,
+                      std::uint64_t masked_exits) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  write_stats(out, fingerprint, acc);
+  write_stats(out, fingerprint, acc, masked_exits);
 }
 
 void print_summary(const std::string& title,
@@ -232,13 +247,16 @@ int cmd_run(const Args& a, bool resume) {
   opt.constraint.fixed_bit = a.bit;
   opt.constraint.fixed_block = a.layer;
   opt.record_block_distances = a.distances;
+  opt.incremental_replay = a.incremental;
   if (a.progress) {
     opt.progress = [](const fault::CampaignProgress& p) {
       const std::uint64_t span = p.end - p.begin;
       std::cerr << "\rshard [" << p.begin << ", " << p.end << "): " << p.done
                 << "/" << span << " trials, " << static_cast<int>(p.trials_per_sec)
                 << "/s, ETA " << static_cast<int>(p.eta_seconds) << "s, SDC-1 "
-                << Table::pct_ci(p.sdc1.p, p.sdc1.ci95) << "   " << std::flush;
+                << Table::pct_ci(p.sdc1.p, p.sdc1.ci95) << ", masked "
+                << static_cast<int>(p.masked_exit_rate * 100.0) << "%   "
+                << std::flush;
     };
   }
 
@@ -266,7 +284,8 @@ int cmd_run(const Args& a, bool resume) {
                     std::string(numeric::dtype_name(a.dtype)) + " " +
                     fault::site_class_name(a.site),
                 res.acc);
-  if (!a.out.empty()) write_stats_file(a.out, c.fingerprint(opt), res.acc);
+  if (!a.out.empty())
+    write_stats_file(a.out, c.fingerprint(opt), res.acc, res.masked_exits);
   return 0;
 }
 
@@ -299,9 +318,11 @@ int cmd_merge(const Args& a) {
 
   fault::OutcomeAccumulator merged;
   std::uint64_t covered = 0;
+  std::uint64_t masked = 0;
   for (const auto& ck : cks) {
     merged.merge(ck.acc);
     covered += ck.shard_end - ck.shard_begin;
+    masked += ck.masked_exits;
   }
   if (covered != cks[0].trials_total)
     std::cerr << "note: shards cover " << covered << " of "
@@ -311,7 +332,8 @@ int cmd_merge(const Args& a) {
                     std::to_string(merged.trials()) + " trials: " +
                     cks[0].network,
                 merged);
-  if (!a.out.empty()) write_stats_file(a.out, cks[0].fingerprint, merged);
+  if (!a.out.empty())
+    write_stats_file(a.out, cks[0].fingerprint, merged, masked);
   return 0;
 }
 

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Nightly end-to-end check of the sharded campaign engine (DESIGN.md §7).
 #
-# Runs a real 2000-trial ConvNet campaign three ways and requires them to
+# Runs a real 2000-trial ConvNet campaign four ways and requires them to
 # agree bit-for-bit (stats files serialize doubles as hex floats, so `diff`
 # is an exact comparison):
 #
 #   1. shard [0,1000) killed at 50% via --stop-after, then resumed;
 #   2. shard [1000,2000) run straight through;
-#   3. the merge of both checkpoints vs. one uninterrupted [0,2000) run.
+#   3. the merge of both checkpoints vs. one uninterrupted [0,2000) run;
+#   4. the same monolithic run with --no-incremental (full replay, no
+#      masked-fault early exit) — identical except the masked_exits line,
+#      which is the one field that records how trials were *executed*
+#      rather than what they produced.
 #
 # Usage: tools/nightly_campaign.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -54,3 +58,18 @@ else
   echo "FAIL: sharded/resumed campaign diverged from the monolithic run" >&2
   exit 1
 fi
+
+echo "== full-replay cross-check: --no-incremental [0,2000) =="
+"$CAMPAIGN" run "${COMMON[@]}" --no-incremental --out "$WORK/noinc.stats"
+
+# masked_exits counts how trials were executed (early exits), not what they
+# produced; it is the only line allowed to differ between modes.
+if diff -u <(grep -v '^masked_exits ' "$WORK/full.stats") \
+           <(grep -v '^masked_exits ' "$WORK/noinc.stats"); then
+  echo "PASS: incremental replay is bit-identical to full replay"
+else
+  echo "FAIL: incremental replay diverged from full replay" >&2
+  exit 1
+fi
+grep -q '^masked_exits 0$' "$WORK/noinc.stats" || {
+  echo "FAIL: full replay reported nonzero masked_exits" >&2; exit 1; }
