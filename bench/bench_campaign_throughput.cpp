@@ -21,11 +21,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "dnnfi/accel/dataflow.h"
+#include "dnnfi/common/atomic_file.h"
 
 using namespace dnnfi;
 using namespace dnnfi::benchutil;
@@ -112,7 +114,7 @@ Cell measure(const NetContext& ctx, numeric::DType dt, std::size_t trials) {
 
 void write_json(const std::vector<Cell>& cells, std::size_t trials,
                 const std::string& path) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\n  \"trials_per_cell\": " << trials << ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
@@ -125,6 +127,8 @@ void write_json(const std::vector<Cell>& cells, std::size_t trials,
         << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  if (!write_file_atomic(path, out.str()))
+    std::cerr << "warning: could not write " << path << "\n";
 }
 
 }  // namespace

@@ -20,7 +20,9 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <new>
+#include <sstream>
 
 #if __has_include(<malloc.h>)
 #include <malloc.h>
@@ -30,6 +32,7 @@
 #endif
 
 #include "bench_util.h"
+#include "dnnfi/common/atomic_file.h"
 #include "dnnfi/fault/injector.h"
 #include "dnnfi/fault/sampler.h"
 
@@ -362,7 +365,7 @@ StreamingReport measure_streaming_memory() {
 
 void write_json(const AllocatorReport& r, const StreamingReport& s,
                 const std::string& path) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\n"
       << "  \"network\": \"ConvNet\",\n"
       << "  \"datapath\": \"float16\",\n"
@@ -377,6 +380,8 @@ void write_json(const AllocatorReport& r, const StreamingReport& s,
       << "  \"streaming_peak_bytes_256\": " << s.peak_growth_small << ",\n"
       << "  \"streaming_peak_bytes_2048\": " << s.peak_growth_large << "\n"
       << "}\n";
+  if (!dnnfi::write_file_atomic(path, out.str()))
+    std::cerr << "warning: could not write " << path << "\n";
 }
 
 }  // namespace

@@ -1,0 +1,41 @@
+// Atomic whole-file writes: contents land in a sibling ".tmp" file first
+// and are renamed into place, so readers never observe a torn file and a
+// crash mid-write leaves the previous version intact (the same discipline
+// fault/checkpoint.cpp uses for shard state). rename(2) is atomic within a
+// filesystem; callers must keep the final path and its tmp sibling on one.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+#include "dnnfi/common/error.h"
+
+namespace dnnfi {
+
+/// Writes `contents` to `path` atomically. On failure the target file is
+/// untouched (a stale ".tmp" may remain; it is overwritten next attempt).
+inline Expected<void> write_file_atomic(const std::string& path,
+                                        std::string_view contents) {
+  DNNFI_EXPECTS(!path.empty());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return fail(Errc::kIo, "cannot open " + tmp + " for writing");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) return fail(Errc::kIo, "short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    return fail(Errc::kIo,
+                "rename " + tmp + " -> " + path + " failed: " + ec.message());
+  return {};
+}
+
+}  // namespace dnnfi

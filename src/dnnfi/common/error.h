@@ -1,0 +1,208 @@
+// Structured error taxonomy for fallible I/O and process orchestration.
+//
+// The library's contract checks (expects.h) cover programming errors; this
+// header covers *environmental* failures — torn files, full disks, crashed
+// subprocesses — that a caller may want to retry, degrade around, or give
+// up on. Every failure carries an Errc, and the one question supervisors
+// ask ("is this worth retrying?") is answered by retryable(code) instead of
+// by string-matching exception messages.
+//
+// The taxonomy doubles as the process-boundary protocol: exit_code(code)
+// maps an Errc onto a dnnfi_campaign exit status and errc_from_exit() maps
+// it back, so a supervisor can classify a dead worker from waitpid() alone.
+// Exit codes 0-4 keep their historical CLI meanings; retryable failures
+// live in [10, 20) and fatal ones in [20, 30).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi {
+
+/// Failure classes, split by how a supervisor should react.
+enum class Errc : std::uint8_t {
+  kOk = 0,
+  // Retryable: transient by nature; back off and try again.
+  kIo,                   ///< open/read/write/rename failure, disk full, ...
+  kOutOfMemory,          ///< allocation failure (also triggers degradation)
+  kTimeout,              ///< wall-clock or heartbeat deadline exceeded
+  kWorkerCrash,          ///< subprocess died on a signal or unknown status
+  kInterrupted,          ///< clean SIGINT/SIGTERM shutdown mid-run
+  // Fatal: deterministic; retrying reproduces the same failure.
+  kCorruptData,          ///< CRC mismatch, truncation, bad magic
+  kVersionSkew,          ///< file format version this build does not read
+  kFingerprintMismatch,  ///< checkpoint from a different campaign config
+  kShardMismatch,        ///< checkpoint covers a different trial range
+  kInvalidArgument,      ///< unusable options (usage errors)
+  kQuarantineOverflow,   ///< more poison trials than the configured cap
+  kInternal,             ///< unclassified (treated as retryable once)
+};
+
+/// True for failures a supervisor should retry with backoff; false for
+/// deterministic ones where a retry would only reproduce the failure.
+constexpr bool retryable(Errc c) noexcept {
+  switch (c) {
+    case Errc::kIo:
+    case Errc::kOutOfMemory:
+    case Errc::kTimeout:
+    case Errc::kWorkerCrash:
+    case Errc::kInterrupted:
+    case Errc::kInternal:
+      return true;
+    case Errc::kOk:
+    case Errc::kCorruptData:
+    case Errc::kVersionSkew:
+    case Errc::kFingerprintMismatch:
+    case Errc::kShardMismatch:
+    case Errc::kInvalidArgument:
+    case Errc::kQuarantineOverflow:
+      return false;
+  }
+  return false;
+}
+
+constexpr std::string_view errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::kOk: return "ok";
+    case Errc::kIo: return "io";
+    case Errc::kOutOfMemory: return "out-of-memory";
+    case Errc::kTimeout: return "timeout";
+    case Errc::kWorkerCrash: return "worker-crash";
+    case Errc::kInterrupted: return "interrupted";
+    case Errc::kCorruptData: return "corrupt-data";
+    case Errc::kVersionSkew: return "version-skew";
+    case Errc::kFingerprintMismatch: return "fingerprint-mismatch";
+    case Errc::kShardMismatch: return "shard-mismatch";
+    case Errc::kInvalidArgument: return "invalid-argument";
+    case Errc::kQuarantineOverflow: return "quarantine-overflow";
+    case Errc::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+/// Process exit status for an Errc (the dnnfi_campaign contract).
+/// 0 ok · 2 usage · 4 interrupted · [10,20) retryable · [20,30) fatal.
+/// 1 (unclassified), 3 (stopped via --stop-after) and 127 (exec failure)
+/// are produced elsewhere but understood by errc_from_exit().
+constexpr int exit_code(Errc c) noexcept {
+  switch (c) {
+    case Errc::kOk: return 0;
+    case Errc::kInvalidArgument: return 2;
+    case Errc::kInterrupted: return 4;
+    case Errc::kIo: return 10;
+    case Errc::kOutOfMemory: return 11;
+    case Errc::kTimeout: return 12;
+    case Errc::kWorkerCrash: return 13;
+    case Errc::kCorruptData: return 20;
+    case Errc::kVersionSkew: return 21;
+    case Errc::kFingerprintMismatch: return 22;
+    case Errc::kShardMismatch: return 23;
+    case Errc::kQuarantineOverflow: return 24;
+    case Errc::kInternal: return 1;
+  }
+  return 1;
+}
+
+/// Inverse of exit_code() for classifying a reaped worker. Unknown codes
+/// (including plain exit(1)) map to kInternal, which is retryable-once by
+/// policy: a transient crash retries, a deterministic one gets bisected.
+constexpr Errc errc_from_exit(int status) noexcept {
+  switch (status) {
+    case 0: return Errc::kOk;
+    case 2: return Errc::kInvalidArgument;
+    case 4: return Errc::kInterrupted;
+    case 10: return Errc::kIo;
+    case 11: return Errc::kOutOfMemory;
+    case 12: return Errc::kTimeout;
+    case 13: return Errc::kWorkerCrash;
+    case 20: return Errc::kCorruptData;
+    case 21: return Errc::kVersionSkew;
+    case 22: return Errc::kFingerprintMismatch;
+    case 23: return Errc::kShardMismatch;
+    case 24: return Errc::kQuarantineOverflow;
+    default: return Errc::kInternal;
+  }
+}
+
+/// A classified failure: code for dispatch, message for humans.
+struct Error {
+  Errc code = Errc::kInternal;
+  std::string message;
+
+  bool retryable() const noexcept { return dnnfi::retryable(code); }
+  std::string_view name() const noexcept { return errc_name(code); }
+  /// "io: cannot open foo.stats for writing"
+  std::string to_string() const {
+    return std::string(name()) + ": " + message;
+  }
+};
+
+/// Result-or-Error. The poor man's std::expected (this codebase targets
+/// C++20): implicit construction from either side, [[nodiscard]] so a
+/// fallible call cannot be silently dropped, and contract-checked access
+/// so reading the wrong side is a loud ContractViolation, not UB.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Error error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const noexcept { return v_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  T& value() & {
+    DNNFI_EXPECTS(ok());
+    return std::get<0>(v_);
+  }
+  const T& value() const& {
+    DNNFI_EXPECTS(ok());
+    return std::get<0>(v_);
+  }
+  T&& value() && {
+    DNNFI_EXPECTS(ok());
+    return std::get<0>(std::move(v_));
+  }
+  T value_or(T fallback) const {
+    return ok() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    DNNFI_EXPECTS(!ok());
+    return std::get<1>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Success-or-Error for operations with no payload (writes, renames).
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() = default;
+  Expected(Error error) : err_(std::move(error)) {}
+
+  bool ok() const noexcept { return !err_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const {
+    DNNFI_EXPECTS(!ok());
+    return *err_;
+  }
+
+ private:
+  std::optional<Error> err_;
+};
+
+/// Shorthand for the failure arm: `return fail(Errc::kIo, "cannot open X")`.
+inline Error fail(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace dnnfi

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "dnnfi/common/atomic_file.h"
 #include "dnnfi/common/expects.h"
 
 namespace dnnfi {
@@ -93,9 +94,8 @@ void Table::print(std::ostream& os) const { os << to_text() << '\n'; }
 std::string Table::write_csv(const std::string& dir, const std::string& stem) const {
   std::filesystem::create_directories(dir);
   const std::string path = dir + "/" + stem + ".csv";
-  std::ofstream f(path);
-  DNNFI_EXPECTS(f.good());
-  f << to_csv();
+  const auto written = write_file_atomic(path, to_csv());
+  DNNFI_EXPECTS(written.ok());
   return path;
 }
 

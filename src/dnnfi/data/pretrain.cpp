@@ -1,7 +1,9 @@
 #include "dnnfi/data/pretrain.h"
 
+#include <chrono>
 #include <filesystem>
 #include <iostream>
+#include <thread>
 
 #include "dnnfi/common/env.h"
 #include "dnnfi/dnn/weights.h"
@@ -50,18 +52,30 @@ dnn::ExampleSource example_source(const Dataset& ds) {
 dnn::Model pretrained(NetworkId id, bool verbose) {
   const std::string dir = model_dir();
   const std::string path = dir + "/" + dnn::zoo::model_filename(id);
-  if (dnn::is_model_file(path)) {
+  // Two read attempts: a sibling process may be mid-save (save_model
+  // publishes via tmp+rename, but slow shared filesystems can still
+  // surface transient truncation), so one failed read earns a short pause
+  // and a re-read before the expensive retrain fallback.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!dnn::is_model_file(path)) break;
     try {
       dnn::Model m = dnn::load_model(path);
       // Guard against stale caches: the spec on disk must match the code.
       if (m.spec == dnn::zoo::network_spec(id)) return m;
       std::cerr << "[dnnfi] cached model " << path
                 << " does not match current topology; retraining\n";
+      break;
     } catch (const std::exception& e) {
       // A magic match with a corrupt body (truncated copy, bad transfer)
       // must degrade to a deterministic retrain, not take the process down.
-      std::cerr << "[dnnfi] cached model " << path << " is unreadable ("
-                << e.what() << "); retraining\n";
+      if (attempt == 0) {
+        std::cerr << "[dnnfi] cached model " << path << " is unreadable ("
+                  << e.what() << "); retrying read once\n";
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      } else {
+        std::cerr << "[dnnfi] cached model " << path << " is unreadable ("
+                  << e.what() << "); retraining\n";
+      }
     }
   }
 

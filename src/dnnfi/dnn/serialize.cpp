@@ -2,7 +2,10 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "dnnfi/common/atomic_file.h"
 
 namespace dnnfi::dnn {
 
@@ -57,8 +60,9 @@ std::vector<float> read_floats(std::istream& is) {
 
 void save_model(const std::string& path, const NetworkSpec& spec,
                 const WeightsBlob& blob) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("dnnfi model: cannot open for write: " + path);
+  // Serialize to memory, then publish via tmp+rename: a crash mid-save can
+  // never leave a truncated model where a valid one is expected.
+  std::ostringstream os(std::ios::binary);
   write_bytes(os, kMagic, sizeof(kMagic));
   write_string(os, spec.name);
   write_pod<std::uint64_t>(os, spec.input.n);
@@ -85,6 +89,9 @@ void save_model(const std::string& path, const NetworkSpec& spec,
     write_floats(os, lw.biases);
   }
   if (!os) throw std::runtime_error("dnnfi model: write failed: " + path);
+  const auto written = write_file_atomic(path, os.str());
+  if (!written)
+    throw std::runtime_error("dnnfi model: " + written.error().message);
 }
 
 Model load_model(const std::string& path) {

@@ -136,18 +136,20 @@ struct Campaign::TypedBackend final : Campaign::Backend {
       ShardCheckpoint ck = load_shard_checkpoint(shard.checkpoint);
       if (ck.fingerprint != fingerprint)
         throw CheckpointError(
+            Errc::kFingerprintMismatch,
             "checkpoint " + shard.checkpoint +
-            ": campaign fingerprint mismatch (file was written by a run "
-            "with different options; refusing to resume)");
+                ": campaign fingerprint mismatch (file was written by a run "
+                "with different options; refusing to resume)");
       if (ck.trials_total != total || ck.shard_begin != begin ||
           ck.shard_end != end)
         throw CheckpointError(
+            Errc::kShardMismatch,
             "checkpoint " + shard.checkpoint + ": shard range mismatch (file" +
-            " covers [" + std::to_string(ck.shard_begin) + ", " +
-            std::to_string(ck.shard_end) + ") of " +
-            std::to_string(ck.trials_total) + " trials, run requests [" +
-            std::to_string(begin) + ", " + std::to_string(end) + ") of " +
-            std::to_string(total) + ")");
+                " covers [" + std::to_string(ck.shard_begin) + ", " +
+                std::to_string(ck.shard_end) + ") of " +
+                std::to_string(ck.trials_total) + " trials, run requests [" +
+                std::to_string(begin) + ", " + std::to_string(end) + ") of " +
+                std::to_string(total) + ")");
       st.acc = std::move(ck.acc);
       st.next_trial = ck.next_trial;
       st.masked_exits = ck.masked_exits;
@@ -195,11 +197,13 @@ struct Campaign::TypedBackend final : Campaign::Backend {
               caches[in].act(ends[b]), caches[in].act(ends[b]));
     }
 
-    // Batches exist only to bound checkpoint/progress/stop latency. With
-    // none of those active, the whole remaining range is one batch so the
-    // chunk layout (and per-chunk allocations) match the legacy run() path.
+    // Batches exist only to bound checkpoint/progress/stop/cancel latency.
+    // With none of those active, the whole remaining range is one batch so
+    // the chunk layout (and per-chunk allocations) match the legacy run()
+    // path. Batching never changes results (shard/batch invariance is
+    // locked down by test_campaign_determinism), only reaction latency.
     const bool batched = !shard.checkpoint.empty() || opt.progress != nullptr ||
-                         shard.stop_after > 0;
+                         shard.stop_after > 0 || opt.cancel != nullptr;
     std::uint64_t batch_size = end - st.next_trial;
     if (batched) batch_size = std::max<std::uint64_t>(1, shard.batch);
     if (batch_size == 0) batch_size = 1;
@@ -385,6 +389,9 @@ struct Campaign::TypedBackend final : Campaign::Backend {
       }
       if (!st.complete && shard.stop_after > 0 && ran >= shard.stop_after)
         return st;  // clean preemption: checkpoint (if any) already on disk
+      if (!st.complete && opt.cancel &&
+          opt.cancel->load(std::memory_order_relaxed))
+        return st;  // graceful shutdown: batch folded, checkpoint on disk
     }
 
     st.complete = true;

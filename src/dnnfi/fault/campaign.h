@@ -13,6 +13,7 @@
 // boundaries (see DESIGN.md §7 and tests/test_campaign_determinism.cpp).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -86,6 +87,13 @@ struct CampaignOptions {
   /// Invoked after every completed batch with throughput, ETA, and the
   /// running SDC-1 estimate. Called on the campaign-driving thread.
   std::function<void(const CampaignProgress&)> progress;
+
+  /// Cooperative cancellation (graceful SIGINT/SIGTERM shutdown): checked
+  /// between batches. When it reads true the in-flight batch finishes, its
+  /// checkpoint (if any) is written, and run_shard returns an incomplete
+  /// result — exactly like stop_after, but signal-driven. Typically points
+  /// at an atomic set from a signal handler; null disables the check.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One shard of a campaign: which trial-index range to run and how to

@@ -1,22 +1,23 @@
 #include "dnnfi/fault/checkpoint.h"
 
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
+#include <string_view>
+
+#include "dnnfi/common/atomic_file.h"
 
 namespace dnnfi::fault {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& path, const std::string& why) {
-  throw CheckpointError("checkpoint " + path + ": " + why);
+Error defect(Errc code, const std::string& path, const std::string& why) {
+  return Error{code, "checkpoint " + path + ": " + why};
 }
 
 }  // namespace
 
-void save_shard_checkpoint(const std::string& path,
-                           const ShardCheckpoint& ck) {
+Expected<void> try_save_shard_checkpoint(const std::string& path,
+                                         const ShardCheckpoint& ck) {
   DNNFI_EXPECTS(!path.empty());
   ByteWriter payload;
   payload.u64(ck.fingerprint);
@@ -27,6 +28,8 @@ void save_shard_checkpoint(const std::string& path,
   payload.u64(ck.next_trial);
   payload.u8(ck.complete ? 1 : 0);
   payload.u64(ck.masked_exits);
+  payload.u64(ck.aborted_trials.size());
+  for (const std::uint64_t t : ck.aborted_trials) payload.u64(t);
   ck.acc.serialize(payload);
 
   ByteWriter file;
@@ -37,23 +40,17 @@ void save_shard_checkpoint(const std::string& path,
   file.u64(payload.bytes().size());
   file.raw(payload.bytes().data(), payload.bytes().size());
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) fail(path, "cannot open " + tmp + " for writing");
-    out.write(reinterpret_cast<const char*>(file.bytes().data()),
-              static_cast<std::streamsize>(file.bytes().size()));
-    out.flush();
-    if (!out) fail(path, "short write to " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) fail(path, "rename from " + tmp + " failed: " + ec.message());
+  auto written = write_file_atomic(
+      path, std::string_view(reinterpret_cast<const char*>(file.bytes().data()),
+                             file.bytes().size()));
+  if (!written.ok())
+    return defect(Errc::kIo, path, written.error().message);
+  return {};
 }
 
-ShardCheckpoint load_shard_checkpoint(const std::string& path) {
+Expected<ShardCheckpoint> try_load_shard_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) fail(path, "cannot open for reading");
+  if (!in) return defect(Errc::kIo, path, "cannot open for reading");
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
 
@@ -62,24 +59,28 @@ ShardCheckpoint load_shard_checkpoint(const std::string& path) {
     std::uint8_t magic[sizeof(kCheckpointMagic)];
     for (auto& m : magic) m = r.u8();
     if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0)
-      fail(path, "bad magic (not a dnnfi shard checkpoint)");
+      return defect(Errc::kCorruptData, path,
+                    "bad magic (not a dnnfi shard checkpoint)");
     const std::uint32_t version = r.u32();
     if (version != kCheckpointVersion)
-      fail(path, "unsupported format version " + std::to_string(version) +
-                     " (this build reads version " +
-                     std::to_string(kCheckpointVersion) + ")");
+      return defect(Errc::kVersionSkew, path,
+                    "unsupported format version " + std::to_string(version) +
+                        " (this build reads version " +
+                        std::to_string(kCheckpointVersion) + ")");
     const std::uint32_t stored_crc = r.u32();
     const std::uint64_t payload_size = r.u64();
     if (payload_size != r.remaining())
-      fail(path, "payload size mismatch: header says " +
-                     std::to_string(payload_size) + ", file holds " +
-                     std::to_string(r.remaining()));
+      return defect(Errc::kCorruptData, path,
+                    "payload size mismatch: header says " +
+                        std::to_string(payload_size) + ", file holds " +
+                        std::to_string(r.remaining()));
     const std::uint32_t actual_crc =
         crc32(bytes.data() + (bytes.size() - payload_size), payload_size);
     if (actual_crc != stored_crc)
-      fail(path, "CRC mismatch (stored " + std::to_string(stored_crc) +
-                     ", computed " + std::to_string(actual_crc) +
-                     ") — file is corrupt");
+      return defect(Errc::kCorruptData, path,
+                    "CRC mismatch (stored " + std::to_string(stored_crc) +
+                        ", computed " + std::to_string(actual_crc) +
+                        ") — file is corrupt");
 
     ShardCheckpoint ck;
     ck.fingerprint = r.u64();
@@ -90,19 +91,43 @@ ShardCheckpoint load_shard_checkpoint(const std::string& path) {
     ck.next_trial = r.u64();
     ck.complete = r.u8() != 0;
     ck.masked_exits = r.u64();
+    const std::uint64_t aborted = r.u64();
+    if (aborted > ck.trials_total)
+      return defect(Errc::kCorruptData, path,
+                    "aborted-trial count " + std::to_string(aborted) +
+                        " exceeds trials_total " +
+                        std::to_string(ck.trials_total));
+    ck.aborted_trials.reserve(static_cast<std::size_t>(aborted));
+    for (std::uint64_t i = 0; i < aborted; ++i)
+      ck.aborted_trials.push_back(r.u64());
     ck.acc = OutcomeAccumulator::deserialize(r);
-    if (!r.done()) fail(path, "trailing garbage after payload");
+    if (!r.done())
+      return defect(Errc::kCorruptData, path, "trailing garbage after payload");
     if (ck.shard_begin > ck.shard_end || ck.next_trial < ck.shard_begin ||
         ck.next_trial > ck.shard_end || ck.shard_end > ck.trials_total)
-      fail(path, "inconsistent shard range [" +
-                     std::to_string(ck.shard_begin) + ", " +
-                     std::to_string(ck.shard_end) + ") next=" +
-                     std::to_string(ck.next_trial) + " total=" +
-                     std::to_string(ck.trials_total));
+      return defect(Errc::kCorruptData, path,
+                    "inconsistent shard range [" +
+                        std::to_string(ck.shard_begin) + ", " +
+                        std::to_string(ck.shard_end) + ") next=" +
+                        std::to_string(ck.next_trial) + " total=" +
+                        std::to_string(ck.trials_total));
     return ck;
   } catch (const SerialError& e) {
-    fail(path, std::string("malformed payload: ") + e.what());
+    return defect(Errc::kCorruptData, path,
+                  std::string("malformed payload: ") + e.what());
   }
+}
+
+void save_shard_checkpoint(const std::string& path,
+                           const ShardCheckpoint& ck) {
+  auto saved = try_save_shard_checkpoint(path, ck);
+  if (!saved.ok()) throw CheckpointError(saved.error());
+}
+
+ShardCheckpoint load_shard_checkpoint(const std::string& path) {
+  auto loaded = try_load_shard_checkpoint(path);
+  if (!loaded.ok()) throw CheckpointError(loaded.error());
+  return std::move(loaded).value();
 }
 
 }  // namespace dnnfi::fault

@@ -7,7 +7,7 @@
 //
 //   offset  size  field
 //   0       8     magic "DNNFICKP"
-//   8       4     format version (currently 2)
+//   8       4     format version (currently 3)
 //   12      4     CRC-32 of the payload
 //   16      8     payload size in bytes
 //   24      ...   payload (ByteWriter stream):
@@ -17,40 +17,58 @@
 //                   u64 shard_begin, shard_end
 //                   u64 next_trial        — first trial index NOT yet folded
 //                   u8  complete          — next_trial == shard_end
-//                   u64 masked_exits      — v2: early-exited (masked) trials
+//                   u64 masked_exits      — early-exited (masked) trials
+//                   u64 aborted count + u64[count] — v3: quarantined trials
 //                   ...  OutcomeAccumulator::serialize
 //
-// Version history: v1 lacked masked_exits. Loads of v1 files fail with a
-// version error (campaign semantics are unchanged, but mixing counters
-// across formats silently would corrupt masked-rate reporting).
+// Version history: v1 lacked masked_exits; v2 lacked aborted_trials. Loads
+// of older files fail with a version error (campaign semantics are
+// unchanged, but mixing counters across formats silently would corrupt
+// masked-rate and quarantine reporting).
 //
 // Every structural defect — bad magic, unknown version, CRC mismatch,
-// truncation — raises CheckpointError with a message naming the file and
-// the defect; corrupt state is never silently (mis)loaded. Writes go to a
-// sibling ".tmp" file first and are renamed into place, so a crash
-// mid-write leaves the previous checkpoint intact.
+// truncation — is reported with a typed Errc (error.h) naming the file and
+// the defect; corrupt state is never silently (mis)loaded. The Expected
+// API (try_load/try_save) is the primary one — the campaign supervisor
+// dispatches on the code to decide retry vs abort — and the throwing
+// wrappers preserve the original interface, raising CheckpointError that
+// carries the same code. Writes go to a sibling ".tmp" file first and are
+// renamed into place, so a crash mid-write leaves the previous checkpoint
+// intact.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "dnnfi/common/error.h"
 #include "dnnfi/fault/accumulator.h"
 
 namespace dnnfi::fault {
 
 /// Thrown on any checkpoint load/validation failure (corrupt bytes,
 /// version skew, or a checkpoint that does not match the campaign being
-/// resumed). Catchable separately from programming-error ContractViolation.
+/// resumed). Catchable separately from programming-error ContractViolation,
+/// and carries the structured code so process-boundary consumers (the
+/// campaign CLI's exit status, the supervisor's retry policy) never have
+/// to parse the message.
 class CheckpointError : public std::runtime_error {
  public:
-  explicit CheckpointError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit CheckpointError(Error err)
+      : std::runtime_error(err.to_string()), code_(err.code) {}
+  CheckpointError(Errc code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  Errc code() const noexcept { return code_; }
+
+ private:
+  Errc code_;
 };
 
 inline constexpr char kCheckpointMagic[8] = {'D', 'N', 'N', 'F',
                                              'I', 'C', 'K', 'P'};
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// One shard's persistent state.
 struct ShardCheckpoint {
@@ -64,13 +82,27 @@ struct ShardCheckpoint {
   /// Trials that early-exited on an exact cache match (masked faults);
   /// 0 when incremental replay was disabled. New in format v2.
   std::uint64_t masked_exits = 0;
+  /// Trials quarantined by the supervisor: they crashed the worker on
+  /// every attempt, were bisected down to, and are NOT folded into `acc`.
+  /// Always empty for worker-written shard checkpoints; the supervisor's
+  /// merged campaign checkpoint enumerates them. New in format v3.
+  std::vector<std::uint64_t> aborted_trials;
   OutcomeAccumulator acc;
 };
 
-/// Atomically writes `ck` to `path` (tmp file + rename).
+/// Atomically writes `ck` to `path` (tmp file + rename). kIo on failure.
+Expected<void> try_save_shard_checkpoint(const std::string& path,
+                                         const ShardCheckpoint& ck);
+
+/// Loads and validates a checkpoint. Failure codes: kIo (unreadable),
+/// kCorruptData (bad magic/CRC/truncation/inconsistent ranges),
+/// kVersionSkew (format this build does not read).
+Expected<ShardCheckpoint> try_load_shard_checkpoint(const std::string& path);
+
+/// Throwing wrapper over try_save_shard_checkpoint.
 void save_shard_checkpoint(const std::string& path, const ShardCheckpoint& ck);
 
-/// Loads and validates a checkpoint; throws CheckpointError on any defect.
+/// Throwing wrapper over try_load_shard_checkpoint.
 ShardCheckpoint load_shard_checkpoint(const std::string& path);
 
 }  // namespace dnnfi::fault

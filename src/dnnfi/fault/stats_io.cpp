@@ -1,0 +1,53 @@
+#include "dnnfi/fault/stats_io.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dnnfi/common/atomic_file.h"
+
+namespace dnnfi::fault {
+
+void write_stats(std::ostream& os, std::uint64_t fingerprint,
+                 const OutcomeAccumulator& acc, std::uint64_t masked_exits,
+                 const std::vector<std::uint64_t>& aborted_trials) {
+  os << "dnnfi-campaign-stats v3\n";
+  os << "fingerprint " << fingerprint << "\n";
+  os << "trials " << acc.trials() << "\n";
+  os << "masked_exits " << masked_exits << "\n";
+  os << "aborted " << aborted_trials.size() << "\n";
+  std::vector<std::uint64_t> sorted = aborted_trials;
+  std::sort(sorted.begin(), sorted.end());
+  for (const std::uint64_t t : sorted) os << "aborted_trial " << t << "\n";
+  os << "sdc1 " << acc.sdc1().hits << "\n";
+  os << "sdc5 " << acc.sdc5().hits << "\n";
+  os << "sdc10 " << acc.sdc10().hits << "\n";
+  os << "sdc20 " << acc.sdc20().hits << "\n";
+  os << "detections " << acc.detections() << "\n";
+  os << "benign_flagged " << acc.benign_flagged() << "\n";
+  os << "reached " << acc.reached_output().hits << "\n";
+  os << std::hexfloat;
+  os << "mean_corruption_reached " << acc.mean_output_corruption_reached()
+     << "\n";
+  for (std::size_t b = 0; b < acc.num_blocks(); ++b) {
+    os << "block " << b + 1 << " live " << std::defaultfloat
+       << acc.block_live(b) << " masked " << acc.block_masked(b)
+       << " dist_sum " << std::hexfloat << acc.block_distance_sum(b)
+       << " log10_mean " << acc.block_log10_mean(b) << "\n";
+  }
+  os << std::defaultfloat;
+}
+
+Expected<void> write_stats_file(
+    const std::string& path, std::uint64_t fingerprint,
+    const OutcomeAccumulator& acc, std::uint64_t masked_exits,
+    const std::vector<std::uint64_t>& aborted_trials) {
+  std::ostringstream os;
+  write_stats(os, fingerprint, acc, masked_exits, aborted_trials);
+  auto written = write_file_atomic(path, os.str());
+  if (!written.ok())
+    return fail(Errc::kIo, "stats file " + path + ": " +
+                               written.error().message);
+  return {};
+}
+
+}  // namespace dnnfi::fault

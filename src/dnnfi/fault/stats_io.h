@@ -1,0 +1,44 @@
+// Deterministic campaign stats files: equal accumulator state <=> equal
+// text, so bit-identity across shardings/processes is a plain `diff`.
+// Counters print in decimal and doubles as C99 hex floats (no rounding).
+//
+// Format (v3):
+//
+//   dnnfi-campaign-stats v3
+//   fingerprint <u64>
+//   trials <n>
+//   masked_exits <n>            — how trials were *executed* (early exits);
+//                                 the one line that may differ between
+//                                 incremental and full replay of one run
+//   aborted <n>                 — trials quarantined by the supervisor,
+//   aborted_trial <idx>         — one line per quarantined trial, ascending;
+//                                 always `aborted 0` for monolithic runs
+//   sdc1/sdc5/... counters, then per-block live/masked/distance lines
+//
+// Shared by the dnnfi_campaign CLI (run/merge --out) and the supervisor's
+// merged output; writes are atomic (tmp + rename) so a killed process
+// never leaves a torn stats file.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dnnfi/common/error.h"
+#include "dnnfi/fault/accumulator.h"
+
+namespace dnnfi::fault {
+
+/// Streams the deterministic stats dump.
+void write_stats(std::ostream& os, std::uint64_t fingerprint,
+                 const OutcomeAccumulator& acc, std::uint64_t masked_exits,
+                 const std::vector<std::uint64_t>& aborted_trials = {});
+
+/// Atomically writes the dump to `path`. kIo on any filesystem failure.
+Expected<void> write_stats_file(
+    const std::string& path, std::uint64_t fingerprint,
+    const OutcomeAccumulator& acc, std::uint64_t masked_exits,
+    const std::vector<std::uint64_t>& aborted_trials = {});
+
+}  // namespace dnnfi::fault

@@ -1,0 +1,664 @@
+#include "dnnfi/fault/supervisor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+
+#include "dnnfi/common/rng.h"
+#include "dnnfi/fault/checkpoint.h"
+
+namespace dnnfi::fault {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+std::string shard_path(const std::string& dir, std::uint64_t begin,
+                       std::uint64_t end) {
+  return dir + "/shard_" + std::to_string(begin) + "_" + std::to_string(end) +
+         ".ckpt";
+}
+
+std::string range_str(std::uint64_t begin, std::uint64_t end) {
+  return "[" + std::to_string(begin) + ", " + std::to_string(end) + ")";
+}
+
+/// A trial range queued for execution (fresh, retrying, or bisected).
+struct Task {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  int attempts = 0;       ///< failed attempts so far
+  TimePoint ready{};      ///< earliest launch time (backoff)
+};
+
+/// A live worker subprocess and its heartbeat channel.
+struct Worker {
+  pid_t pid = -1;
+  int fd = -1;  ///< nonblocking read end of the heartbeat pipe; -1 once EOF
+  Task task;
+  TimePoint started{};
+  TimePoint last_beat{};
+  std::uint64_t trials_done = 0;
+  bool watchdog_killed = false;
+  std::vector<std::uint8_t> partial;  ///< bytes of an incomplete beat frame
+};
+
+/// A shard whose checkpoint on disk is complete.
+struct Completed {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::string path;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(const SupervisorOptions& opt) : opt_(opt) {}
+
+  Expected<SupervisorReport> run() {
+    if (opt_.trials == 0)
+      return fail(Errc::kInvalidArgument, "supervise: trials must be > 0");
+    if (opt_.binary.empty())
+      return fail(Errc::kInvalidArgument, "supervise: worker binary not set");
+    if (opt_.workers < 1)
+      return fail(Errc::kInvalidArgument, "supervise: workers must be >= 1");
+    if (opt_.checkpoint_dir.empty())
+      return fail(Errc::kInvalidArgument,
+                  "supervise: checkpoint directory not set");
+    std::error_code ec;
+    std::filesystem::create_directories(opt_.checkpoint_dir, ec);
+    if (ec)
+      return fail(Errc::kIo, "supervise: cannot create " +
+                                 opt_.checkpoint_dir + ": " + ec.message());
+    target_workers_ = opt_.workers;
+
+    if (auto scanned = scan_checkpoint_dir(); !scanned.ok())
+      return scanned.error();
+    select_cover();
+    schedule_gaps();
+
+    while (true) {
+      if (opt_.cancel && opt_.cancel->load(std::memory_order_relaxed))
+        return shutdown_cancelled();
+      promote_waiting();
+      if (auto launched = launch_ready(); !launched.ok()) {
+        kill_all(SIGKILL);
+        reap_blocking();
+        return launched.error();
+      }
+      if (active_.empty() && waiting_.empty() && ready_.empty()) break;
+      poll_heartbeats();
+      if (auto reaped = reap(); !reaped.ok()) {
+        kill_all(SIGKILL);
+        reap_blocking();
+        return reaped.error();
+      }
+      enforce_deadlines();
+    }
+    return merge();
+  }
+
+ private:
+  // ---- scheduling -------------------------------------------------------
+
+  /// Loads every checkpoint already in the directory: complete shards
+  /// count as coverage (supervisor crash recovery), incomplete ones are
+  /// resumed implicitly when their range is rescheduled under the same
+  /// deterministic file name. A corrupt or version-skewed file is fatal —
+  /// atomic writes mean it cannot be a torn write, so something real is
+  /// wrong with the directory.
+  Expected<void> scan_checkpoint_dir() {
+    std::optional<std::uint64_t> fingerprint;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(opt_.checkpoint_dir)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".ckpt")
+        continue;
+      const std::string path = entry.path().string();
+      auto loaded = try_load_shard_checkpoint(path);
+      if (!loaded.ok()) return loaded.error();
+      const ShardCheckpoint& ck = loaded.value();
+      if (ck.trials_total != opt_.trials)
+        return fail(Errc::kShardMismatch,
+                    "checkpoint " + path + " covers a " +
+                        std::to_string(ck.trials_total) +
+                        "-trial campaign, expected " +
+                        std::to_string(opt_.trials) +
+                        " (one campaign per checkpoint directory)");
+      if (fingerprint && ck.fingerprint != *fingerprint)
+        return fail(Errc::kFingerprintMismatch,
+                    "checkpoint " + path +
+                        " belongs to a different campaign configuration "
+                        "than its siblings (one campaign per directory)");
+      fingerprint = ck.fingerprint;
+      if (!ck.complete) continue;
+      completed_.push_back(Completed{ck.shard_begin, ck.shard_end, path});
+      for (const std::uint64_t t : ck.aborted_trials) quarantine(t);
+      log("resuming: shard " + range_str(ck.shard_begin, ck.shard_end) +
+          " already complete on disk");
+    }
+    return {};
+  }
+
+  /// Reduces the complete checkpoints found on disk to a disjoint cover
+  /// (greedy by begin, widest first). Overlaps arise legitimately — a
+  /// finished campaign leaves campaign.ckpt covering everything alongside
+  /// its shard files — and merging overlapping accumulators would double-
+  /// count trials, so redundant files are dropped, not merged.
+  void select_cover() {
+    std::sort(completed_.begin(), completed_.end(),
+              [](const Completed& a, const Completed& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.end > b.end;
+              });
+    std::vector<Completed> chosen;
+    std::uint64_t cursor = 0;
+    for (Completed& c : completed_) {
+      if (c.begin >= cursor && c.end > c.begin) {
+        cursor = c.end;
+        chosen.push_back(std::move(c));
+      }
+    }
+    completed_ = std::move(chosen);
+  }
+
+  /// Schedules every trial range not covered by a complete checkpoint or
+  /// an already-quarantined singleton, chunked to the shard size.
+  void schedule_gaps() {
+    std::uint64_t shard_size = opt_.shard_size;
+    if (shard_size == 0) {
+      const std::uint64_t lanes =
+          static_cast<std::uint64_t>(opt_.workers) * 4;
+      shard_size = std::max<std::uint64_t>(1, (opt_.trials + lanes - 1) / lanes);
+    }
+
+    // Non-overlapping coverage, greedily by begin (ties: widest first).
+    std::vector<Completed> cover = completed_;
+    for (const std::uint64_t t : aborted_)
+      cover.push_back(Completed{t, t + 1, ""});
+    std::sort(cover.begin(), cover.end(), [](const Completed& a,
+                                             const Completed& b) {
+      if (a.begin != b.begin) return a.begin < b.begin;
+      return a.end > b.end;
+    });
+    std::uint64_t cursor = 0;
+    const auto add_gap = [&](std::uint64_t g0, std::uint64_t g1) {
+      for (std::uint64_t b = g0; b < g1; b += shard_size) {
+        Task t;
+        t.begin = b;
+        t.end = std::min(g1, b + shard_size);
+        ready_.push_back(t);
+      }
+    };
+    for (const Completed& c : cover) {
+      if (c.begin > cursor) add_gap(cursor, c.begin);
+      cursor = std::max(cursor, c.end);
+    }
+    if (cursor < opt_.trials) add_gap(cursor, opt_.trials);
+  }
+
+  void promote_waiting() {
+    const TimePoint now = Clock::now();
+    for (auto it = waiting_.begin(); it != waiting_.end();) {
+      if (it->ready <= now) {
+        ready_.push_back(*it);
+        it = waiting_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // ---- process management ----------------------------------------------
+
+  Expected<void> launch_ready() {
+    while (!ready_.empty() &&
+           active_.size() < static_cast<std::size_t>(target_workers_)) {
+      Task task = ready_.front();
+      ready_.pop_front();
+      if (!launch(task)) {
+        // fork/pipe/exec-level failure: count toward degradation and
+        // retry the task through the normal backoff path.
+        note_resource_failure("launch failure for shard " +
+                              range_str(task.begin, task.end));
+        if (auto handled = handle_failure(
+                task, Error{Errc::kWorkerCrash, "could not launch worker"});
+            !handled.ok())
+          return handled.error();
+      }
+    }
+    return {};
+  }
+
+  bool launch(const Task& task) {
+    int fds[2];
+    if (pipe(fds) != 0) return false;
+    // Heartbeat read ends must not leak into other workers (a surviving
+    // duplicate write end would defeat EOF detection and hold fds open).
+    fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+
+    std::vector<std::string> args;
+    args.push_back(opt_.binary);
+    args.push_back("worker");
+    for (const auto& f : opt_.worker_flags) args.push_back(f);
+    args.push_back("--shard");
+    args.push_back(std::to_string(task.begin) + ":" +
+                   std::to_string(task.end));
+    args.push_back("--checkpoint");
+    args.push_back(shard_path(opt_.checkpoint_dir, task.begin, task.end));
+    args.push_back("--heartbeat-fd");
+    args.push_back(std::to_string(fds[1]));
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(fds[0]);
+      close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: exec the worker; 127 signals "could not even start".
+      close(fds[0]);
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      execv(opt_.binary.c_str(), argv.data());
+      _exit(127);
+    }
+    close(fds[1]);
+    fcntl(fds[0], F_SETFL, O_NONBLOCK);
+
+    Worker w;
+    w.pid = pid;
+    w.fd = fds[0];
+    w.task = task;
+    w.started = w.last_beat = Clock::now();
+    active_.push_back(std::move(w));
+    ++report_.workers_spawned;
+    log("shard " + range_str(task.begin, task.end) + " -> pid " +
+        std::to_string(pid) +
+        (task.attempts > 0 ? " (attempt " + std::to_string(task.attempts + 1) +
+                                 "/" + std::to_string(opt_.max_attempts) + ")"
+                           : ""));
+    return true;
+  }
+
+  /// Blocks up to the nearest deadline waiting for heartbeats; drains
+  /// every readable pipe and stamps last_beat.
+  void poll_heartbeats() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owner;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].fd < 0) continue;
+      fds.push_back(pollfd{active_[i].fd, POLLIN, 0});
+      owner.push_back(i);
+    }
+    const int timeout_ms = next_wakeup_ms();
+    const int n = ::poll(fds.empty() ? nullptr : fds.data(),
+                         static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (n <= 0) return;  // timeout or EINTR: deadlines handled by caller
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      drain(active_[owner[k]]);
+    }
+  }
+
+  /// Wakeup bound: soonest of worker deadlines and backoff expiries,
+  /// clamped to [10, 200] ms so reaping and cancellation stay responsive.
+  int next_wakeup_ms() const {
+    double soonest = 0.2;
+    const TimePoint now = Clock::now();
+    const auto until = [&](TimePoint tp) {
+      return std::chrono::duration<double>(tp - now).count();
+    };
+    for (const Worker& w : active_) {
+      soonest = std::min(
+          soonest, until(w.last_beat + to_duration(opt_.heartbeat_timeout_s)));
+      if (opt_.shard_timeout_s > 0)
+        soonest = std::min(
+            soonest, until(w.started + to_duration(opt_.shard_timeout_s)));
+    }
+    for (const Task& t : waiting_) soonest = std::min(soonest, until(t.ready));
+    return std::clamp(static_cast<int>(soonest * 1000.0), 10, 200);
+  }
+
+  static Clock::duration to_duration(double seconds) {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
+
+  void drain(Worker& w) {
+    std::uint8_t buf[256];
+    while (true) {
+      const ssize_t n = read(w.fd, buf, sizeof buf);
+      if (n > 0) {
+        w.last_beat = Clock::now();
+        w.partial.insert(w.partial.end(), buf, buf + n);
+        while (w.partial.size() >= 8) {
+          std::uint64_t v = 0;
+          for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(w.partial[static_cast<std::size_t>(i)])
+                 << (8 * i);
+          w.trials_done = v;
+          w.partial.erase(w.partial.begin(), w.partial.begin() + 8);
+        }
+        continue;
+      }
+      if (n == 0) {  // worker closed its end (exiting)
+        close(w.fd);
+        w.fd = -1;
+      }
+      break;  // EOF, EAGAIN, or EINTR: nothing more to read now
+    }
+  }
+
+  /// SIGKILLs workers that missed their heartbeat deadline or exceeded the
+  /// shard wall-clock budget. The kill surfaces through reap() as a
+  /// kTimeout failure (retryable).
+  void enforce_deadlines() {
+    const TimePoint now = Clock::now();
+    for (Worker& w : active_) {
+      if (w.watchdog_killed) continue;
+      const bool hb_expired =
+          now - w.last_beat > to_duration(opt_.heartbeat_timeout_s);
+      const bool wall_expired =
+          opt_.shard_timeout_s > 0 &&
+          now - w.started > to_duration(opt_.shard_timeout_s);
+      if (!hb_expired && !wall_expired) continue;
+      log("pid " + std::to_string(w.pid) + " shard " +
+          range_str(w.task.begin, w.task.end) +
+          (hb_expired ? ": heartbeat deadline missed" : ": wall-clock budget exceeded") +
+          "; sending SIGKILL");
+      kill(w.pid, SIGKILL);
+      w.watchdog_killed = true;
+      ++report_.watchdog_kills;
+    }
+  }
+
+  Expected<void> reap() {
+    for (auto it = active_.begin(); it != active_.end();) {
+      int status = 0;
+      const pid_t r = waitpid(it->pid, &status, WNOHANG);
+      if (r != it->pid) {
+        ++it;
+        continue;
+      }
+      Worker w = std::move(*it);
+      it = active_.erase(it);
+      if (w.fd >= 0) {
+        drain(w);  // final beats written between last poll and exit
+        if (w.fd >= 0) close(w.fd);
+      }
+      if (auto handled = handle_exit(w, status); !handled.ok())
+        return handled.error();
+    }
+    return {};
+  }
+
+  Expected<void> handle_exit(const Worker& w, int status) {
+    const Task& task = w.task;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      // Trust but verify: the shard is only done if its checkpoint says so.
+      const std::string path =
+          shard_path(opt_.checkpoint_dir, task.begin, task.end);
+      auto loaded = try_load_shard_checkpoint(path);
+      if (loaded.ok() && loaded.value().complete) {
+        completed_.push_back(Completed{task.begin, task.end, path});
+        resource_failure_streak_ = 0;
+        log("shard " + range_str(task.begin, task.end) + " complete (" +
+            std::to_string(w.trials_done) + " trials this attempt)");
+        return {};
+      }
+      return handle_failure(
+          task, Error{Errc::kIo,
+                      "worker exited 0 but checkpoint " + path +
+                          " is missing or incomplete"});
+    }
+
+    Error err;
+    if (WIFSIGNALED(status)) {
+      const int sig = WTERMSIG(status);
+      err.code = w.watchdog_killed ? Errc::kTimeout : Errc::kWorkerCrash;
+      err.message = w.watchdog_killed
+                        ? "killed by watchdog (SIGKILL)"
+                        : std::string("died on signal ") + strsignal(sig);
+    } else {
+      const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      if (code == 127) {
+        err = Error{Errc::kWorkerCrash, "exec failed (exit 127)"};
+        note_resource_failure("worker exec failure");
+      } else {
+        err.code = errc_from_exit(code);
+        err.message = "exited with status " + std::to_string(code) + " (" +
+                      std::string(errc_name(err.code)) + ")";
+      }
+      if (err.code == Errc::kOutOfMemory)
+        note_resource_failure("worker out-of-memory");
+    }
+    return handle_failure(task, err);
+  }
+
+  /// Retry with backoff, bisect on exhaustion, quarantine at single-trial
+  /// granularity; fatal codes abort the campaign.
+  Expected<void> handle_failure(Task task, const Error& err) {
+    log("shard " + range_str(task.begin, task.end) + " failed: " +
+        err.to_string());
+    if (!err.retryable())
+      return Error{err.code, "shard " + range_str(task.begin, task.end) +
+                                 ": " + err.message + " (fatal; aborting)"};
+    ++task.attempts;
+    ++report_.retries;
+    if (task.attempts < opt_.max_attempts) {
+      task.ready = Clock::now() + to_duration(backoff_seconds(task));
+      waiting_.push_back(task);
+      return {};
+    }
+    if (task.end - task.begin == 1) {
+      quarantine(task.begin);
+      log("trial " + std::to_string(task.begin) +
+          " fails every attempt; quarantined (aborted_trials)");
+      if (aborted_.size() > opt_.max_quarantine)
+        return fail(Errc::kQuarantineOverflow,
+                    "quarantined " + std::to_string(aborted_.size()) +
+                        " trials, more than the --max-quarantine budget of " +
+                        std::to_string(opt_.max_quarantine));
+      return {};
+    }
+    // Bisect: both halves restart the attempt budget; the half without the
+    // poison completes, the other converges on it in O(log shard) splits.
+    const std::uint64_t mid = task.begin + (task.end - task.begin) / 2;
+    ++report_.bisections;
+    log("bisecting " + range_str(task.begin, task.end) + " -> " +
+        range_str(task.begin, mid) + " + " + range_str(mid, task.end));
+    ready_.push_back(Task{task.begin, mid, 0, {}});
+    ready_.push_back(Task{mid, task.end, 0, {}});
+    return {};
+  }
+
+  /// Exponential backoff with deterministic jitter in [1x, 1.5x): the
+  /// schedule is reproducible for a given jitter seed, yet relaunches of
+  /// sibling shards spread out instead of stampeding.
+  double backoff_seconds(const Task& task) const {
+    double d = opt_.backoff_base_s;
+    for (int i = 1; i < task.attempts; ++i) d *= 2;
+    d = std::min(d, opt_.backoff_cap_s);
+    std::uint64_t h = opt_.jitter_seed ^
+                      (task.begin * 1000003ULL + task.end) ^
+                      (static_cast<std::uint64_t>(task.attempts) << 56);
+    splitmix64(h);
+    const double u =
+        static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;  // uniform [0, 1)
+    return d * (1.0 + 0.5 * u);
+  }
+
+  void quarantine(std::uint64_t trial) {
+    if (std::find(aborted_.begin(), aborted_.end(), trial) == aborted_.end())
+      aborted_.push_back(trial);
+  }
+
+  /// Repeated OOM/exec failures mean the machine is oversubscribed, not
+  /// unlucky: halve concurrency (never below one) and keep going.
+  void note_resource_failure(const std::string& what) {
+    ++resource_failure_streak_;
+    log(what + " (streak " + std::to_string(resource_failure_streak_) + ")");
+    if (resource_failure_streak_ >= 2 && target_workers_ > 1) {
+      const int before = target_workers_;
+      target_workers_ = std::max(1, target_workers_ / 2);
+      resource_failure_streak_ = 0;
+      ++report_.degradations;
+      log("degrading worker concurrency " + std::to_string(before) + " -> " +
+          std::to_string(target_workers_));
+    }
+  }
+
+  // ---- shutdown & merge -------------------------------------------------
+
+  void kill_all(int sig) {
+    for (const Worker& w : active_) kill(w.pid, sig);
+  }
+
+  void reap_blocking() {
+    for (Worker& w : active_) {
+      int status = 0;
+      waitpid(w.pid, &status, 0);
+      if (w.fd >= 0) close(w.fd);
+    }
+    active_.clear();
+  }
+
+  /// SIGTERM the fleet and wait for the graceful worker exits (each
+  /// finishes its in-flight batch and checkpoints); stragglers past the
+  /// grace period are SIGKILLed. At most one batch per worker is lost,
+  /// and a later `supervise` resumes from the same directory.
+  Expected<SupervisorReport> shutdown_cancelled() {
+    log("cancellation requested; stopping " +
+        std::to_string(active_.size()) + " worker(s)");
+    kill_all(SIGTERM);
+    const TimePoint deadline =
+        Clock::now() + to_duration(std::max(5.0, opt_.heartbeat_timeout_s));
+    while (!active_.empty() && Clock::now() < deadline) {
+      poll_heartbeats();
+      for (auto it = active_.begin(); it != active_.end();) {
+        int status = 0;
+        if (waitpid(it->pid, &status, WNOHANG) == it->pid) {
+          if (it->fd >= 0) close(it->fd);
+          it = active_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    kill_all(SIGKILL);
+    reap_blocking();
+    report_.cancelled = true;
+    report_.aborted_trials = sorted_aborted();
+    return report_;
+  }
+
+  std::vector<std::uint64_t> sorted_aborted() const {
+    std::vector<std::uint64_t> v = aborted_;
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  /// Loads every completed shard checkpoint and merges exactly. The result
+  /// is byte-identical to the monolithic run over the same trials —
+  /// quarantined trials excepted, and those are enumerated.
+  Expected<SupervisorReport> merge() {
+    std::sort(completed_.begin(), completed_.end(),
+              [](const Completed& a, const Completed& b) {
+                return a.begin < b.begin;
+              });
+    // Coverage audit: completed shards plus quarantined singletons must
+    // tile [0, trials) without gaps or overlaps.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> tiles;
+    for (const Completed& c : completed_) tiles.emplace_back(c.begin, c.end);
+    // A quarantined trial is its own tile unless a completed range already
+    // accounts for it (a prior run's campaign.ckpt spans administratively-
+    // complete ranges that include their quarantined trials).
+    for (const std::uint64_t t : aborted_) {
+      const bool inside = std::any_of(
+          completed_.begin(), completed_.end(), [&](const Completed& c) {
+            return c.begin <= t && t < c.end;
+          });
+      if (!inside) tiles.emplace_back(t, t + 1);
+    }
+    std::sort(tiles.begin(), tiles.end());
+    std::uint64_t cursor = 0;
+    for (const auto& [b, e] : tiles) {
+      if (b != cursor)
+        return fail(Errc::kInternal,
+                    "supervise: coverage hole or overlap at trial " +
+                        std::to_string(cursor) + " vs tile " +
+                        range_str(b, e));
+      cursor = e;
+    }
+    if (cursor != opt_.trials)
+      return fail(Errc::kInternal,
+                  "supervise: coverage ends at " + std::to_string(cursor) +
+                      " of " + std::to_string(opt_.trials));
+
+    std::string network;
+    for (const Completed& c : completed_) {
+      auto loaded = try_load_shard_checkpoint(c.path);
+      if (!loaded.ok()) return loaded.error();
+      const ShardCheckpoint& ck = loaded.value();
+      report_.acc.merge(ck.acc);
+      report_.masked_exits += ck.masked_exits;
+      report_.fingerprint = ck.fingerprint;
+      network = ck.network;
+    }
+    report_.aborted_trials = sorted_aborted();
+
+    // Leave the merged state behind as a self-describing v3 checkpoint.
+    ShardCheckpoint merged;
+    merged.fingerprint = report_.fingerprint;
+    merged.network = network;
+    merged.trials_total = opt_.trials;
+    merged.shard_begin = 0;
+    merged.shard_end = opt_.trials;
+    merged.next_trial = opt_.trials;
+    merged.complete = true;
+    merged.masked_exits = report_.masked_exits;
+    merged.aborted_trials = report_.aborted_trials;
+    merged.acc = report_.acc;
+    if (auto saved = try_save_shard_checkpoint(
+            opt_.checkpoint_dir + "/campaign.ckpt", merged);
+        !saved.ok())
+      return saved.error();
+    return std::move(report_);
+  }
+
+  void log(const std::string& what) const {
+    if (opt_.verbose) std::cerr << "[supervise] " << what << "\n";
+  }
+
+  const SupervisorOptions& opt_;
+  SupervisorReport report_;
+  int target_workers_ = 1;
+  int resource_failure_streak_ = 0;
+
+  std::deque<Task> ready_;
+  std::vector<Task> waiting_;
+  std::vector<Worker> active_;
+  std::vector<Completed> completed_;
+  std::vector<std::uint64_t> aborted_;
+};
+
+}  // namespace
+
+Expected<SupervisorReport> supervise(const SupervisorOptions& opt) {
+  return Supervisor(opt).run();
+}
+
+}  // namespace dnnfi::fault

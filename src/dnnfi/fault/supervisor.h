@@ -1,0 +1,115 @@
+// Fault-tolerant campaign supervisor: runs a sharded campaign across
+// spawned worker subprocesses and survives their failures.
+//
+// The supervisor partitions [0, trials) into shards and fork/execs one
+// `dnnfi_campaign worker` process per shard (the same binary in a hidden
+// mode). Each worker streams heartbeats — an 8-byte little-endian count of
+// completed trials per batch — over an inherited pipe, and persists a
+// shard checkpoint after every batch. The supervisor:
+//
+//   launch    — up to `workers` concurrent subprocesses, one shard each;
+//   watchdog  — SIGKILLs a worker that misses its heartbeat deadline or
+//               exceeds the per-shard wall-clock timeout;
+//   retry     — relaunches failed shards with exponential backoff plus
+//               deterministic jitter, up to `max_attempts` per range. A
+//               relaunched worker resumes from the shard's checkpoint, so
+//               a crash loses at most one checkpoint batch;
+//   bisect    — a range that exhausts its attempts is split in half and
+//               each half re-queued; repeated failures converge on the
+//               single poison trial, which is *quarantined* (recorded in
+//               aborted_trials, excluded from aggregates) instead of
+//               aborting the campaign;
+//   degrade   — repeated OOM or launch failures halve worker concurrency
+//               (never below one);
+//   merge     — completed shard checkpoints are merged exactly (ExactSum
+//               associativity) into aggregates byte-identical to a
+//               monolithic run, quarantined trials excepted and
+//               enumerated.
+//
+// Failure classification rides the error.h taxonomy over the process
+// boundary: a worker exits with exit_code(code), the supervisor classifies
+// via errc_from_exit() / WIFSIGNALED and retries only retryable() codes.
+// Fatal codes (fingerprint mismatch, corrupt/version-skewed checkpoint,
+// usage errors) abort the whole campaign immediately — retrying cannot
+// help, and bisecting would quarantine every trial.
+//
+// Crash-safety of the supervisor itself: all durable state lives in the
+// checkpoint directory. On startup the directory is scanned; complete
+// shard checkpoints count as coverage, gaps are (re)scheduled with
+// deterministic names (`shard_<begin>_<end>.ckpt`), and an incomplete
+// checkpoint for a rescheduled range is resumed by its worker. `kill -9`
+// of the supervisor or any worker therefore loses at most one checkpoint
+// batch of work. See DESIGN.md §9.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnnfi/common/error.h"
+#include "dnnfi/fault/accumulator.h"
+
+namespace dnnfi::fault {
+
+struct SupervisorOptions {
+  /// Path of the dnnfi_campaign binary to exec in worker mode.
+  std::string binary;
+  /// Campaign-defining flags forwarded verbatim to every worker
+  /// (--network, --dtype, --trials, --seed, ...). The supervisor appends
+  /// the per-shard --shard/--checkpoint/--heartbeat-fd flags itself.
+  std::vector<std::string> worker_flags;
+
+  std::uint64_t trials = 0;       ///< whole-campaign trial count
+  std::uint64_t shard_size = 0;   ///< trials per shard; 0 = auto
+  int workers = 2;                ///< max concurrent worker processes
+
+  double heartbeat_timeout_s = 60.0;  ///< silence ⇒ SIGKILL
+  double shard_timeout_s = 0.0;       ///< wall clock per attempt; 0 = none
+  int max_attempts = 3;               ///< per range before bisecting
+  double backoff_base_s = 0.25;       ///< first retry delay
+  double backoff_cap_s = 10.0;        ///< delay ceiling
+  std::size_t max_quarantine = 16;    ///< poison-trial budget; more = fatal
+
+  /// Directory holding shard checkpoints and the merged campaign
+  /// checkpoint. One campaign configuration per directory: stale
+  /// checkpoints from a different configuration are a fatal
+  /// fingerprint mismatch.
+  std::string checkpoint_dir;
+
+  /// Seeds the deterministic retry jitter (any value; reuse the campaign
+  /// seed for reproducible schedules).
+  std::uint64_t jitter_seed = 0;
+
+  bool verbose = true;  ///< narrate launches/retries/quarantines on stderr
+
+  /// Graceful shutdown: when it reads true, workers receive SIGTERM
+  /// (finishing their in-flight batch and checkpointing), and supervise()
+  /// returns with `cancelled` set instead of merging.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// What a supervised campaign produced.
+struct SupervisorReport {
+  OutcomeAccumulator acc;        ///< merged aggregates (quarantine excluded)
+  std::uint64_t fingerprint = 0;
+  std::uint64_t masked_exits = 0;
+  /// Quarantined trial indices, ascending. Empty on a clean campaign.
+  std::vector<std::uint64_t> aborted_trials;
+  bool cancelled = false;  ///< stopped by SIGINT/SIGTERM before completion
+
+  // Robustness telemetry.
+  int workers_spawned = 0;
+  int retries = 0;          ///< failed attempts that were re-queued
+  int watchdog_kills = 0;   ///< heartbeat/wall-clock SIGKILLs
+  int bisections = 0;
+  int degradations = 0;     ///< times concurrency was halved
+};
+
+/// Runs the supervised campaign to completion (or cancellation). Returns
+/// the merged report, or the first fatal Error. Also writes the merged
+/// state as `<checkpoint_dir>/campaign.ckpt` (format v3, aborted_trials
+/// enumerated) so a finished campaign is self-describing on disk.
+Expected<SupervisorReport> supervise(const SupervisorOptions& opt);
+
+}  // namespace dnnfi::fault

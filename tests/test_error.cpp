@@ -1,0 +1,260 @@
+// The error taxonomy, locked down: Errc <-> exit-code mapping is a
+// round-trip (it is the supervisor/worker process-boundary protocol),
+// retryability is classified the way the supervisor's retry policy
+// assumes, Expected carries exactly one of value/error, and every
+// checkpoint / stats / atomic-file failure path reports the typed code
+// the supervisor dispatches on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dnnfi/common/atomic_file.h"
+#include "dnnfi/common/error.h"
+#include "dnnfi/fault/checkpoint.h"
+#include "dnnfi/fault/stats_io.h"
+
+namespace dnnfi {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr Errc kAllCodes[] = {
+    Errc::kOk,          Errc::kIo,
+    Errc::kOutOfMemory, Errc::kTimeout,
+    Errc::kWorkerCrash, Errc::kInterrupted,
+    Errc::kCorruptData, Errc::kVersionSkew,
+    Errc::kFingerprintMismatch, Errc::kShardMismatch,
+    Errc::kInvalidArgument, Errc::kQuarantineOverflow,
+    Errc::kInternal};
+
+TEST(Errc, ExitCodeRoundTripsForEveryCode) {
+  for (const Errc c : kAllCodes) {
+    const int ec = exit_code(c);
+    EXPECT_EQ(errc_from_exit(ec), c) << errc_name(c);
+  }
+  // Unknown statuses (a worker that called exit(1), a shell's 127) classify
+  // as kInternal: retried once, then bisected -- never treated as success.
+  EXPECT_EQ(errc_from_exit(1), Errc::kInternal);
+  EXPECT_EQ(errc_from_exit(127), Errc::kInternal);
+  EXPECT_EQ(errc_from_exit(99), Errc::kInternal);
+}
+
+TEST(Errc, RetryablePartitionsTransientFromFatal) {
+  // Transient: retrying can plausibly succeed.
+  for (const Errc c : {Errc::kIo, Errc::kOutOfMemory, Errc::kTimeout,
+                       Errc::kWorkerCrash, Errc::kInterrupted, Errc::kInternal})
+    EXPECT_TRUE(retryable(c)) << errc_name(c);
+  // Fatal: the same inputs fail the same way; retrying wastes the budget
+  // and bisecting would quarantine every trial.
+  for (const Errc c : {Errc::kOk, Errc::kCorruptData, Errc::kVersionSkew,
+                       Errc::kFingerprintMismatch, Errc::kShardMismatch,
+                       Errc::kInvalidArgument, Errc::kQuarantineOverflow})
+    EXPECT_FALSE(retryable(c)) << errc_name(c);
+}
+
+TEST(Errc, ExitCodesAreDistinctAndShellSafe) {
+  std::vector<int> seen;
+  for (const Errc c : kAllCodes) {
+    const int ec = exit_code(c);
+    EXPECT_GE(ec, 0);
+    EXPECT_LT(ec, 126);  // stay clear of shell's 126/127/128+signal range
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), ec), 0)
+        << "duplicate exit code " << ec;
+    seen.push_back(ec);
+  }
+}
+
+TEST(Expected, ValueSideRoundTrips) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.value_or(-1), 42);
+}
+
+TEST(Expected, ErrorSideCarriesCodeAndMessage) {
+  Expected<int> e = fail(Errc::kTimeout, "heartbeat missed");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error().code, Errc::kTimeout);
+  EXPECT_TRUE(e.error().retryable());
+  EXPECT_EQ(e.error().message, "heartbeat missed");
+  EXPECT_EQ(e.error().to_string(), "timeout: heartbeat missed");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, VoidSpecialization) {
+  Expected<void> good;
+  EXPECT_TRUE(good.ok());
+  Expected<void> bad = fail(Errc::kIo, "disk full");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Errc::kIo);
+}
+
+TEST(AtomicFile, FailureToUnwritableDirIsIoAndTargetUntouched) {
+  const auto r = write_file_atomic("/nonexistent-dir/x/y.txt", "hi");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kIo);
+  EXPECT_FALSE(fs::exists("/nonexistent-dir/x/y.txt"));
+}
+
+TEST(AtomicFile, SuccessLeavesNoTmpSibling) {
+  const std::string path =
+      (fs::temp_directory_path() / "dnnfi_atomic_test.txt").string();
+  ASSERT_TRUE(write_file_atomic(path, "payload").ok());
+  std::ifstream in(path);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(body, "payload");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove(path);
+}
+
+class CheckpointErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "dnnfi_test_error_ckpt";
+    fs::create_directories(dir_);
+    path_ = (dir_ / "shard.ckpt").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fault::ShardCheckpoint sample() const {
+    fault::ShardCheckpoint ck;
+    ck.fingerprint = 0xDEADBEEFCAFEF00DULL;
+    ck.network = "tiny";
+    ck.trials_total = 96;
+    ck.shard_begin = 0;
+    ck.shard_end = 48;
+    ck.next_trial = 48;
+    ck.complete = true;
+    ck.masked_exits = 7;
+    return ck;
+  }
+
+  std::string read_all() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+  void write_all(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(CheckpointErrors, LoadNonexistentIsIo) {
+  const auto r = fault::try_load_shard_checkpoint(path_ + ".missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kIo);
+  EXPECT_TRUE(r.error().retryable());
+}
+
+TEST_F(CheckpointErrors, SaveToUnwritableDirIsIo) {
+  const auto r = fault::try_save_shard_checkpoint(
+      "/nonexistent-dir/x/shard.ckpt", sample());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kIo);
+}
+
+TEST_F(CheckpointErrors, FlippedPayloadByteIsCorruptData) {
+  ASSERT_TRUE(fault::try_save_shard_checkpoint(path_, sample()).ok());
+  std::string bytes = read_all();
+  ASSERT_GT(bytes.size(), 30u);
+  bytes[bytes.size() - 3] ^= 0x40;  // payload flip breaks the CRC
+  write_all(bytes);
+  const auto r = fault::try_load_shard_checkpoint(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kCorruptData);
+  EXPECT_FALSE(r.error().retryable());
+}
+
+TEST_F(CheckpointErrors, BadMagicIsCorruptData) {
+  ASSERT_TRUE(fault::try_save_shard_checkpoint(path_, sample()).ok());
+  std::string bytes = read_all();
+  bytes[0] = 'X';
+  write_all(bytes);
+  const auto r = fault::try_load_shard_checkpoint(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kCorruptData);
+}
+
+TEST_F(CheckpointErrors, UnknownVersionIsVersionSkew) {
+  ASSERT_TRUE(fault::try_save_shard_checkpoint(path_, sample()).ok());
+  std::string bytes = read_all();
+  bytes[8] = 9;  // version field, little-endian u32 at offset 8
+  write_all(bytes);
+  const auto r = fault::try_load_shard_checkpoint(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kVersionSkew);
+  EXPECT_FALSE(r.error().retryable());
+}
+
+TEST_F(CheckpointErrors, ThrowingWrapperCarriesTheSameCode) {
+  std::string bytes;
+  {
+    ASSERT_TRUE(fault::try_save_shard_checkpoint(path_, sample()).ok());
+    bytes = read_all();
+    bytes[8] = 9;
+    write_all(bytes);
+  }
+  try {
+    (void)fault::load_shard_checkpoint(path_);
+    FAIL() << "expected CheckpointError";
+  } catch (const fault::CheckpointError& e) {
+    EXPECT_EQ(e.code(), Errc::kVersionSkew);
+  }
+}
+
+TEST_F(CheckpointErrors, AbortedTrialsRoundTripInV3) {
+  fault::ShardCheckpoint ck = sample();
+  ck.aborted_trials = {5, 17, 40};
+  ASSERT_TRUE(fault::try_save_shard_checkpoint(path_, ck).ok());
+  const auto r = fault::try_load_shard_checkpoint(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().aborted_trials, (std::vector<std::uint64_t>{5, 17, 40}));
+  EXPECT_EQ(r.value().masked_exits, 7u);
+  EXPECT_EQ(r.value().fingerprint, ck.fingerprint);
+}
+
+TEST(StatsIo, WriteToUnwritableDirIsIo) {
+  fault::OutcomeAccumulator acc;
+  const auto r =
+      fault::write_stats_file("/nonexistent-dir/x/s.stats", 1, acc, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kIo);
+}
+
+TEST(StatsIo, AbortedTrialsAreEnumeratedSorted) {
+  fault::OutcomeAccumulator acc;
+  std::ostringstream os;
+  fault::write_stats(os, 42, acc, 3, {11, 2});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("dnnfi-campaign-stats v3"), std::string::npos);
+  EXPECT_NE(s.find("aborted 2\n"), std::string::npos);
+  const auto a2 = s.find("aborted_trial 2\n");
+  const auto a11 = s.find("aborted_trial 11\n");
+  ASSERT_NE(a2, std::string::npos);
+  ASSERT_NE(a11, std::string::npos);
+  EXPECT_LT(a2, a11);  // ascending regardless of input order
+}
+
+TEST(StatsIo, CleanRunPrintsAbortedZero) {
+  // Monolithic runs and clean supervised runs must produce identical
+  // bytes, so the quarantine section must not vanish when empty.
+  fault::OutcomeAccumulator acc;
+  std::ostringstream os;
+  fault::write_stats(os, 42, acc, 0);
+  EXPECT_NE(os.str().find("aborted 0\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnnfi

@@ -1,29 +1,52 @@
-// Sharded, resumable fault-injection campaign runner.
+// Sharded, resumable, supervised fault-injection campaign runner.
 //
 // Subcommands:
-//   run     --network <name> --dtype <name> [--site <name>] [--trials N]
-//           [--seed S] [--shard B:E] [--checkpoint FILE] [--batch N]
-//           [--stop-after N] [--bit B] [--layer L] [--inputs N]
-//           [--distances] [--out FILE] [--no-progress] [--no-incremental]
-//           Runs trial indices [B, E) of an N-trial campaign, streaming
-//           records into an accumulator. With --checkpoint, state is saved
-//           after every batch and an existing file resumes transparently.
-//           --no-incremental disables incremental fault replay (the
-//           masked-fault early exit); results are byte-identical either
-//           way, the flag only trades speed for a full-replay cross-check.
-//   resume  Same flags as run; requires the checkpoint file to exist.
-//   merge   [--out FILE] <checkpoint>...
-//           Validates that the checkpoints belong to one campaign (equal
-//           fingerprints, disjoint complete shards) and merges them. The
-//           merged aggregates are bit-identical to a single-process run.
+//   run       --network <name> --dtype <name> [--site <name>] [--trials N]
+//             [--seed S] [--shard B:E] [--checkpoint FILE] [--batch N]
+//             [--stop-after N] [--bit B] [--layer L] [--inputs N]
+//             [--distances] [--out FILE] [--no-progress] [--no-incremental]
+//             Runs trial indices [B, E) of an N-trial campaign, streaming
+//             records into an accumulator. With --checkpoint, state is saved
+//             after every batch and an existing file resumes transparently.
+//             --no-incremental disables incremental fault replay (the
+//             masked-fault early exit); results are byte-identical either
+//             way, the flag only trades speed for a full-replay cross-check.
+//   resume    Same flags as run; requires the checkpoint file to exist.
+//   merge     [--out FILE] <checkpoint>...
+//             Validates that the checkpoints belong to one campaign (equal
+//             fingerprints, disjoint complete shards) and merges them. The
+//             merged aggregates are bit-identical to a single-process run.
+//   supervise Campaign flags plus [--workers W] [--shard-size N]
+//             [--ckpt-dir DIR] [--heartbeat-timeout S] [--shard-timeout S]
+//             [--max-attempts N] [--backoff S] [--max-quarantine N]
+//             Partitions the campaign into shards and runs each in a worker
+//             subprocess under a watchdog: hung workers are SIGKILLed,
+//             failed shards retry with exponential backoff, repeatedly
+//             failing shards are bisected down to the poison trial, which
+//             is quarantined instead of aborting the campaign. Crashed
+//             workers (and a crashed supervisor) resume from the shard
+//             checkpoints in --ckpt-dir. See DESIGN.md §9.
+//   worker    (internal) one supervised shard: `run` plus a heartbeat pipe
+//             (--heartbeat-fd) and taxonomy-coded exit statuses.
 //
-// Exit codes: 0 shard/merge complete, 2 usage error, 3 stopped before the
-// shard end (--stop-after), 1 anything else (corrupt checkpoint, ...).
+// SIGINT/SIGTERM trigger a graceful shutdown everywhere: the in-flight
+// batch finishes, a final checkpoint is written, and the process exits 4
+// instead of dying mid-write.
+//
+// Exit codes: 0 complete, 2 usage error, 3 stopped before the shard end
+// (--stop-after), 4 interrupted (SIGINT/SIGTERM after a clean checkpoint),
+// 10-13 retryable failures (I/O, OOM, timeout, crash), 20-24 fatal ones
+// (corrupt data, version skew, fingerprint/shard mismatch, quarantine
+// overflow), 1 anything unclassified — see common/error.h.
 //
 // --out writes a deterministic stats dump (counters in decimal, doubles as
 // C99 hex floats), so bit-identity across shardings is a textual diff.
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -32,20 +55,38 @@
 #include <string>
 #include <vector>
 
+#include "dnnfi/common/env.h"
+#include "dnnfi/common/error.h"
 #include "dnnfi/common/table.h"
 #include "dnnfi/data/pretrain.h"
 #include "dnnfi/fault/campaign.h"
 #include "dnnfi/fault/checkpoint.h"
+#include "dnnfi/fault/stats_io.h"
+#include "dnnfi/fault/supervisor.h"
 
 namespace {
 
 using namespace dnnfi;
 using dnn::zoo::NetworkId;
 
+/// Set by the SIGINT/SIGTERM handler; campaign batch loops poll it.
+std::atomic<bool> g_cancel{false};
+
+void on_signal(int) { g_cancel.store(true, std::memory_order_relaxed); }
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sa.sa_flags = SA_RESTART;  // don't turn in-flight checkpoint writes into EINTR
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
 [[noreturn]] void usage(const std::string& why) {
   std::cerr
       << "error: " << why << "\n\n"
-      << "usage: dnnfi_campaign <run|resume> --network <name> "
+      << "usage: dnnfi_campaign <run|resume|supervise> --network <name> "
          "[--dtype <name>] [options]\n"
          "       dnnfi_campaign merge [--out FILE] <checkpoint>...\n"
          "  networks: convnet alexnet caffenet nin\n"
@@ -53,7 +94,10 @@ using dnn::zoo::NetworkId;
          "  sites:    datapath global-buffer filter-sram img-reg psum-reg\n"
          "  options:  --trials N --seed S --shard B:E --checkpoint FILE\n"
          "            --batch N --stop-after N --bit B --layer L --inputs N\n"
-         "            --distances --out FILE --no-progress --no-incremental\n";
+         "            --distances --out FILE --no-progress --no-incremental\n"
+         "  supervise: --workers W --shard-size N --ckpt-dir DIR\n"
+         "            --heartbeat-timeout S --shard-timeout S\n"
+         "            --max-attempts N --backoff S --max-quarantine N\n";
   std::exit(2);
 }
 
@@ -63,6 +107,18 @@ NetworkId parse_network(const std::string& s) {
   if (s == "caffenet") return NetworkId::kCaffeNetS;
   if (s == "nin") return NetworkId::kNiNS;
   usage("unknown network " + s);
+}
+
+/// Inverse of parse_network: the CLI token (not the display name), so the
+/// supervisor can rebuild a worker command line from parsed options.
+const char* cli_network_name(NetworkId id) {
+  switch (id) {
+    case NetworkId::kConvNet: return "convnet";
+    case NetworkId::kAlexNetS: return "alexnet";
+    case NetworkId::kCaffeNetS: return "caffenet";
+    case NetworkId::kNiNS: return "nin";
+  }
+  return "convnet";
 }
 
 numeric::DType parse_dtype(const std::string& s) {
@@ -97,6 +153,17 @@ struct Args {
   std::string out;
   bool progress = true;
   std::vector<std::string> files;  // merge operands
+
+  // supervise / worker
+  int workers = 2;
+  std::uint64_t shard_size = 0;
+  std::string ckpt_dir;
+  double heartbeat_timeout = 60.0;
+  double shard_timeout = 0.0;
+  int max_attempts = 3;
+  double backoff = 0.25;
+  std::size_t max_quarantine = 16;
+  int heartbeat_fd = -1;
 };
 
 Args parse(int argc, char** argv) {
@@ -154,6 +221,24 @@ Args parse(int argc, char** argv) {
       a.inputs = std::stoull(val);
     } else if (key == "--out") {
       a.out = val;
+    } else if (key == "--workers") {
+      a.workers = std::stoi(val);
+    } else if (key == "--shard-size") {
+      a.shard_size = std::stoull(val);
+    } else if (key == "--ckpt-dir") {
+      a.ckpt_dir = val;
+    } else if (key == "--heartbeat-timeout") {
+      a.heartbeat_timeout = std::stod(val);
+    } else if (key == "--shard-timeout") {
+      a.shard_timeout = std::stod(val);
+    } else if (key == "--max-attempts") {
+      a.max_attempts = std::stoi(val);
+    } else if (key == "--backoff") {
+      a.backoff = std::stod(val);
+    } else if (key == "--max-quarantine") {
+      a.max_quarantine = std::stoull(val);
+    } else if (key == "--heartbeat-fd") {
+      a.heartbeat_fd = std::stoi(val);
     } else {
       usage("unknown option " + key);
     }
@@ -172,45 +257,6 @@ std::vector<dnn::Example> test_inputs(NetworkId id, std::size_t n) {
   return v;
 }
 
-/// Deterministic aggregate dump: equal accumulator state <=> equal text.
-/// masked_exits is deterministic per trial too, so shardings of one
-/// campaign diff clean — but an incremental vs full run of the SAME
-/// campaign differs only on that line (full replay never early-exits);
-/// cross-mode checks filter it (see tools/nightly_campaign.sh).
-void write_stats(std::ostream& os, std::uint64_t fingerprint,
-                 const fault::OutcomeAccumulator& acc,
-                 std::uint64_t masked_exits) {
-  os << "dnnfi-campaign-stats v2\n";
-  os << "fingerprint " << fingerprint << "\n";
-  os << "trials " << acc.trials() << "\n";
-  os << "masked_exits " << masked_exits << "\n";
-  os << "sdc1 " << acc.sdc1().hits << "\n";
-  os << "sdc5 " << acc.sdc5().hits << "\n";
-  os << "sdc10 " << acc.sdc10().hits << "\n";
-  os << "sdc20 " << acc.sdc20().hits << "\n";
-  os << "detections " << acc.detections() << "\n";
-  os << "benign_flagged " << acc.benign_flagged() << "\n";
-  os << "reached " << acc.reached_output().hits << "\n";
-  os << std::hexfloat;
-  os << "mean_corruption_reached " << acc.mean_output_corruption_reached()
-     << "\n";
-  for (std::size_t b = 0; b < acc.num_blocks(); ++b) {
-    os << "block " << b + 1 << " live " << std::defaultfloat
-       << acc.block_live(b) << " masked " << acc.block_masked(b)
-       << " dist_sum " << std::hexfloat << acc.block_distance_sum(b)
-       << " log10_mean " << acc.block_log10_mean(b) << "\n";
-  }
-  os << std::defaultfloat;
-}
-
-void write_stats_file(const std::string& path, std::uint64_t fingerprint,
-                      const fault::OutcomeAccumulator& acc,
-                      std::uint64_t masked_exits) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  write_stats(out, fingerprint, acc, masked_exits);
-}
-
 void print_summary(const std::string& title,
                    const fault::OutcomeAccumulator& acc) {
   Table t(title);
@@ -227,6 +273,33 @@ void print_summary(const std::string& title,
   t.print(std::cout);
 }
 
+/// Writes the stats dump or exits with the taxonomy code for the failure.
+int emit_stats_or_fail(const std::string& path, std::uint64_t fingerprint,
+                       const fault::OutcomeAccumulator& acc,
+                       std::uint64_t masked_exits,
+                       const std::vector<std::uint64_t>& aborted = {}) {
+  auto written =
+      fault::write_stats_file(path, fingerprint, acc, masked_exits, aborted);
+  if (!written.ok()) {
+    std::cerr << "error: " << written.error().to_string() << "\n";
+    return exit_code(written.error().code);
+  }
+  return 0;
+}
+
+fault::CampaignOptions campaign_options(const Args& a) {
+  fault::CampaignOptions opt;
+  opt.trials = a.trials;
+  opt.seed = a.seed;
+  opt.site = a.site;
+  opt.constraint.fixed_bit = a.bit;
+  opt.constraint.fixed_block = a.layer;
+  opt.record_block_distances = a.distances;
+  opt.incremental_replay = a.incremental;
+  opt.cancel = &g_cancel;
+  return opt;
+}
+
 int cmd_run(const Args& a, bool resume) {
   if (resume) {
     if (a.checkpoint.empty()) usage("resume requires --checkpoint");
@@ -240,14 +313,7 @@ int cmd_run(const Args& a, bool resume) {
   const fault::Campaign c(m.spec, m.blob, a.dtype,
                           test_inputs(a.network, a.inputs));
 
-  fault::CampaignOptions opt;
-  opt.trials = a.trials;
-  opt.seed = a.seed;
-  opt.site = a.site;
-  opt.constraint.fixed_bit = a.bit;
-  opt.constraint.fixed_block = a.layer;
-  opt.record_block_distances = a.distances;
-  opt.incremental_replay = a.incremental;
+  fault::CampaignOptions opt = campaign_options(a);
   if (a.progress) {
     opt.progress = [](const fault::CampaignProgress& p) {
       const std::uint64_t span = p.end - p.begin;
@@ -272,10 +338,12 @@ int cmd_run(const Args& a, bool resume) {
 
   const std::uint64_t end = a.shard_end == 0 ? a.trials : a.shard_end;
   if (!res.complete) {
-    std::cerr << "stopped at trial " << res.next_trial << " of shard ["
-              << a.shard_begin << ", " << end << ")"
+    const bool interrupted = g_cancel.load(std::memory_order_relaxed);
+    std::cerr << (interrupted ? "interrupted at trial " : "stopped at trial ")
+              << res.next_trial << " of shard [" << a.shard_begin << ", "
+              << end << ")"
               << (a.checkpoint.empty() ? "" : "; checkpoint saved") << "\n";
-    return 3;
+    return interrupted ? exit_code(Errc::kInterrupted) : 3;
   }
   print_summary("shard [" + std::to_string(a.shard_begin) + ", " +
                     std::to_string(end) + ") of " + std::to_string(a.trials) +
@@ -285,9 +353,173 @@ int cmd_run(const Args& a, bool resume) {
                     fault::site_class_name(a.site),
                 res.acc);
   if (!a.out.empty())
-    write_stats_file(a.out, c.fingerprint(opt), res.acc, res.masked_exits);
+    return emit_stats_or_fail(a.out, c.fingerprint(opt), res.acc,
+                              res.masked_exits);
   return 0;
 }
+
+// ---- worker mode ---------------------------------------------------------
+
+/// One heartbeat frame: completed-trial count, 8 bytes little-endian. A
+/// dead supervisor turns writes into EPIPE noise (SIGPIPE is ignored); the
+/// worker keeps going and its checkpoint remains the source of truth.
+void heartbeat(int fd, std::uint64_t done) {
+  if (fd < 0) return;
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i)
+    b[i] = static_cast<std::uint8_t>(done >> (8 * i));
+  [[maybe_unused]] const ssize_t n = ::write(fd, b, sizeof b);
+}
+
+/// Fires a fail-once fault-injection hook: creates the sentinel file first
+/// so the retried worker sees it and runs clean. Test-only (see
+/// tests/test_supervisor.cpp); both hooks are inert unless their env var
+/// is set.
+bool fire_once(const std::optional<std::string>& sentinel) {
+  if (!sentinel || std::filesystem::exists(*sentinel)) return false;
+  std::ofstream(*sentinel).put('x');
+  return true;
+}
+
+int cmd_worker(const Args& a) {
+  signal(SIGPIPE, SIG_IGN);
+  heartbeat(a.heartbeat_fd, 0);  // liveness before the (slow) model load
+
+  // Supervisor-robustness test hooks; inert without the env vars.
+  const auto crash_once = env_string("DNNFI_TEST_CRASH_ONCE_FILE");
+  const auto hang_once = env_string("DNNFI_TEST_HANG_ONCE_FILE");
+  std::optional<std::uint64_t> poison;
+  if (const auto p = env_string("DNNFI_TEST_POISON_TRIAL"))
+    poison = std::stoull(*p);
+
+  const dnn::Model m = data::pretrained(a.network);
+  const fault::Campaign c(m.spec, m.blob, a.dtype,
+                          test_inputs(a.network, a.inputs));
+
+  fault::CampaignOptions opt = campaign_options(a);
+  const int fd = a.heartbeat_fd;
+  const std::uint64_t span =
+      (a.shard_end == 0 ? a.trials : a.shard_end) - a.shard_begin;
+  opt.progress = [fd, span, &crash_once, &hang_once](
+                     const fault::CampaignProgress& p) {
+    heartbeat(fd, p.done);
+    if (p.done * 2 >= span) {
+      if (fire_once(crash_once)) raise(SIGKILL);
+      if (fire_once(hang_once))
+        while (true) pause();  // hold the pipe open, beat no more
+    }
+  };
+
+  fault::ShardSpec shard;
+  shard.begin = a.shard_begin;
+  shard.end = a.shard_end;
+  shard.checkpoint = a.checkpoint;
+  shard.batch = a.batch;
+
+  fault::ShardResult res;
+  if (poison) {
+    // The poison trial aborts the worker the moment its record is streamed
+    // — a deterministic stand-in for a trial that reliably crashes or
+    // corrupts a worker, exercising bisection + quarantine end to end.
+    const std::uint64_t bad = *poison;
+    const fault::TrialSink sink = [bad](std::uint64_t trial,
+                                        const fault::TrialRecord&) {
+      if (trial == bad) std::abort();
+    };
+    res = c.run_shard(opt, shard, &sink);
+  } else {
+    res = c.run_shard(opt, shard);
+  }
+  heartbeat(fd, res.next_trial - a.shard_begin);
+  if (!res.complete)
+    return g_cancel.load(std::memory_order_relaxed)
+               ? exit_code(Errc::kInterrupted)
+               : 3;
+  return 0;
+}
+
+// ---- supervise mode ------------------------------------------------------
+
+/// The path of this executable, for fork/exec'ing worker copies.
+std::string self_binary(const char* argv0) {
+  std::error_code ec;
+  const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return exe.string();
+  return argv0;
+}
+
+int cmd_supervise(const Args& a, const char* argv0) {
+  if (a.ckpt_dir.empty()) usage("supervise requires --ckpt-dir");
+
+  fault::SupervisorOptions so;
+  so.binary = self_binary(argv0);
+  so.trials = a.trials;
+  so.shard_size = a.shard_size;
+  so.workers = a.workers;
+  so.heartbeat_timeout_s = a.heartbeat_timeout;
+  so.shard_timeout_s = a.shard_timeout;
+  so.max_attempts = a.max_attempts;
+  so.backoff_base_s = a.backoff;
+  so.max_quarantine = a.max_quarantine;
+  so.checkpoint_dir = a.ckpt_dir;
+  so.jitter_seed = a.seed;
+  so.verbose = a.progress;
+  so.cancel = &g_cancel;
+  so.worker_flags = {
+      "--network", cli_network_name(a.network),
+      "--dtype",   std::string(numeric::dtype_name(a.dtype)),
+      "--site",    std::string(fault::site_class_name(a.site)),
+      "--trials",  std::to_string(a.trials),
+      "--seed",    std::to_string(a.seed),
+      "--inputs",  std::to_string(a.inputs),
+      "--batch",   std::to_string(a.batch),
+  };
+  if (a.bit) {
+    so.worker_flags.push_back("--bit");
+    so.worker_flags.push_back(std::to_string(*a.bit));
+  }
+  if (a.layer) {
+    so.worker_flags.push_back("--layer");
+    so.worker_flags.push_back(std::to_string(*a.layer));
+  }
+  if (a.distances) so.worker_flags.push_back("--distances");
+  if (!a.incremental) so.worker_flags.push_back("--no-incremental");
+
+  auto supervised = fault::supervise(so);
+  if (!supervised.ok()) {
+    std::cerr << "error: " << supervised.error().to_string() << "\n";
+    return exit_code(supervised.error().code);
+  }
+  const fault::SupervisorReport& rep = supervised.value();
+  if (rep.cancelled) {
+    std::cerr << "supervise: interrupted; shard checkpoints in " << a.ckpt_dir
+              << " resume on the next run\n";
+    return exit_code(Errc::kInterrupted);
+  }
+
+  print_summary("supervised " + std::to_string(a.trials) + " trials: " +
+                    std::string(dnn::zoo::network_name(a.network)) + " " +
+                    std::string(numeric::dtype_name(a.dtype)) + " " +
+                    fault::site_class_name(a.site),
+                rep.acc);
+  std::cerr << "supervise: " << rep.workers_spawned << " worker(s), "
+            << rep.retries << " retr" << (rep.retries == 1 ? "y" : "ies")
+            << ", " << rep.watchdog_kills << " watchdog kill(s), "
+            << rep.bisections << " bisection(s), " << rep.degradations
+            << " degradation(s)\n";
+  if (!rep.aborted_trials.empty()) {
+    std::cerr << "supervise: quarantined " << rep.aborted_trials.size()
+              << " poison trial(s):";
+    for (const std::uint64_t t : rep.aborted_trials) std::cerr << " " << t;
+    std::cerr << "\n";
+  }
+  if (!a.out.empty())
+    return emit_stats_or_fail(a.out, rep.fingerprint, rep.acc,
+                              rep.masked_exits, rep.aborted_trials);
+  return 0;
+}
+
+// ---- merge ---------------------------------------------------------------
 
 int cmd_merge(const Args& a) {
   if (a.files.empty()) usage("merge needs at least one checkpoint");
@@ -297,13 +529,15 @@ int cmd_merge(const Args& a) {
 
   for (std::size_t i = 0; i < cks.size(); ++i) {
     if (!cks[i].complete)
-      throw std::runtime_error("shard " + a.files[i] +
-                               " is incomplete; finish it before merging");
+      throw fault::CheckpointError(
+          Errc::kShardMismatch,
+          "shard " + a.files[i] + " is incomplete; finish it before merging");
     if (cks[i].fingerprint != cks[0].fingerprint ||
         cks[i].trials_total != cks[0].trials_total)
-      throw std::runtime_error(
-          "shard " + a.files[i] +
-          " belongs to a different campaign than " + a.files[0]);
+      throw fault::CheckpointError(
+          Errc::kFingerprintMismatch,
+          "shard " + a.files[i] + " belongs to a different campaign than " +
+              a.files[0]);
   }
   std::vector<std::size_t> order(cks.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -312,17 +546,21 @@ int cmd_merge(const Args& a) {
   });
   for (std::size_t i = 1; i < order.size(); ++i) {
     if (cks[order[i]].shard_begin < cks[order[i - 1]].shard_end)
-      throw std::runtime_error("shards " + a.files[order[i - 1]] + " and " +
-                               a.files[order[i]] + " overlap");
+      throw fault::CheckpointError(
+          Errc::kShardMismatch, "shards " + a.files[order[i - 1]] + " and " +
+                                    a.files[order[i]] + " overlap");
   }
 
   fault::OutcomeAccumulator merged;
   std::uint64_t covered = 0;
   std::uint64_t masked = 0;
+  std::vector<std::uint64_t> aborted;
   for (const auto& ck : cks) {
     merged.merge(ck.acc);
     covered += ck.shard_end - ck.shard_begin;
     masked += ck.masked_exits;
+    aborted.insert(aborted.end(), ck.aborted_trials.begin(),
+                   ck.aborted_trials.end());
   }
   if (covered != cks[0].trials_total)
     std::cerr << "note: shards cover " << covered << " of "
@@ -333,7 +571,8 @@ int cmd_merge(const Args& a) {
                     cks[0].network,
                 merged);
   if (!a.out.empty())
-    write_stats_file(a.out, cks[0].fingerprint, merged, masked);
+    return emit_stats_or_fail(a.out, cks[0].fingerprint, merged, masked,
+                              aborted);
   return 0;
 }
 
@@ -341,11 +580,23 @@ int cmd_merge(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  install_signal_handlers();
   try {
     if (a.command == "run") return cmd_run(a, /*resume=*/false);
     if (a.command == "resume") return cmd_run(a, /*resume=*/true);
+    if (a.command == "worker") return cmd_worker(a);
+    if (a.command == "supervise") return cmd_supervise(a, argv[0]);
     if (a.command == "merge") return cmd_merge(a);
     usage("unknown command " + a.command);
+  } catch (const fault::CheckpointError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return exit_code(e.code());
+  } catch (const SerialError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return exit_code(Errc::kCorruptData);
+  } catch (const std::bad_alloc&) {
+    std::cerr << "error: out of memory\n";
+    return exit_code(Errc::kOutOfMemory);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -73,3 +73,39 @@ else
 fi
 grep -q '^masked_exits 0$' "$WORK/noinc.stats" || {
   echo "FAIL: full replay reported nonzero masked_exits" >&2; exit 1; }
+
+echo "== supervised campaign with a worker killed -9 mid-flight =="
+# The supervisor (DESIGN.md §9) shards the same campaign across worker
+# subprocesses. We SIGKILL a live worker mid-campaign — simulating an OOM
+# kill or node reaper — and require the supervisor to relaunch the shard,
+# resume it from its checkpoint, and still merge bit-identical to the
+# monolithic reference.
+"$CAMPAIGN" supervise "${COMMON[@]}" --batch 100 --workers 2 \
+    --ckpt-dir "$WORK/sup-ckpt" --backoff 0.1 \
+    --out "$WORK/sup.stats" 2>"$WORK/sup.log" &
+SUP_PID=$!
+
+# Wait for a worker to appear, then kill it the hard way.
+VICTIM=""
+for _ in $(seq 1 100); do
+  VICTIM="$(pgrep -P "$SUP_PID" -f ' worker ' | head -n1 || true)"
+  [ -n "$VICTIM" ] && break
+  sleep 0.1
+done
+if [ -n "$VICTIM" ]; then
+  kill -9 "$VICTIM" && echo "killed worker pid $VICTIM"
+else
+  echo "warn: no live worker found to kill (campaign too fast?)" >&2
+fi
+
+rc=0; wait "$SUP_PID" || rc=$?
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: supervise exited $rc" >&2; cat "$WORK/sup.log" >&2; exit 1; }
+
+if diff -u "$WORK/full.stats" "$WORK/sup.stats"; then
+  echo "PASS: supervised campaign survived kill -9 bit-identically"
+else
+  echo "FAIL: supervised campaign diverged after worker kill" >&2
+  cat "$WORK/sup.log" >&2
+  exit 1
+fi
