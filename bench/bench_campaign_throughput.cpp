@@ -28,6 +28,7 @@
 #include "bench_util.h"
 #include "dnnfi/accel/dataflow.h"
 #include "dnnfi/common/atomic_file.h"
+#include "dnnfi/dnn/kernels/kernels.h"
 
 using namespace dnnfi;
 using namespace dnnfi::benchutil;
@@ -42,6 +43,8 @@ struct Cell {
   double speedup = 0;
   double masked_rate = 0;
   double suffix_mac_fraction = 0;  ///< static replay-cost estimate
+  double scalar_tps = 0;       ///< incremental replay, scalar kernels forced
+  double kernel_speedup = 0;   ///< incremental_tps / scalar_tps
 };
 
 /// Expected fraction of network MACs a replay starting at the fault layer
@@ -100,6 +103,32 @@ Cell measure(const NetContext& ctx, numeric::DType dt, std::size_t trials) {
     std::exit(1);
   }
 
+  // Kernel-engine before/after: the same campaign with the scalar reference
+  // kernels forced (set_active_mode affects the plans the new Campaign
+  // builds). In the default bit-identity modes the scalar run must produce
+  // byte-identical TrialRecords; only the opt-in avx2-relaxed mode is
+  // allowed to differ.
+  const std::string prev_mode = dnn::kernels::kernel_profile().mode;
+  TimedRun scalar_inc;
+  {
+    dnn::kernels::set_active_mode("scalar");
+    fault::Campaign scalar_campaign(ctx.model.spec, ctx.model.blob, dt,
+                                    ctx.inputs);
+    fault::CampaignOptions warm = opt;
+    warm.trials = std::min<std::size_t>(32, trials);
+    (void)scalar_campaign.run_shard(warm, fault::ShardSpec{});
+    scalar_inc = timed_run(scalar_campaign, opt, /*incremental=*/true);
+    dnn::kernels::set_active_mode(prev_mode);
+  }
+  if (prev_mode != "avx2-relaxed" &&
+      scalar_inc.result.acc.bytes() != inc.result.acc.bytes()) {
+    std::cerr << "FATAL: scalar and " << prev_mode
+              << " kernels disagree on " << ctx.name << " "
+              << numeric::dtype_name(dt)
+              << " — SIMD bit-identity contract broken\n";
+    std::exit(1);
+  }
+
   Cell cell;
   cell.network = ctx.name;
   cell.dtype = std::string(numeric::dtype_name(dt));
@@ -109,13 +138,23 @@ Cell measure(const NetContext& ctx, numeric::DType dt, std::size_t trials) {
   cell.masked_rate =
       static_cast<double>(inc.result.masked_exits) / static_cast<double>(trials);
   cell.suffix_mac_fraction = expected_suffix_mac_fraction(ctx.model.spec);
+  cell.scalar_tps = scalar_inc.tps;
+  cell.kernel_speedup = scalar_inc.tps > 0 ? inc.tps / scalar_inc.tps : 0;
   return cell;
 }
 
 void write_json(const std::vector<Cell>& cells, std::size_t trials,
                 const std::string& path) {
+  const auto prof = dnn::kernels::kernel_profile();
   std::ostringstream out;
-  out << "{\n  \"trials_per_cell\": " << trials << ",\n  \"cells\": [\n";
+  out << "{\n  \"trials_per_cell\": " << trials << ",\n"
+      << "  \"kernels\": {\"mode\": \"" << prof.mode
+      << "\", \"cpu_avx2\": " << (prof.cpu_avx2 ? "true" : "false")
+      << ", \"cpu_f16c\": " << (prof.cpu_f16c ? "true" : "false")
+      << ", \"f16c_compiled\": " << (prof.f16c_compiled ? "true" : "false")
+      << ", \"active_float\": \"" << prof.active_float
+      << "\", \"active_float16\": \"" << prof.active_float16 << "\"},\n"
+      << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
     out << "    {\"network\": \"" << c.network << "\", \"dtype\": \""
@@ -124,6 +163,8 @@ void write_json(const std::vector<Cell>& cells, std::size_t trials,
         << ", \"speedup\": " << c.speedup
         << ", \"masked_exit_rate\": " << c.masked_rate
         << ", \"expected_suffix_mac_fraction\": " << c.suffix_mac_fraction
+        << ", \"scalar_incremental_trials_per_sec\": " << c.scalar_tps
+        << ", \"kernel_speedup\": " << c.kernel_speedup
         << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -140,11 +181,21 @@ int main(int argc, char** argv) {
 
   const std::size_t trials = samples(400);
   banner("campaign throughput: incremental vs full fault replay", trials);
+  {
+    const auto prof = dnn::kernels::kernel_profile();
+    std::cout << "kernels: mode=" << prof.mode
+              << " float=" << prof.active_float
+              << " float16=" << prof.active_float16
+              << " (cpu avx2=" << (prof.cpu_avx2 ? "yes" : "no")
+              << " f16c=" << (prof.cpu_f16c ? "yes" : "no")
+              << ", f16c built=" << (prof.f16c_compiled ? "yes" : "no")
+              << ")\n";
+  }
 
   std::vector<Cell> cells;
   Table t("campaign throughput (trials/s)");
   t.header({"network", "dtype", "full", "incremental", "speedup", "masked",
-            "E[suffix MACs]"});
+            "E[suffix MACs]", "scalar", "vs scalar"});
   for (const NetworkId id : {NetworkId::kAlexNetS, NetworkId::kConvNet}) {
     const NetContext ctx = load_net(id);
     for (const numeric::DType dt :
@@ -154,7 +205,9 @@ int main(int argc, char** argv) {
              Table::num(c.incremental_tps, 1),
              Table::num(c.speedup, 2) + "x",
              Table::pct(c.masked_rate),
-             Table::pct(c.suffix_mac_fraction)});
+             Table::pct(c.suffix_mac_fraction),
+             Table::num(c.scalar_tps, 1),
+             Table::num(c.kernel_speedup, 2) + "x"});
       cells.push_back(c);
     }
   }
@@ -177,7 +230,8 @@ int main(int argc, char** argv) {
       }
     }
     if (fail) return 1;
-    std::cout << "check passed: incremental >= full on every cell\n";
+    std::cout << "check passed: incremental >= full on every cell, and "
+                 "scalar/SIMD kernel modes were byte-identical\n";
   }
   return 0;
 }

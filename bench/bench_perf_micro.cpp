@@ -33,6 +33,7 @@
 
 #include "bench_util.h"
 #include "dnnfi/common/atomic_file.h"
+#include "dnnfi/dnn/kernels/kernels.h"
 #include "dnnfi/fault/injector.h"
 #include "dnnfi/fault/sampler.h"
 
@@ -363,8 +364,97 @@ StreamingReport measure_streaming_memory() {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Per-kernel GFLOP/s: every registered kernel set (scalar reference, avx2,
+// avx2-relaxed where the CPU has them) on fixed conv / fully-connected
+// shapes, driven through the kernels API directly — the packed layout is
+// interleaved once outside the timed loop, as Workspace::bind does.
+// ---------------------------------------------------------------------------
+
+struct KernelCell {
+  std::string dtype;
+  std::string set;
+  std::string op;  ///< "conv" or "fc"
+  double gflops = 0;
+  bool bit_identical = true;
+};
+
+template <typename Fn>
+double time_gflops(double flops_per_call, Fn&& call) {
+  using Clock = std::chrono::steady_clock;
+  call();  // warm
+  std::size_t reps = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) call();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (secs >= 0.05 || reps >= (std::size_t{1} << 20))
+      return flops_per_call * static_cast<double>(reps) / secs / 1e9;
+    reps *= 2;
+  }
+}
+
+template <typename T>
+void bench_kernel_sets(const char* dtype, std::vector<KernelCell>& cells) {
+  namespace k = dnn::kernels;
+  const k::ConvGeom g{16, 16, 16, 32, 16, 16, 3, 1, 1};
+  const k::FcGeom fg{1024, 1024};
+  auto val = [](std::size_t i) {
+    return numeric::numeric_traits<T>::from_double(
+        0.03125 * static_cast<double>(i % 64) - 1.0);
+  };
+  std::vector<T> cin(g.in_c * g.in_h * g.in_w), cw(g.out_c * g.steps()),
+      cbias(g.out_c), cout(g.out_c * g.out_h * g.out_w);
+  std::vector<T> fin(fg.in), fw(fg.out * fg.in), fbias(fg.out), fout(fg.out);
+  for (std::size_t i = 0; i < cin.size(); ++i) cin[i] = val(i);
+  for (std::size_t i = 0; i < cw.size(); ++i) cw[i] = val(i + 7);
+  for (std::size_t i = 0; i < cbias.size(); ++i) cbias[i] = val(i + 3);
+  for (std::size_t i = 0; i < fin.size(); ++i) fin[i] = val(i);
+  for (std::size_t i = 0; i < fw.size(); ++i) fw[i] = val(i + 11);
+  for (std::size_t i = 0; i < fbias.size(); ++i) fbias[i] = val(i + 5);
+  const double conv_flops =
+      2.0 * static_cast<double>(cout.size() * g.steps());
+  const double fc_flops = 2.0 * static_cast<double>(fg.in * fg.out);
+
+  for (const char* name : k::registered_names<T>()) {
+    const k::KernelSet<T>* ks = k::kernel_set<T>(name);
+    if (ks == nullptr) continue;
+    std::vector<T> cpacked(
+        k::packed_elems(g.out_c, g.steps(), ks->pack_lanes));
+    std::vector<T> fpacked(k::packed_elems(fg.out, fg.in, ks->pack_lanes));
+    if (ks->pack_lanes > 0) {
+      k::pack_rows(cw.data(), g.out_c, g.steps(), ks->pack_lanes,
+                   cpacked.data());
+      k::pack_rows(fw.data(), fg.out, fg.in, ks->pack_lanes, fpacked.data());
+    }
+    const T* cp = cpacked.empty() ? nullptr : cpacked.data();
+    const T* fp = fpacked.empty() ? nullptr : fpacked.data();
+    KernelCell conv{dtype, name, "conv", 0, ks->bit_identical};
+    conv.gflops = time_gflops(conv_flops, [&] {
+      ks->conv(g, cin.data(), cw.data(), cp, cbias.data(), cout.data());
+      benchmark::DoNotOptimize(cout.data());
+    });
+    cells.push_back(conv);
+    KernelCell fc{dtype, name, "fc", 0, ks->bit_identical};
+    fc.gflops = time_gflops(fc_flops, [&] {
+      ks->fc(fg, fin.data(), fw.data(), fp, fbias.data(), fout.data());
+      benchmark::DoNotOptimize(fout.data());
+    });
+    cells.push_back(fc);
+  }
+}
+
+std::vector<KernelCell> measure_kernel_gflops() {
+  std::vector<KernelCell> cells;
+  bench_kernel_sets<float>("float", cells);
+  bench_kernel_sets<numeric::Half>("float16", cells);
+  bench_kernel_sets<double>("double", cells);
+  return cells;
+}
+
 void write_json(const AllocatorReport& r, const StreamingReport& s,
-                const std::string& path) {
+                const std::vector<KernelCell>& kc, const std::string& path) {
   std::ostringstream out;
   out << "{\n"
       << "  \"network\": \"ConvNet\",\n"
@@ -378,8 +468,23 @@ void write_json(const AllocatorReport& r, const StreamingReport& s,
       << "  \"allocations_per_trial_incremental\": "
       << r.allocations_per_trial_incremental << ",\n"
       << "  \"streaming_peak_bytes_256\": " << s.peak_growth_small << ",\n"
-      << "  \"streaming_peak_bytes_2048\": " << s.peak_growth_large << "\n"
-      << "}\n";
+      << "  \"streaming_peak_bytes_2048\": " << s.peak_growth_large << ",\n";
+  const auto prof = dnn::kernels::kernel_profile();
+  out << "  \"kernels\": {\"mode\": \"" << prof.mode
+      << "\", \"cpu_avx2\": " << (prof.cpu_avx2 ? "true" : "false")
+      << ", \"cpu_f16c\": " << (prof.cpu_f16c ? "true" : "false")
+      << ", \"f16c_compiled\": " << (prof.f16c_compiled ? "true" : "false")
+      << ", \"active_float\": \"" << prof.active_float
+      << "\", \"active_float16\": \"" << prof.active_float16 << "\"},\n"
+      << "  \"kernel_gflops\": [\n";
+  for (std::size_t i = 0; i < kc.size(); ++i) {
+    const KernelCell& c = kc[i];
+    out << "    {\"dtype\": \"" << c.dtype << "\", \"set\": \"" << c.set
+        << "\", \"op\": \"" << c.op << "\", \"gflops\": " << c.gflops
+        << ", \"bit_identical\": " << (c.bit_identical ? "true" : "false")
+        << "}" << (i + 1 < kc.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
   if (!dnnfi::write_file_atomic(path, out.str()))
     std::cerr << "warning: could not write " << path << "\n";
 }
@@ -394,9 +499,16 @@ int main(int argc, char** argv) {
 
   const AllocatorReport r = measure_hot_path();
   const StreamingReport s = measure_streaming_memory();
+  const std::vector<KernelCell> kc = measure_kernel_gflops();
   std::filesystem::create_directories(results_dir());
   const std::string json = results_dir() + "/BENCH_perf_micro.json";
-  write_json(r, s, json);
+  write_json(r, s, kc, json);
+  std::printf("\nper-kernel throughput (GFLOP/s, fixed conv 32c16x16k3 / fc "
+              "1024x1024):\n");
+  for (const KernelCell& c : kc)
+    std::printf("  %-8s %-13s %-4s %8.2f%s\n", c.dtype.c_str(), c.set.c_str(),
+                c.op.c_str(), c.gflops,
+                c.bit_identical ? "" : "  (tolerance mode)");
   std::printf(
       "\ncompiled-engine hot path (ConvNet, float16, counting allocator):\n"
       "  ns/inference:                    %.0f\n"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dnnfi/dnn/layers.h"
+
 namespace dnnfi::dnn {
 
 template <typename T>
@@ -23,6 +25,91 @@ ExecutionPlan<T>::ExecutionPlan(const Network<T>& net)
     shape = st.out_shape;
     steps_.push_back(st);
   }
+  // Kernel routing: capture the active set once (the plan-compile-time
+  // selection) and pre-resolve each MAC layer's geometry, weight/bias
+  // pointers, and slot in the packed weight region.
+  kset_ = &kernels::active_kernels<T>();
+  const std::size_t lanes = kset_->pack_lanes;
+  for (auto& st : steps_) {
+    switch (st.layer->kind()) {
+      case LayerKind::kConv: {
+        const auto* c = static_cast<const Conv2d<T>*>(st.layer);
+        st.kernel = StepKernel::kConv;
+        st.conv = c->geom(st.in_shape, st.out_shape);
+        st.w = c->weights().data();
+        st.bias = c->biases().data();
+        st.packed_off = packed_elems_;
+        st.packed_n = kernels::packed_elems(st.conv.out_c, st.conv.steps(),
+                                            lanes);
+        packed_elems_ += st.packed_n;
+        break;
+      }
+      case LayerKind::kFullyConnected: {
+        const auto* f = static_cast<const FullyConnected<T>*>(st.layer);
+        st.kernel = StepKernel::kFc;
+        st.fc = {f->in_features(), f->out_features()};
+        st.w = f->weights().data();
+        st.bias = f->biases().data();
+        st.packed_off = packed_elems_;
+        st.packed_n = kernels::packed_elems(st.fc.out, st.fc.in, lanes);
+        packed_elems_ += st.packed_n;
+        break;
+      }
+      case LayerKind::kRelu:
+        st.kernel = StepKernel::kRelu;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+template <typename T>
+void ExecutionPlan<T>::pack_into(T* dst) const {
+  const std::size_t lanes = kset_->pack_lanes;
+  for (const auto& st : steps_) {
+    if (st.packed_n == 0) continue;
+    if (st.kernel == StepKernel::kConv)
+      kernels::pack_rows(st.w, st.conv.out_c, st.conv.steps(), lanes,
+                         dst + st.packed_off);
+    else
+      kernels::pack_rows(st.w, st.fc.out, st.fc.in, lanes,
+                         dst + st.packed_off);
+  }
+}
+
+template <typename T>
+void ExecutionPlan<T>::exec_step(std::size_t i, ConstTensorView<T> in,
+                                 TensorView<T> out, const T* packed) const {
+  const PlanStep<T>& st = steps_[i];
+  // Kernels that consume packed weights need the workspace copy; without it
+  // (packed == null) MAC steps take the scalar reference path, which is
+  // bit-identical under every exact set.
+  const bool have_layout = packed != nullptr || kset_->pack_lanes == 0;
+  switch (st.kernel) {
+    case StepKernel::kConv:
+      if (have_layout) {
+        kset_->conv(st.conv, in.data().data(), st.w,
+                    packed == nullptr ? nullptr : packed + st.packed_off,
+                    st.bias, out.data().data());
+        return;
+      }
+      break;
+    case StepKernel::kFc:
+      if (have_layout) {
+        kset_->fc(st.fc, in.data().data(), st.w,
+                  packed == nullptr ? nullptr : packed + st.packed_off,
+                  st.bias, out.data().data());
+        return;
+      }
+      break;
+    case StepKernel::kRelu:
+      kset_->relu(in.data().data(), out.data().data(), in.size());
+      return;
+    case StepKernel::kNone:
+      break;
+  }
+  st.layer->forward(in, out);
 }
 
 template <typename T>
@@ -41,12 +128,22 @@ void ActivationCache<T>::build(const ExecutionPlan<T>& plan,
     store_.resize(off);
   }
   // Layers write straight into their cache segment: no ping-pong, no
-  // copies, and forward calls identical to a plain Executor run.
+  // copies, and kernel calls identical to a plain Executor run (a local
+  // packed copy is interleaved here so the cache matches the plan's kernel
+  // set bit-for-bit even in the relaxed tolerance mode; cache builds are
+  // per-input setup work, not the faulty hot path).
+  std::vector<T> packed;
+  const T* pk = nullptr;
+  if (plan.packed_elems() > 0) {
+    packed.resize(plan.packed_elems());
+    plan.pack_into(packed.data());
+    pk = packed.data();
+  }
   std::copy_n(input.data().data(), input.size(), store_.data());
   ConstTensorView<T> cur{plan.input_shape(), store_.data()};
   for (std::size_t i = 0; i < steps.size(); ++i) {
     TensorView<T> out{steps[i].out_shape, store_.data() + offsets_[i]};
-    steps[i].layer->forward(cur, out);
+    plan.exec_step(i, cur, out, pk);
     cur = out;
   }
 }
@@ -100,7 +197,7 @@ ConstTensorView<T> Executor<T>::run_range(Workspace<T>& ws, std::size_t from,
   unsigned parity = 0;
   for (std::size_t i = from; i < to; ++i) {
     TensorView<T> out = ws.out_buffer(parity, steps[i].out_shape);
-    steps[i].layer->forward(cur, out);
+    plan_->exec_step(i, cur, out, ws.packed_data());
     if (req.trace != nullptr) req.trace->acts[i].assign(out);
     if (req.observer != nullptr) (*req.observer)(i, out);
     cur = out;
@@ -138,7 +235,7 @@ ConstTensorView<T> Executor<T>::run_faulty(Workspace<T>& ws,
           detail::storage_flip_dir(before, f.input_bit, f.input_storage);
       req.record->applied = true;
     }
-    steps[f.layer].layer->forward(ConstTensorView<T>(in), a, nullptr, nullptr);
+    plan_->exec_step(f.layer, ConstTensorView<T>(in), a, ws.packed_data());
   } else {
     // Patch the golden output of the target layer with the fault's effect.
     a.copy_from(g.act(f.layer));
@@ -160,7 +257,7 @@ ConstTensorView<T> Executor<T>::run_faulty(Workspace<T>& ws,
     unsigned parity = 1;
     for (i = f.layer + 1; i < steps.size(); ++i) {
       TensorView<T> out = ws.out_buffer(parity, steps[i].out_shape);
-      steps[i].layer->forward(cur, out);
+      plan_->exec_step(i, cur, out, ws.packed_data());
       if (req.observer != nullptr) (*req.observer)(i, out);
       cur = out;
       parity ^= 1U;

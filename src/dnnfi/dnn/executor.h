@@ -18,27 +18,49 @@
 // per thread (the campaign engine keeps one per worker for the whole
 // campaign). After warm-up, a faulty run performs zero heap allocations.
 //
-// Buffer lifetime: the arena is laid out as [ping | pong | patch]. Layer i
-// reads buffer (i % 2) and writes buffer (1 - i % 2); the patch slot holds
-// the flipped copy of a layer input for the global-buffer fault model. The
-// view returned by run() aliases the arena and is valid only until the
-// workspace is reused — except after a masked early exit, where it aliases
-// the (stable) ActivationCache instead.
+// Buffer lifetime: the arena is laid out as [ping | pong | patch | packed].
+// Layer i reads buffer (i % 2) and writes buffer (1 - i % 2); the patch slot
+// holds the flipped copy of a layer input for the global-buffer fault model;
+// the packed slot holds the lane-interleaved weight copies of the plan's MAC
+// layers when the plan's kernel set wants them (kernels.h — the plan-time
+// layout transform). The view returned by run() aliases the arena and is
+// valid only until the workspace is reused — except after a masked early
+// exit, where it aliases the (stable) ActivationCache instead.
+//
+// Kernel dispatch: a plan captures kernels::active_kernels<T>() at
+// construction and routes every conv / fully-connected / relu step through
+// it (exec_step). Public tensors — activations, caches, checkpoints, fault
+// injection coordinates — stay NCHW/OIHW; the packed copy lives only in the
+// workspace and is refreshed whenever the workspace re-binds a different
+// plan (or Workspace::repack is called after mutating weights in place).
 #pragma once
 
 #include <vector>
 
+#include "dnnfi/dnn/kernels/kernels.h"
 #include "dnnfi/dnn/network.h"
 
 namespace dnnfi::dnn {
 
-/// One layer of a compiled plan with its resolved shapes.
+/// Which kernel a plan step routes through (kNone: the layer's own forward).
+enum class StepKernel { kNone, kConv, kFc, kRelu };
+
+/// One layer of a compiled plan with its resolved shapes and, for MAC /
+/// relu layers, the pre-resolved kernel call (geometry, weight and bias
+/// pointers, packed-copy placement).
 template <typename T>
 struct PlanStep {
   const Layer<T>* layer = nullptr;
   Shape in_shape;
   Shape out_shape;
   std::size_t macs = 0;
+  StepKernel kernel = StepKernel::kNone;
+  kernels::ConvGeom conv;
+  kernels::FcGeom fc;
+  const T* w = nullptr;     ///< row-major weights (stable: layer storage)
+  const T* bias = nullptr;
+  std::size_t packed_off = 0;  ///< offset of this step in the packed region
+  std::size_t packed_n = 0;    ///< packed element count (0: nothing packed)
 };
 
 /// Immutable forward schedule for one network topology. Holds raw layer
@@ -60,19 +82,38 @@ class ExecutionPlan {
   std::size_t buffer_elems() const noexcept { return buffer_elems_; }
   /// Largest layer-input element count (sizes the patch buffer).
   std::size_t input_elems() const noexcept { return input_elems_; }
-  /// Arena high-water mark: ping + pong + patch.
+  /// Packed-weight element count (0 when the kernel set reads row-major).
+  std::size_t packed_elems() const noexcept { return packed_elems_; }
+  /// Arena high-water mark: ping + pong + patch + packed.
   std::size_t arena_elems() const noexcept {
-    return 2 * buffer_elems_ + input_elems_;
+    return 2 * buffer_elems_ + input_elems_ + packed_elems_;
   }
 
   std::size_t total_macs() const noexcept { return total_macs_; }
+
+  /// The kernel set captured at plan build (kernels::active_kernels<T>() at
+  /// that moment; later set_active_mode calls don't retarget this plan).
+  const kernels::KernelSet<T>& kernel_set() const noexcept { return *kset_; }
+
+  /// Writes every MAC layer's lane-interleaved weight copy into `dst`
+  /// (capacity >= packed_elems()), reading the layers' current weights.
+  void pack_into(T* dst) const;
+
+  /// Runs step `i` on `in` -> `out` through the captured kernel set.
+  /// `packed` is the packed-region base (Workspace::packed_data()), or null
+  /// — then steps whose kernels want packed weights take the scalar
+  /// reference path instead (bit-identical under an exact set).
+  void exec_step(std::size_t i, ConstTensorView<T> in, TensorView<T> out,
+                 const T* packed) const;
 
  private:
   std::vector<PlanStep<T>> steps_;
   Shape input_;
   std::size_t buffer_elems_ = 0;
   std::size_t input_elems_ = 0;
+  std::size_t packed_elems_ = 0;
   std::size_t total_macs_ = 0;
+  const kernels::KernelSet<T>* kset_ = nullptr;
 };
 
 /// Reusable per-thread scratch arena sized to a plan's high-water mark.
@@ -83,14 +124,28 @@ class Workspace {
   Workspace() = default;
   explicit Workspace(const ExecutionPlan<T>& plan) { bind(plan); }
 
-  /// Ensures capacity for `plan`. Idempotent; reallocates only when the
-  /// plan needs more room than any previously bound plan.
+  /// Ensures capacity for `plan` and keeps the packed weight region in sync
+  /// with it. Idempotent; reallocates only when the plan needs more room
+  /// than any previously bound plan, and repacks weights only when the
+  /// bound plan (or the packed region's position) changed.
   void bind(const ExecutionPlan<T>& plan) {
     buffer_elems_ = std::max(buffer_elems_, plan.buffer_elems());
     input_elems_ = std::max(input_elems_, plan.input_elems());
-    const std::size_t need = 2 * buffer_elems_ + input_elems_;
+    packed_cap_ = std::max(packed_cap_, plan.packed_elems());
+    const std::size_t need = 2 * buffer_elems_ + input_elems_ + packed_cap_;
     if (arena_.size() < need) arena_.resize(need);
+    const std::size_t base = 2 * buffer_elems_ + input_elems_;
+    if (plan.packed_elems() > 0 &&
+        (packed_plan_ != &plan || packed_base_ != base)) {
+      plan.pack_into(arena_.data() + base);
+      packed_plan_ = &plan;
+      packed_base_ = base;
+    }
   }
+
+  /// Forces the next bind to re-interleave weights. Call after mutating a
+  /// bound plan's layer weights in place (the packed copy is a snapshot).
+  void repack() noexcept { packed_plan_ = nullptr; }
 
   /// Ping (`parity` 0) or pong (`parity` 1) output buffer, shaped `s`.
   TensorView<T> out_buffer(unsigned parity, const Shape& s) {
@@ -104,6 +159,12 @@ class Workspace {
     return {s, arena_.data() + 2 * buffer_elems_};
   }
 
+  /// Base of the packed weight region for the currently bound plan, or
+  /// null when nothing is packed. Valid until the next bind/resize.
+  const T* packed_data() const noexcept {
+    return packed_plan_ == nullptr ? nullptr : arena_.data() + packed_base_;
+  }
+
   std::size_t arena_bytes() const noexcept {
     return arena_.size() * sizeof(T);
   }
@@ -112,6 +173,9 @@ class Workspace {
   std::vector<T> arena_;
   std::size_t buffer_elems_ = 0;
   std::size_t input_elems_ = 0;
+  std::size_t packed_cap_ = 0;
+  const ExecutionPlan<T>* packed_plan_ = nullptr;  ///< identity only
+  std::size_t packed_base_ = 0;
 };
 
 /// Immutable fault-free activations of one input under one plan: the

@@ -1,0 +1,59 @@
+// Entry points of the AVX2/F16C kernel TU (kernel_avx2.cpp, compiled with
+// -mavx2 -mf16c -mfma -ffp-contract=off; see src/CMakeLists.txt). Only the
+// registry references these, and only after numeric/cpu.h probes confirm the
+// CPU has the instructions. All functions implement the full KernelSet
+// contract (lane blocks vectorized, remainder rows computed by a TU-local
+// scalar path), so they can be installed directly as KernelSet pointers.
+#pragma once
+
+#include <cstddef>
+
+#include "dnnfi/dnn/kernels/kernels.h"
+
+#if defined(DNNFI_ENABLE_AVX2_KERNELS)
+
+namespace dnnfi::dnn::kernels::detail {
+
+// Bit-identical sets: one output per lane, scalar accumulation order per
+// lane, separate multiply and add (no FMA), FLOAT16 rounded to half after
+// every operation with the canonical quiet-NaN rule.
+void avx2_conv_float(const ConvGeom&, const float*, const float*,
+                     const float*, const float*, float*);
+void avx2_fc_float(const FcGeom&, const float*, const float*, const float*,
+                   const float*, float*);
+void avx2_relu_float(const float*, float*, std::size_t);
+
+void avx2_conv_double(const ConvGeom&, const double*, const double*,
+                      const double*, const double*, double*);
+void avx2_fc_double(const FcGeom&, const double*, const double*,
+                    const double*, const double*, double*);
+void avx2_relu_double(const double*, double*, std::size_t);
+
+void avx2_conv_half(const ConvGeom&, const numeric::Half*,
+                    const numeric::Half*, const numeric::Half*,
+                    const numeric::Half*, numeric::Half*);
+void avx2_fc_half(const FcGeom&, const numeric::Half*, const numeric::Half*,
+                  const numeric::Half*, const numeric::Half*, numeric::Half*);
+void avx2_relu_half(const numeric::Half*, numeric::Half*, std::size_t);
+
+// Relaxed (tolerance) sets: FMA contraction for float/double; FLOAT16
+// accumulates in float and rounds to half once per output. Faster, not
+// bit-identical to the scalar reference.
+void avx2_relaxed_conv_float(const ConvGeom&, const float*, const float*,
+                             const float*, const float*, float*);
+void avx2_relaxed_fc_float(const FcGeom&, const float*, const float*,
+                           const float*, const float*, float*);
+void avx2_relaxed_conv_double(const ConvGeom&, const double*, const double*,
+                              const double*, const double*, double*);
+void avx2_relaxed_fc_double(const FcGeom&, const double*, const double*,
+                            const double*, const double*, double*);
+void avx2_relaxed_conv_half(const ConvGeom&, const numeric::Half*,
+                            const numeric::Half*, const numeric::Half*,
+                            const numeric::Half*, numeric::Half*);
+void avx2_relaxed_fc_half(const FcGeom&, const numeric::Half*,
+                          const numeric::Half*, const numeric::Half*,
+                          const numeric::Half*, numeric::Half*);
+
+}  // namespace dnnfi::dnn::kernels::detail
+
+#endif  // DNNFI_ENABLE_AVX2_KERNELS

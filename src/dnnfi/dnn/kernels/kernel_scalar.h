@@ -1,0 +1,96 @@
+// Scalar reference kernels — the always-correct ground truth every SIMD set
+// is tested bit-identical against (see kernels.h for the contract).
+//
+// scalar_conv is the former Conv2d::forward_plain: bit-identical to
+// Conv2d::compute_one with no fault and no overrides — same (ci, ky, kx)
+// accumulation order, same multiply-then-accumulate per tap (padded taps
+// multiply by a zero activation), same trailing bias add — with the per-tap
+// Shape::index arithmetic replaced by hoisted row pointers. scalar_fc is
+// likewise the former FullyConnected fast path. The *_rows variants compute
+// a sub-range of output channels / features so SIMD kernels can delegate
+// their remainder rows (row counts not divisible by the lane width) here.
+#pragma once
+
+#include "dnnfi/dnn/kernels/kernels.h"
+
+namespace dnnfi::dnn::kernels {
+
+/// Output channels [co_begin, co_end) of a convolution, scalar reference.
+template <typename T>
+void scalar_conv_rows(const ConvGeom& g, const T* in, const T* w_oihw,
+                      const T* bias, T* out, std::size_t co_begin,
+                      std::size_t co_end) {
+  const auto pad = static_cast<std::ptrdiff_t>(g.pad);
+  const std::size_t kvol = g.in_c * g.k * g.k;
+  for (std::size_t co = co_begin; co < co_end; ++co) {
+    const T* const wco = w_oihw + co * kvol;
+    const T b = bias[co];
+    T* op = out + co * g.out_h * g.out_w;
+    for (std::size_t oy = 0; oy < g.out_h; ++oy) {
+      for (std::size_t ox = 0; ox < g.out_w; ++ox) {
+        T acc{};
+        const T* w = wco;
+        for (std::size_t ci = 0; ci < g.in_c; ++ci) {
+          const T* const ic = in + ci * g.in_h * g.in_w;
+          for (std::size_t ky = 0; ky < g.k; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * g.stride + ky) - pad;
+            const bool row_ok =
+                iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h);
+            const T* const irow =
+                row_ok ? ic + static_cast<std::size_t>(iy) * g.in_w : nullptr;
+            for (std::size_t kx = 0; kx < g.k; ++kx, ++w) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * g.stride + kx) - pad;
+              T act{};
+              if (row_ok && ix >= 0 &&
+                  ix < static_cast<std::ptrdiff_t>(g.in_w))
+                act = irow[static_cast<std::size_t>(ix)];
+              const T product = *w * act;
+              acc += product;
+            }
+          }
+        }
+        acc += b;
+        *op++ = acc;
+      }
+    }
+  }
+}
+
+/// Output features [o_begin, o_end) of a fully-connected layer.
+template <typename T>
+void scalar_fc_rows(const FcGeom& g, const T* in, const T* w, const T* bias,
+                    T* out, std::size_t o_begin, std::size_t o_end) {
+  for (std::size_t o = o_begin; o < o_end; ++o) {
+    T acc{};
+    const T* const wr = w + o * g.in;
+    for (std::size_t i = 0; i < g.in; ++i) {
+      const T product = wr[i] * in[i];
+      acc += product;
+    }
+    acc += bias[o];
+    out[o] = acc;
+  }
+}
+
+/// Full scalar kernels matching the KernelSet function signatures.
+template <typename T>
+void scalar_conv(const ConvGeom& g, const T* in, const T* w,
+                 const T* /*w_packed*/, const T* bias, T* out) {
+  scalar_conv_rows<T>(g, in, w, bias, out, 0, g.out_c);
+}
+
+template <typename T>
+void scalar_fc(const FcGeom& g, const T* in, const T* w,
+               const T* /*w_packed*/, const T* bias, T* out) {
+  scalar_fc_rows<T>(g, in, w, bias, out, 0, g.out);
+}
+
+template <typename T>
+void scalar_relu(const T* in, T* out, std::size_t n) {
+  const T zero{};
+  for (std::size_t i = 0; i < n; ++i) out[i] = (in[i] > zero) ? in[i] : zero;
+}
+
+}  // namespace dnnfi::dnn::kernels

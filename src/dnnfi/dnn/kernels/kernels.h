@@ -1,0 +1,184 @@
+// Runtime-dispatched compute kernels for the MAC layers (DESIGN.md §10).
+//
+// A KernelSet<T> bundles the conv / fully-connected / relu inner loops for
+// one datapath type. The scalar reference set always exists and is the
+// semantic ground truth: it performs exactly the MAC pipeline of
+// Conv2d::compute_one (products and accumulations in T, (ci, ky, kx)
+// accumulation order, padded taps multiplying a zero activation, trailing
+// bias add). SIMD sets vectorize ACROSS output channels — one output per
+// lane, each lane's accumulation chain identical to the scalar one — so
+// their results are bit-identical to the reference (KernelSet::bit_identical)
+// and call sites with and without SIMD can be mixed freely without changing
+// a single output bit.
+//
+// One documented hole in the bit-identity claim: when two NaNs with
+// DIFFERENT bit patterns meet in a single addition, x86 keeps whichever
+// operand the compiler put first, and neither IEEE 754 nor C++ pins that
+// order down (GCC freely commutes — and auto-vectorizes — the reference's
+// accumulation). Outputs whose chains only ever see one NaN bit pattern
+// (the common case: a single fault-injected NaN propagating, or the fixed
+// "indefinite" NaN from Inf*0 / Inf-Inf) are exact: x86 propagates a lone
+// NaN operand verbatim. Campaign aggregates never resolve the hole either
+// way, since outcome classification and distance metrics treat all NaNs
+// alike. The other exception is the opt-in "avx2-relaxed" set,
+// which contracts multiply-add (FMA) and, for FLOAT16, accumulates in float:
+// faster, but sums differ by rounding, so it is never selected by default
+// and the campaign bit-identity gates do not hold under it.
+//
+// Selection happens once per process: the DNNFI_KERNELS environment variable
+// ("scalar" | "avx2" | "avx2-relaxed" | "auto"/unset) is combined with
+// CPUID probes (numeric/cpu.h); requesting an unavailable set falls back to
+// scalar. ExecutionPlan<T> captures the active set at plan-build time.
+//
+// Packed weights: SIMD sets with pack_lanes > 0 consume a lane-interleaved
+// copy of each MAC layer's weights, produced by pack_rows into the
+// workspace arena at Workspace::bind time (the plan-time layout transform).
+// Public tensors stay NCHW/OIHW; the packed copy is invisible outside the
+// kernel call. Only full blocks of `lanes` rows are packed — remainder rows
+// are computed by the scalar reference directly from the row-major weights.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dnnfi/numeric/fixed.h"
+#include "dnnfi/numeric/half.h"
+
+namespace dnnfi::dnn::kernels {
+
+/// Resolved convolution geometry: square kernel, zero padding, CHW input
+/// and output, OIHW weights.
+struct ConvGeom {
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::size_t out_c = 0, out_h = 0, out_w = 0;
+  std::size_t k = 0, stride = 0, pad = 0;
+
+  /// Accumulation steps per output element (the kernel volume).
+  constexpr std::size_t steps() const noexcept { return in_c * k * k; }
+};
+
+/// Resolved fully-connected geometry: out x in row-major weights.
+struct FcGeom {
+  std::size_t in = 0, out = 0;
+};
+
+/// Convolution kernel. `w` is the row-major OIHW weight array; `w_packed`
+/// is the pack_rows copy (pass null when the set's pack_lanes == 0, or when
+/// the geometry yields zero full blocks — it is only dereferenced inside
+/// full blocks).
+template <typename T>
+using ConvFn = void (*)(const ConvGeom&, const T* in, const T* w,
+                        const T* w_packed, const T* bias, T* out);
+
+/// Fully-connected kernel; `w_packed` as for ConvFn.
+template <typename T>
+using FcFn = void (*)(const FcGeom&, const T* in, const T* w,
+                      const T* w_packed, const T* bias, T* out);
+
+/// Elementwise kernel (relu): out[i] = max(in[i], 0) in T semantics.
+template <typename T>
+using EltwiseFn = void (*)(const T* in, T* out, std::size_t n);
+
+/// One registered kernel family for one datapath type.
+template <typename T>
+struct KernelSet {
+  const char* name = "scalar";
+  /// Every output is guaranteed bit-identical to the scalar reference.
+  bool bit_identical = true;
+  /// Lane-interleave width of the packed weight layout this set consumes
+  /// (0: the set reads row-major weights directly; nothing to pack).
+  std::size_t pack_lanes = 0;
+  ConvFn<T> conv = nullptr;
+  FcFn<T> fc = nullptr;
+  EltwiseFn<T> relu = nullptr;
+};
+
+/// The scalar reference set: always available, always bit-identical.
+template <typename T>
+const KernelSet<T>& scalar_kernels() noexcept;
+
+/// The process-wide active set for T, resolved once from DNNFI_KERNELS and
+/// CPUID (or from the last set_active_mode override). Returned references
+/// have static storage duration: an ExecutionPlan may hold one forever.
+template <typename T>
+const KernelSet<T>& active_kernels() noexcept;
+
+/// Looks up a registered set by name regardless of DNNFI_KERNELS; null when
+/// the name is unknown for T or this CPU lacks the required features.
+template <typename T>
+const KernelSet<T>* kernel_set(std::string_view name) noexcept;
+
+/// Names of every set available for T on this CPU, scalar first.
+template <typename T>
+std::vector<const char*> registered_names();
+
+/// Overrides the mode used by subsequent active_kernels calls (and thus
+/// subsequently built ExecutionPlans) for every datapath type: one of
+/// "scalar", "avx2", "avx2-relaxed", or "auto" to restore the DNNFI_KERNELS
+/// / CPUID default. Returns false (and changes nothing) for unknown names.
+/// For tests and benches; call before building the plans it should affect.
+bool set_active_mode(std::string_view mode);
+
+/// The resolved hardware/dispatch profile, for bench JSON attribution.
+struct KernelProfile {
+  std::string mode;            ///< requested: auto/scalar/avx2/avx2-relaxed
+  bool cpu_avx2 = false;       ///< CPUID probe results
+  bool cpu_f16c = false;
+  bool f16c_compiled = false;  ///< hardware Half conversions built in
+  std::string active_float;    ///< resolved set name for FLOAT
+  std::string active_float16;  ///< resolved set name for FLOAT16
+};
+KernelProfile kernel_profile();
+
+/// Packed element count for `rows` x `cols` row-major weights interleaved
+/// `lanes` wide: only full blocks of `lanes` rows pack.
+constexpr std::size_t packed_elems(std::size_t rows, std::size_t cols,
+                                   std::size_t lanes) noexcept {
+  return lanes == 0 ? 0 : (rows / lanes) * cols * lanes;
+}
+
+/// Interleaves full lane-blocks of a rows x cols row-major weight array:
+/// dst[(b*cols + c)*lanes + l] = w[(b*lanes + l)*cols + c]. Writes exactly
+/// packed_elems(rows, cols, lanes) elements; remainder rows are not packed.
+template <typename T>
+void pack_rows(const T* w, std::size_t rows, std::size_t cols,
+               std::size_t lanes, T* dst);
+
+/// Dispatch helpers for layer-level call sites (no workspace, so no packed
+/// copy): run the active set when it needs no packing, otherwise the scalar
+/// reference. Under a bit-identical active set this is indistinguishable
+/// from the Executor's packed path.
+template <typename T>
+void conv_forward(const ConvGeom& g, const T* in, const T* w, const T* bias,
+                  T* out);
+template <typename T>
+void fc_forward(const FcGeom& g, const T* in, const T* w, const T* bias,
+                T* out);
+template <typename T>
+void relu_forward(const T* in, T* out, std::size_t n);
+
+#define DNNFI_KERNELS_EXTERN(T)                                             \
+  extern template const KernelSet<T>& scalar_kernels<T>() noexcept;         \
+  extern template const KernelSet<T>& active_kernels<T>() noexcept;         \
+  extern template const KernelSet<T>* kernel_set<T>(std::string_view)       \
+      noexcept;                                                             \
+  extern template std::vector<const char*> registered_names<T>();           \
+  extern template void pack_rows<T>(const T*, std::size_t, std::size_t,     \
+                                    std::size_t, T*);                       \
+  extern template void conv_forward<T>(const ConvGeom&, const T*, const T*, \
+                                       const T*, T*);                       \
+  extern template void fc_forward<T>(const FcGeom&, const T*, const T*,     \
+                                     const T*, T*);                         \
+  extern template void relu_forward<T>(const T*, T*, std::size_t)
+
+DNNFI_KERNELS_EXTERN(double);
+DNNFI_KERNELS_EXTERN(float);
+DNNFI_KERNELS_EXTERN(numeric::Half);
+DNNFI_KERNELS_EXTERN(numeric::Fx32r26);
+DNNFI_KERNELS_EXTERN(numeric::Fx32r10);
+DNNFI_KERNELS_EXTERN(numeric::Fx16r10);
+#undef DNNFI_KERNELS_EXTERN
+
+}  // namespace dnnfi::dnn::kernels

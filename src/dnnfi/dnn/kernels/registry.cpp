@@ -1,0 +1,262 @@
+// Kernel registry: mode resolution (DNNFI_KERNELS + CPUID), per-type set
+// lookup, the packed-layout transform, and the layer-level dispatch helpers.
+// Compiled without SIMD flags: every COMDAT-eligible template this TU
+// instantiates (kernel_scalar.h, kernels.h) gets safe baseline codegen.
+#include "dnnfi/dnn/kernels/kernels.h"
+
+#include <cstdio>
+
+#include "dnnfi/common/env.h"
+#include "dnnfi/dnn/kernels/kernel_avx2.h"
+#include "dnnfi/dnn/kernels/kernel_scalar.h"
+#include "dnnfi/numeric/cpu.h"
+
+namespace dnnfi::dnn::kernels {
+
+namespace {
+
+enum class Mode { kAuto, kScalar, kAvx2, kAvx2Relaxed };
+
+bool parse_mode(std::string_view s, Mode& out) {
+  if (s == "auto") {
+    out = Mode::kAuto;
+  } else if (s == "scalar") {
+    out = Mode::kScalar;
+  } else if (s == "avx2") {
+    out = Mode::kAvx2;
+  } else if (s == "avx2-relaxed") {
+    out = Mode::kAvx2Relaxed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kScalar:
+      return "scalar";
+    case Mode::kAvx2:
+      return "avx2";
+    case Mode::kAvx2Relaxed:
+      return "avx2-relaxed";
+    case Mode::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+/// The process-wide mode: parsed once from DNNFI_KERNELS, overridable via
+/// set_active_mode. Not thread-safe by design — override before building the
+/// plans it should affect, never concurrently with running campaigns.
+Mode& mode_ref() {
+  static Mode m = [] {
+    Mode parsed = Mode::kAuto;
+    if (const auto v = env_string("DNNFI_KERNELS")) {
+      if (!parse_mode(*v, parsed)) {
+        std::fprintf(stderr,
+                     "dnnfi: ignoring unknown DNNFI_KERNELS value \"%s\" "
+                     "(expected scalar|avx2|avx2-relaxed|auto)\n",
+                     v->c_str());
+        parsed = Mode::kAuto;
+      }
+    }
+    return parsed;
+  }();
+  return m;
+}
+
+#if defined(DNNFI_ENABLE_AVX2_KERNELS)
+
+/// The exact AVX2 set for T, or null when T has none or the CPU lacks the
+/// instructions. FLOAT16 kernels additionally execute F16C converts.
+template <typename T>
+const KernelSet<T>* avx2_set() {
+  if constexpr (std::is_same_v<T, float>) {
+    if (!numeric::cpu_has_avx2()) return nullptr;
+    static const KernelSet<float> s{"avx2", true, 8, detail::avx2_conv_float,
+                                    detail::avx2_fc_float,
+                                    detail::avx2_relu_float};
+    return &s;
+  } else if constexpr (std::is_same_v<T, double>) {
+    if (!numeric::cpu_has_avx2()) return nullptr;
+    static const KernelSet<double> s{"avx2", true, 4, detail::avx2_conv_double,
+                                     detail::avx2_fc_double,
+                                     detail::avx2_relu_double};
+    return &s;
+  } else if constexpr (std::is_same_v<T, numeric::Half>) {
+    if (!numeric::cpu_has_avx2() || !numeric::cpu_has_f16c()) return nullptr;
+    static const KernelSet<numeric::Half> s{
+        "avx2", true, 8, detail::avx2_conv_half, detail::avx2_fc_half,
+        detail::avx2_relu_half};
+    return &s;
+  } else {
+    return nullptr;  // fixed-point stays scalar-only
+  }
+}
+
+/// The relaxed (FMA / float-accumulation) set; requires FMA on top of the
+/// exact set's features. Relu is shared with the exact set — elementwise max
+/// has no reassociation to relax.
+template <typename T>
+const KernelSet<T>* relaxed_set() {
+  if (!numeric::cpu_has_fma()) return nullptr;
+  if constexpr (std::is_same_v<T, float>) {
+    if (!numeric::cpu_has_avx2()) return nullptr;
+    static const KernelSet<float> s{
+        "avx2-relaxed", false, 8, detail::avx2_relaxed_conv_float,
+        detail::avx2_relaxed_fc_float, detail::avx2_relu_float};
+    return &s;
+  } else if constexpr (std::is_same_v<T, double>) {
+    if (!numeric::cpu_has_avx2()) return nullptr;
+    static const KernelSet<double> s{
+        "avx2-relaxed", false, 4, detail::avx2_relaxed_conv_double,
+        detail::avx2_relaxed_fc_double, detail::avx2_relu_double};
+    return &s;
+  } else if constexpr (std::is_same_v<T, numeric::Half>) {
+    if (!numeric::cpu_has_avx2() || !numeric::cpu_has_f16c()) return nullptr;
+    static const KernelSet<numeric::Half> s{
+        "avx2-relaxed", false, 8, detail::avx2_relaxed_conv_half,
+        detail::avx2_relaxed_fc_half, detail::avx2_relu_half};
+    return &s;
+  } else {
+    return nullptr;
+  }
+}
+
+#else  // !DNNFI_ENABLE_AVX2_KERNELS
+
+template <typename T>
+const KernelSet<T>* avx2_set() {
+  return nullptr;
+}
+template <typename T>
+const KernelSet<T>* relaxed_set() {
+  return nullptr;
+}
+
+#endif  // DNNFI_ENABLE_AVX2_KERNELS
+
+}  // namespace
+
+template <typename T>
+const KernelSet<T>& scalar_kernels() noexcept {
+  static const KernelSet<T> s{"scalar", true, 0, &scalar_conv<T>,
+                              &scalar_fc<T>, &scalar_relu<T>};
+  return s;
+}
+
+template <typename T>
+const KernelSet<T>& active_kernels() noexcept {
+  switch (mode_ref()) {
+    case Mode::kScalar:
+      return scalar_kernels<T>();
+    case Mode::kAvx2Relaxed: {
+      const KernelSet<T>* s = relaxed_set<T>();
+      return s ? *s : scalar_kernels<T>();
+    }
+    case Mode::kAvx2:
+    case Mode::kAuto: {
+      const KernelSet<T>* s = avx2_set<T>();
+      return s ? *s : scalar_kernels<T>();
+    }
+  }
+  return scalar_kernels<T>();
+}
+
+template <typename T>
+const KernelSet<T>* kernel_set(std::string_view name) noexcept {
+  if (name == "scalar") return &scalar_kernels<T>();
+  if (name == "avx2") return avx2_set<T>();
+  if (name == "avx2-relaxed") return relaxed_set<T>();
+  return nullptr;
+}
+
+template <typename T>
+std::vector<const char*> registered_names() {
+  std::vector<const char*> names{"scalar"};
+  if (avx2_set<T>()) names.push_back("avx2");
+  if (relaxed_set<T>()) names.push_back("avx2-relaxed");
+  return names;
+}
+
+bool set_active_mode(std::string_view mode) {
+  Mode m;
+  if (!parse_mode(mode, m)) return false;
+  mode_ref() = m;
+  return true;
+}
+
+KernelProfile kernel_profile() {
+  KernelProfile p;
+  p.mode = mode_name(mode_ref());
+  p.cpu_avx2 = numeric::cpu_has_avx2();
+  p.cpu_f16c = numeric::cpu_has_f16c();
+#if defined(DNNFI_ENABLE_F16C)
+  p.f16c_compiled = true;
+#endif
+  p.active_float = active_kernels<float>().name;
+  p.active_float16 = active_kernels<numeric::Half>().name;
+  return p;
+}
+
+template <typename T>
+void pack_rows(const T* w, std::size_t rows, std::size_t cols,
+               std::size_t lanes, T* dst) {
+  if (lanes == 0) return;
+  const std::size_t blocks = rows / lanes;
+  for (std::size_t b = 0; b < blocks; ++b)
+    for (std::size_t c = 0; c < cols; ++c)
+      for (std::size_t l = 0; l < lanes; ++l)
+        dst[(b * cols + c) * lanes + l] = w[(b * lanes + l) * cols + c];
+}
+
+template <typename T>
+void conv_forward(const ConvGeom& g, const T* in, const T* w, const T* bias,
+                  T* out) {
+  const KernelSet<T>& ks = active_kernels<T>();
+  if (ks.pack_lanes == 0) {
+    ks.conv(g, in, w, nullptr, bias, out);
+    return;
+  }
+  scalar_conv<T>(g, in, w, nullptr, bias, out);
+}
+
+template <typename T>
+void fc_forward(const FcGeom& g, const T* in, const T* w, const T* bias,
+                T* out) {
+  const KernelSet<T>& ks = active_kernels<T>();
+  if (ks.pack_lanes == 0) {
+    ks.fc(g, in, w, nullptr, bias, out);
+    return;
+  }
+  scalar_fc<T>(g, in, w, nullptr, bias, out);
+}
+
+template <typename T>
+void relu_forward(const T* in, T* out, std::size_t n) {
+  active_kernels<T>().relu(in, out, n);
+}
+
+#define DNNFI_KERNELS_INSTANTIATE(T)                                        \
+  template const KernelSet<T>& scalar_kernels<T>() noexcept;                \
+  template const KernelSet<T>& active_kernels<T>() noexcept;                \
+  template const KernelSet<T>* kernel_set<T>(std::string_view) noexcept;    \
+  template std::vector<const char*> registered_names<T>();                  \
+  template void pack_rows<T>(const T*, std::size_t, std::size_t,            \
+                             std::size_t, T*);                              \
+  template void conv_forward<T>(const ConvGeom&, const T*, const T*,        \
+                                const T*, T*);                              \
+  template void fc_forward<T>(const FcGeom&, const T*, const T*, const T*,  \
+                              T*);                                          \
+  template void relu_forward<T>(const T*, T*, std::size_t)
+
+DNNFI_KERNELS_INSTANTIATE(double);
+DNNFI_KERNELS_INSTANTIATE(float);
+DNNFI_KERNELS_INSTANTIATE(numeric::Half);
+DNNFI_KERNELS_INSTANTIATE(numeric::Fx32r26);
+DNNFI_KERNELS_INSTANTIATE(numeric::Fx32r10);
+DNNFI_KERNELS_INSTANTIATE(numeric::Fx16r10);
+#undef DNNFI_KERNELS_INSTANTIATE
+
+}  // namespace dnnfi::dnn::kernels

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "dnnfi/common/rng.h"
+#include "dnnfi/dnn/kernels/kernels.h"
 #include "dnnfi/dnn/layer.h"
 #include "dnnfi/numeric/traits.h"
 
@@ -107,12 +108,24 @@ class Conv2d final : public Layer<T> {
   std::span<T> biases() override { return bias_; }
   std::span<const T> biases() const override { return bias_; }
 
+  /// Kernel geometry for this layer under the given input/output shapes.
+  kernels::ConvGeom geom(const Shape& in, const Shape& os) const noexcept {
+    return {in.c, in.h, in.w, os.c, os.h, os.w, k_, stride_, pad_};
+  }
+
   void forward(ConstTensorView<T> in, TensorView<T> out,
                const LayerFaults* faults = nullptr,
                InjectionRecord* rec = nullptr) const override {
     const Shape os = out.shape();
     DNNFI_EXPECTS(os == out_shape(in.shape()));
-    forward_plain(in, out);
+    // Fault-free pass through the kernel registry (the scalar reference is
+    // bit-identical to compute_one with no fault and no overrides; SIMD
+    // sets are bit-identical to the scalar reference). The compiled
+    // Executor path routes through ExecutionPlan::exec_step instead, which
+    // adds the packed-weight layout.
+    kernels::conv_forward<T>(geom(in.shape(), os), in.data().data(),
+                             weights_.data().data(), bias_.data(),
+                             out.data().data());
     if (faults != nullptr) apply_faults(in, out, *faults, rec);
   }
 
@@ -305,54 +318,6 @@ class Conv2d final : public Layer<T> {
     rec->applied = true;
   }
 
-  /// Fault-free fast path: bit-identical to compute_one with no fault and no
-  /// overrides — same (ci, ky, kx) accumulation order, same
-  /// multiply-then-accumulate per tap (padded taps multiply by a zero
-  /// activation), same trailing bias add — with the per-tap Shape::index
-  /// arithmetic replaced by hoisted row pointers. This is the bulk of every
-  /// injection trial (all downstream layers run fault-free).
-  void forward_plain(ConstTensorView<T> in, TensorView<T> out) const {
-    const Shape is = in.shape();
-    const Shape os = out.shape();
-    const T* const ip = in.data().data();
-    const T* const wp = weights_.data().data();
-    T* op = out.data().data();
-    const auto pad = static_cast<std::ptrdiff_t>(pad_);
-    for (std::size_t co = 0; co < os.c; ++co) {
-      const T* const wco = wp + co * in_c_ * k_ * k_;
-      const T bias = bias_[co];
-      for (std::size_t oy = 0; oy < os.h; ++oy) {
-        for (std::size_t ox = 0; ox < os.w; ++ox) {
-          T acc{};
-          const T* w = wco;
-          for (std::size_t ci = 0; ci < in_c_; ++ci) {
-            const T* const ic = ip + ci * is.h * is.w;
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) - pad;
-              const bool row_ok =
-                  iy >= 0 && iy < static_cast<std::ptrdiff_t>(is.h);
-              const T* const irow =
-                  row_ok ? ic + static_cast<std::size_t>(iy) * is.w : nullptr;
-              for (std::size_t kx = 0; kx < k_; ++kx, ++w) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) - pad;
-                T act{};
-                if (row_ok && ix >= 0 &&
-                    ix < static_cast<std::ptrdiff_t>(is.w))
-                  act = irow[static_cast<std::size_t>(ix)];
-                const T product = *w * act;
-                acc += product;
-              }
-            }
-          }
-          acc += bias;
-          *op++ = acc;
-        }
-      }
-    }
-  }
-
   std::size_t in_c_, out_c_, k_, stride_, pad_;
   Tensor<T> weights_;
   std::vector<T> bias_;
@@ -400,21 +365,11 @@ class FullyConnected final : public Layer<T> {
                const LayerFaults* faults = nullptr,
                InjectionRecord* rec = nullptr) const override {
     DNNFI_EXPECTS(in.size() == in_ && out.size() == out_);
-    // Fault-free fast path: bit-identical to compute_one without fault or
-    // overrides (same per-input multiply-then-accumulate, same bias add).
-    const T* const ip = in.data().data();
-    const T* const wp = weights_.data().data();
-    T* const op = out.data().data();
-    for (std::size_t o = 0; o < out_; ++o) {
-      T acc{};
-      const T* const w = wp + o * in_;
-      for (std::size_t i = 0; i < in_; ++i) {
-        const T product = w[i] * ip[i];
-        acc += product;
-      }
-      acc += bias_[o];
-      op[o] = acc;
-    }
+    // Fault-free pass through the kernel registry (the scalar reference is
+    // bit-identical to compute_one without fault or overrides).
+    kernels::fc_forward<T>({in_, out_}, in.data().data(),
+                           weights_.data().data(), bias_.data(),
+                           out.data().data());
     if (faults != nullptr) apply_faults(in, out, *faults, rec);
   }
 
@@ -561,9 +516,7 @@ class Relu final : public Layer<T> {
                const LayerFaults* = nullptr,
                InjectionRecord* = nullptr) const override {
     DNNFI_EXPECTS(out.size() == in.size());
-    const T zero{};
-    for (std::size_t i = 0; i < in.size(); ++i)
-      out[i] = (in[i] > zero) ? in[i] : zero;
+    kernels::relu_forward<T>(in.data().data(), out.data().data(), in.size());
   }
 
   void backward(const Tensor<T>& in, const Tensor<T>&, const Tensor<T>& gout,

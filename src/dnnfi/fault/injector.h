@@ -1,5 +1,11 @@
 // Lowering from hardware fault descriptors to layer-level fault hooks, and
 // the single-trial injection entry points.
+//
+// Fault sites address logical NCHW/OIHW coordinates (tensor indices, MAC
+// step ordinals in (ci, ky, kx) order). The SIMD kernel engine's packed
+// weight layout (DESIGN.md §10) is a kernel-private copy inside the
+// workspace arena: injection, activation caching, and checkpointing never
+// see it, so fault coordinates mean the same thing under every kernel set.
 #pragma once
 
 #include "dnnfi/dnn/executor.h"

@@ -1,0 +1,36 @@
+#include "dnnfi/numeric/cpu.h"
+
+namespace dnnfi::numeric {
+
+namespace {
+
+struct CpuFeatures {
+  bool avx = false;
+  bool avx2 = false;
+  bool f16c = false;
+  bool fma = false;
+
+  CpuFeatures() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    avx = __builtin_cpu_supports("avx") != 0;
+    avx2 = __builtin_cpu_supports("avx2") != 0;
+    f16c = __builtin_cpu_supports("f16c") != 0;
+    fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  }
+};
+
+const CpuFeatures& features() noexcept {
+  static const CpuFeatures f;
+  return f;
+}
+
+}  // namespace
+
+bool cpu_has_avx() noexcept { return features().avx; }
+bool cpu_has_avx2() noexcept { return features().avx2; }
+bool cpu_has_f16c() noexcept { return features().f16c; }
+bool cpu_has_fma() noexcept { return features().fma; }
+
+}  // namespace dnnfi::numeric

@@ -1,0 +1,14 @@
+// One-time CPUID feature probes. The kernel registry (dnn/kernels) and the
+// Half conversion dispatch consult these to pick a hardware path at runtime,
+// so a single binary runs on any x86-64 and merely gets faster on CPUs that
+// have the wider instructions. Each probe is cached after the first call.
+#pragma once
+
+namespace dnnfi::numeric {
+
+bool cpu_has_avx() noexcept;
+bool cpu_has_avx2() noexcept;
+bool cpu_has_f16c() noexcept;
+bool cpu_has_fma() noexcept;
+
+}  // namespace dnnfi::numeric

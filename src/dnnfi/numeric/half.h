@@ -15,9 +15,7 @@
 #include <limits>
 #include <type_traits>
 
-#if defined(__F16C__)
-#include <immintrin.h>
-#endif
+#include "dnnfi/numeric/cpu.h"
 
 namespace dnnfi::numeric {
 
@@ -88,32 +86,45 @@ constexpr float half_bits_to_float_sw(std::uint16_t h) noexcept {
   return std::bit_cast<float>(bits);
 }
 
-// When the build enables x86 F16C (see DNNFI_F16C in CMakeLists.txt), the
-// hardware conversion instructions replace the software routines on the hot
-// path. VCVTPS2PH/VCVTPH2PS implement the same IEEE-754 round-to-nearest-even
-// conversion, so results are bit-identical — except for NaN payloads, where
-// the hardware truncates and this library canonicalizes to a fixed quiet
-// payload; NaNs are therefore routed through the software rule. The software
-// routines remain the constant-evaluation path and the reference the tests
-// compare the hardware against.
+// When the build compiles the x86 F16C paths (see DNNFI_F16C in
+// CMakeLists.txt), the hardware conversion instructions replace the software
+// routines on the hot path — selected at *runtime* via a cached CPUID probe,
+// so the same binary still runs (on the software routines) on an x86-64
+// without F16C. VCVTPS2PH/VCVTPH2PS implement the same IEEE-754
+// round-to-nearest-even conversion, so results are bit-identical — except
+// for NaN payloads, where the hardware truncates and this library
+// canonicalizes to a fixed quiet payload; NaNs are therefore routed through
+// the software rule. The software routines remain the constant-evaluation
+// path and the reference the tests compare the hardware against.
+#if defined(DNNFI_ENABLE_F16C)
+// Out-of-line hardware conversions, defined in simd_convert_f16c.cpp (the
+// only numeric TU compiled with -mf16c). Call only when cpu_has_f16c().
+std::uint16_t float_to_half_bits_hw(float value) noexcept;
+float half_bits_to_float_hw(std::uint16_t h) noexcept;
+
+// Cached probe. Zero-initialized (false -> software path) until dynamic
+// initialization runs, which is correct either way.
+inline const bool kHalfUseF16C = cpu_has_f16c();
+#endif
+
 constexpr std::uint16_t float_to_half_bits(float value) noexcept {
-#if defined(__F16C__)
-  if (!std::is_constant_evaluated()) {
+#if defined(DNNFI_ENABLE_F16C)
+  if (!std::is_constant_evaluated() && kHalfUseF16C) {
     if (value != value) {
       const std::uint32_t sign =
           (std::bit_cast<std::uint32_t>(value) >> 16) & 0x8000U;
       return static_cast<std::uint16_t>(sign | 0x7E00U);
     }
-    return static_cast<std::uint16_t>(
-        _cvtss_sh(value, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+    return float_to_half_bits_hw(value);
   }
 #endif
   return float_to_half_bits_sw(value);
 }
 
 constexpr float half_bits_to_float(std::uint16_t h) noexcept {
-#if defined(__F16C__)
-  if (!std::is_constant_evaluated()) return _cvtsh_ss(h);
+#if defined(DNNFI_ENABLE_F16C)
+  if (!std::is_constant_evaluated() && kHalfUseF16C)
+    return half_bits_to_float_hw(h);
 #endif
   return half_bits_to_float_sw(h);
 }

@@ -1,0 +1,39 @@
+// Dispatch layer for the batch Half <-> float conversions. This TU is
+// compiled without SIMD flags; the wide implementations live in
+// simd_convert_f16c.cpp (compiled with -mavx -mf16c) and are only entered
+// after a runtime CPUID check, so the binary runs on any x86-64.
+#include "dnnfi/numeric/simd_convert.h"
+
+#include "dnnfi/numeric/cpu.h"
+
+namespace dnnfi::numeric {
+
+#if defined(DNNFI_ENABLE_F16C)
+namespace detail {
+void half_to_float_wide(const std::uint16_t* src, float* dst, std::size_t n);
+void float_to_half_wide(const float* src, std::uint16_t* dst, std::size_t n);
+}  // namespace detail
+#endif
+
+void half_to_float_n(const Half* src, float* dst, std::size_t n) {
+#if defined(DNNFI_ENABLE_F16C)
+  if (cpu_has_f16c() && cpu_has_avx()) {
+    detail::half_to_float_wide(reinterpret_cast<const std::uint16_t*>(src),
+                               dst, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+void float_to_half_n(const float* src, Half* dst, std::size_t n) {
+#if defined(DNNFI_ENABLE_F16C)
+  if (cpu_has_f16c() && cpu_has_avx()) {
+    detail::float_to_half_wide(src, reinterpret_cast<std::uint16_t*>(dst), n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) dst[i] = Half(src[i]);
+}
+
+}  // namespace dnnfi::numeric

@@ -1,0 +1,21 @@
+// Batch Half <-> float conversions with a runtime-dispatched wide path
+// (AVX+F16C: 8 lanes per VCVTPH2PS/VCVTPS2PH). Bit-identical to converting
+// element-wise through Half — including the canonical quiet-NaN rule on the
+// float -> half direction — so callers can swap these in anywhere without
+// changing results. tensor::convert routes the FLOAT16 <-> FLOAT pairs here.
+#pragma once
+
+#include <cstddef>
+
+#include "dnnfi/numeric/half.h"
+
+namespace dnnfi::numeric {
+
+/// dst[i] = float(src[i]) for i in [0, n).
+void half_to_float_n(const Half* src, float* dst, std::size_t n);
+
+/// dst[i] = Half(src[i]) for i in [0, n), NaNs canonicalized to the
+/// library's fixed quiet payload (sign | 0x7E00).
+void float_to_half_n(const float* src, Half* dst, std::size_t n);
+
+}  // namespace dnnfi::numeric

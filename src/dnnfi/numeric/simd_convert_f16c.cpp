@@ -1,0 +1,81 @@
+// Hardware F16C conversion paths. This is the only numeric TU compiled with
+// -mavx -mf16c (see src/CMakeLists.txt); every entry point below is reached
+// only behind a runtime cpu_has_f16c() check, so binaries built with
+// DNNFI_F16C=ON still run on CPUs without the instructions.
+//
+// Codegen-safety discipline: this TU defines out-of-line functions operating
+// on raw scalars/pointers and deliberately instantiates no shared inline
+// library functions, so the VEX-encoded code it emits can never be selected
+// by the linker as the one COMDAT copy of a function other TUs call.
+#if defined(DNNFI_ENABLE_F16C) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace dnnfi::numeric {
+
+namespace detail {
+
+std::uint16_t float_to_half_bits_hw(float value) noexcept {
+  return static_cast<std::uint16_t>(
+      _cvtss_sh(value, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+}
+
+float half_bits_to_float_hw(std::uint16_t h) noexcept { return _cvtsh_ss(h); }
+
+void half_to_float_wide(const std::uint16_t* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  for (; i < n; ++i) dst[i] = _cvtsh_ss(src[i]);
+}
+
+namespace {
+
+// Canonical quiet-NaN bits for a float: sign | 0x7E00 (the library rule the
+// software converter applies; VCVTPS2PH would truncate the payload instead).
+inline std::uint16_t canonical_nan_bits(float v) noexcept {
+  std::uint32_t fb;
+  std::memcpy(&fb, &v, sizeof(fb));
+  return static_cast<std::uint16_t>(((fb >> 16) & 0x8000U) | 0x7E00U);
+}
+
+}  // namespace
+
+void float_to_half_wide(const float* src, std::uint16_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(src + i);
+    __m128i h =
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const int nan_mask =
+        _mm256_movemask_ps(_mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    if (nan_mask != 0) {
+      alignas(32) float fv[8];
+      alignas(16) std::uint16_t hb[8];
+      _mm256_store_ps(fv, v);
+      _mm_store_si128(reinterpret_cast<__m128i*>(hb), h);
+      for (int l = 0; l < 8; ++l)
+        if ((nan_mask >> l) & 1) hb[l] = canonical_nan_bits(fv[l]);
+      h = _mm_load_si128(reinterpret_cast<const __m128i*>(hb));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  for (; i < n; ++i) {
+    const float v = src[i];
+    dst[i] = (v != v) ? canonical_nan_bits(v)
+                      : static_cast<std::uint16_t>(_cvtss_sh(
+                            v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace dnnfi::numeric
+
+#endif  // DNNFI_ENABLE_F16C && x86

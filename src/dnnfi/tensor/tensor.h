@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dnnfi/common/expects.h"
+#include "dnnfi/numeric/simd_convert.h"
 #include "dnnfi/numeric/traits.h"
 
 // DNNFI_CHECKED_ACCESS controls the per-element bounds checks in
@@ -236,6 +237,24 @@ Tensor<To> convert(const Tensor<From>& src) {
     dst[i] = numeric::numeric_traits<To>::from_double(
         numeric::numeric_traits<From>::to_double(src[i]));
   }
+  return dst;
+}
+
+// The FLOAT16 <-> FLOAT pairs take the vectorized batch path. float narrows
+// exactly through double and Half applies the same rounding and NaN rule
+// either way, so these are bit-identical to the generic loop above.
+template <>
+inline Tensor<float> convert<float, numeric::Half>(
+    const Tensor<numeric::Half>& src) {
+  Tensor<float> dst(src.shape());
+  numeric::half_to_float_n(src.data().data(), dst.data().data(), src.size());
+  return dst;
+}
+template <>
+inline Tensor<numeric::Half> convert<numeric::Half, float>(
+    const Tensor<float>& src) {
+  Tensor<numeric::Half> dst(src.shape());
+  numeric::float_to_half_n(src.data().data(), dst.data().data(), src.size());
   return dst;
 }
 

@@ -168,8 +168,8 @@ TYPED_TEST(ExecutorEquivalence, PlanResolvesShapesAndMacs) {
     EXPECT_GE(plan.buffer_elems(), shape.size());
   }
   EXPECT_EQ(plan.output_shape().size(), spec.num_classes);
-  EXPECT_EQ(plan.arena_elems(),
-            2 * plan.buffer_elems() + plan.input_elems());
+  EXPECT_EQ(plan.arena_elems(), 2 * plan.buffer_elems() +
+                                    plan.input_elems() + plan.packed_elems());
 }
 
 TYPED_TEST(ExecutorEquivalence, PlainAndTracedMatchLegacy) {

@@ -1,0 +1,313 @@
+// Kernel registry property tests: every registered SIMD kernel set is
+// checked against the scalar reference across all six datapath types, odd
+// shapes (output channels not divisible by the lane width, including the
+// zero-full-blocks case), non-finite inputs (NaN / ±Inf / -0 propagation,
+// canonical-NaN rule for FLOAT16), and 100-run buffer reuse — asserting
+// tensor::bitwise_equal for bit_identical sets and a coarse tolerance for
+// the opt-in relaxed sets. Plus the packed-layout formula itself and an
+// executor-level integration check that set_active_mode("scalar") and the
+// SIMD default produce byte-identical network outputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dnnfi/dnn/executor.h"
+#include "dnnfi/dnn/kernels/kernels.h"
+#include "dnnfi/dnn/weights.h"
+#include "dnnfi/dnn/zoo.h"
+#include "dnnfi/numeric/traits.h"
+#include "dnnfi/tensor/tensor.h"
+
+namespace dnnfi::dnn::kernels {
+namespace {
+
+using numeric::numeric_traits;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Non-finite seasoning for the floating datapath types. kNaN and kInf are
+/// deliberately separate variants: when two NaNs with DIFFERENT bit patterns
+/// meet in one addition, x86 returns whichever the compiler put first, and
+/// GCC orders (and even auto-vectorizes) the scalar reference's accumulation
+/// however it likes — so that one case is outside the bit-identity contract
+/// (see kernels.h). Within a variant every NaN that can arise shares a
+/// single bit pattern (the planted canonical NaN, or the FFC00000-style
+/// "indefinite" from Inf*0 / Inf-Inf), which x86 propagates verbatim
+/// regardless of operand order, keeping the comparison exact.
+enum class Season { kFinite, kNaN, kInf };
+
+/// Deterministic awkward values in roughly [-3, 3]; floating types also get
+/// the requested non-finite values planted at fixed positions.
+template <typename T>
+std::vector<T> awkward(std::size_t n, std::uint64_t salt, Season season) {
+  using Tr = numeric_traits<T>;
+  std::vector<T> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = Tr::from_double(
+        0.0625 * static_cast<double>((i * 2654435761u + salt) % 97) - 3.0);
+  if constexpr (Tr::is_floating) {
+    if (n >= 8 && season == Season::kNaN) {
+      v[n / 5] = Tr::from_double(std::numeric_limits<double>::quiet_NaN());
+      v[n / 2] = Tr::from_double(std::numeric_limits<double>::quiet_NaN());
+      v[2 * n / 3] = Tr::from_double(-0.0);
+    } else if (n >= 8 && season == Season::kInf) {
+      v[n / 5] = Tr::from_double(std::numeric_limits<double>::infinity());
+      v[n / 2] = Tr::from_double(-std::numeric_limits<double>::infinity());
+      v[2 * n / 3] = Tr::from_double(-0.0);
+    }
+  }
+  return v;
+}
+
+template <typename T>
+Tensor<T> run_conv(const KernelSet<T>& ks, const ConvGeom& g,
+                   const std::vector<T>& in, const std::vector<T>& w,
+                   const std::vector<T>& bias) {
+  Tensor<T> out(Shape{1, g.out_c, g.out_h, g.out_w});
+  std::vector<T> packed(packed_elems(g.out_c, g.steps(), ks.pack_lanes));
+  if (!packed.empty())
+    pack_rows(w.data(), g.out_c, g.steps(), ks.pack_lanes, packed.data());
+  ks.conv(g, in.data(), w.data(), packed.empty() ? nullptr : packed.data(),
+          bias.data(), out.data().data());
+  return out;
+}
+
+template <typename T>
+Tensor<T> run_fc(const KernelSet<T>& ks, const FcGeom& g,
+                 const std::vector<T>& in, const std::vector<T>& w,
+                 const std::vector<T>& bias) {
+  Tensor<T> out(Shape{1, g.out, 1, 1});
+  std::vector<T> packed(packed_elems(g.out, g.in, ks.pack_lanes));
+  if (!packed.empty())
+    pack_rows(w.data(), g.out, g.in, ks.pack_lanes, packed.data());
+  ks.fc(g, in.data(), w.data(), packed.empty() ? nullptr : packed.data(),
+        bias.data(), out.data().data());
+  return out;
+}
+
+/// Coarse closeness for the relaxed sets: per-element absolute tolerance
+/// scaled by the accumulation length (the real contract for the default
+/// sets is bitwise, tested separately).
+template <typename T>
+void expect_close(const Tensor<T>& got, const Tensor<T>& want, double tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double a = numeric_traits<T>::to_double(got[i]);
+    const double b = numeric_traits<T>::to_double(want[i]);
+    ASSERT_TRUE(std::isfinite(a) && std::isfinite(b)) << "element " << i;
+    ASSERT_NEAR(a, b, tol * (1.0 + std::max(std::fabs(a), std::fabs(b))))
+        << "element " << i;
+  }
+}
+
+// Odd geometries on purpose: out_c = 13 leaves a 5-row tail at 8 lanes and
+// a 1-row tail at 4; out_c = 7 yields ZERO full 8-lane blocks (the packed
+// pointer must never be dereferenced); 16 and 32 are all-blocks.
+const ConvGeom kConvGeoms[] = {
+    {3, 9, 7, 13, 5, 4, 3, 2, 1},   // strided, padded, tail rows
+    {5, 6, 6, 7, 6, 6, 1, 1, 0},    // 1x1 kernel, zero full blocks at w=8
+    {8, 8, 8, 16, 8, 8, 3, 1, 1},   // full blocks only (at 8 and 4 lanes)
+    {4, 5, 5, 9, 2, 2, 3, 2, 0},    // stride 2, no padding
+};
+const FcGeom kFcGeoms[] = {{37, 19}, {64, 32}, {10, 3}};
+
+template <typename T>
+class KernelProperty : public ::testing::Test {};
+
+using DatapathTypes =
+    ::testing::Types<double, float, numeric::Half, numeric::Fx32r26,
+                     numeric::Fx32r10, numeric::Fx16r10>;
+TYPED_TEST_SUITE(KernelProperty, DatapathTypes);
+
+TYPED_TEST(KernelProperty, ScalarReferenceAlwaysRegistered) {
+  using T = TypeParam;
+  const auto names = registered_names<T>();
+  ASSERT_FALSE(names.empty());
+  EXPECT_STREQ(names.front(), "scalar");
+  const KernelSet<T>* s = kernel_set<T>("scalar");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->bit_identical);
+  EXPECT_EQ(s->pack_lanes, 0u);
+  EXPECT_EQ(kernel_set<T>("no-such-set"), nullptr);
+}
+
+TYPED_TEST(KernelProperty, SimdSetsBitIdenticalToScalarOnOddShapes) {
+  using T = TypeParam;
+  const KernelSet<T>& ref = scalar_kernels<T>();
+  for (const char* name : registered_names<T>()) {
+    const KernelSet<T>* ks = kernel_set<T>(name);
+    ASSERT_NE(ks, nullptr) << name;
+    if (!ks->bit_identical) continue;
+    for (const Season season : {Season::kFinite, Season::kNaN, Season::kInf}) {
+      for (const ConvGeom& g : kConvGeoms) {
+        const auto in = awkward<T>(g.in_c * g.in_h * g.in_w, 11, season);
+        const auto w = awkward<T>(g.out_c * g.steps(), 23, season);
+        const auto bias = awkward<T>(g.out_c, 5, Season::kFinite);
+        EXPECT_TRUE(tensor::bitwise_equal(run_conv(*ks, g, in, w, bias),
+                                          run_conv(ref, g, in, w, bias)))
+            << name << " conv out_c=" << g.out_c
+            << " season=" << static_cast<int>(season);
+      }
+      for (const FcGeom& g : kFcGeoms) {
+        const auto in = awkward<T>(g.in, 31, season);
+        const auto w = awkward<T>(g.out * g.in, 41, season);
+        const auto bias = awkward<T>(g.out, 7, Season::kFinite);
+        EXPECT_TRUE(tensor::bitwise_equal(run_fc(*ks, g, in, w, bias),
+                                          run_fc(ref, g, in, w, bias)))
+            << name << " fc out=" << g.out
+            << " season=" << static_cast<int>(season);
+      }
+    }
+    {
+      // relu never adds, so NaN (of any sign), ±Inf, and -0 can mix freely:
+      // propagation is per-element and must match bit for bit.
+      const std::size_t n = 33;
+      auto in = awkward<T>(n, 3, Season::kNaN);
+      if constexpr (numeric_traits<T>::is_floating) {
+        in[1] = numeric_traits<T>::from_double(
+            std::numeric_limits<double>::infinity());
+        in[4] = numeric_traits<T>::from_double(
+            -std::numeric_limits<double>::infinity());
+      }
+      Tensor<T> a(Shape{1, 1, 1, n}), b(Shape{1, 1, 1, n});
+      ks->relu(in.data(), a.data().data(), n);
+      ref.relu(in.data(), b.data().data(), n);
+      EXPECT_TRUE(tensor::bitwise_equal(a, b)) << name << " relu";
+    }
+  }
+}
+
+TYPED_TEST(KernelProperty, RelaxedSetsWithinToleranceOfScalar) {
+  using T = TypeParam;
+  const KernelSet<T>& ref = scalar_kernels<T>();
+  // FLOAT16 relaxed accumulates in float (one rounding instead of one per
+  // tap): tolerance scales with the accumulation length and half epsilon.
+  const double per_step =
+      numeric_traits<T>::width <= 16 ? 0.01 : 1e-6;
+  for (const char* name : registered_names<T>()) {
+    const KernelSet<T>* ks = kernel_set<T>(name);
+    ASSERT_NE(ks, nullptr) << name;
+    if (ks->bit_identical) continue;
+    for (const ConvGeom& g : kConvGeoms) {
+      const auto in = awkward<T>(g.in_c * g.in_h * g.in_w, 11, Season::kFinite);
+      const auto w = awkward<T>(g.out_c * g.steps(), 23, Season::kFinite);
+      const auto bias = awkward<T>(g.out_c, 5, Season::kFinite);
+      expect_close(run_conv(*ks, g, in, w, bias),
+                   run_conv(ref, g, in, w, bias),
+                   per_step * static_cast<double>(g.steps()));
+    }
+    for (const FcGeom& g : kFcGeoms) {
+      const auto in = awkward<T>(g.in, 31, Season::kFinite);
+      const auto w = awkward<T>(g.out * g.in, 41, Season::kFinite);
+      const auto bias = awkward<T>(g.out, 7, Season::kFinite);
+      expect_close(run_fc(*ks, g, in, w, bias), run_fc(ref, g, in, w, bias),
+                   per_step * static_cast<double>(g.in));
+    }
+  }
+}
+
+TYPED_TEST(KernelProperty, HundredRunReuseIsStable) {
+  using T = TypeParam;
+  const ConvGeom g = kConvGeoms[0];
+  const auto in = awkward<T>(g.in_c * g.in_h * g.in_w, 13, Season::kNaN);
+  const auto w = awkward<T>(g.out_c * g.steps(), 17, Season::kNaN);
+  const auto bias = awkward<T>(g.out_c, 19, Season::kFinite);
+  for (const char* name : registered_names<T>()) {
+    const KernelSet<T>* ks = kernel_set<T>(name);
+    ASSERT_NE(ks, nullptr) << name;
+    // Pack once, then reuse the packed copy and the output buffer for 100
+    // runs without clearing either — the Workspace lifecycle.
+    std::vector<T> packed(packed_elems(g.out_c, g.steps(), ks->pack_lanes));
+    if (!packed.empty())
+      pack_rows(w.data(), g.out_c, g.steps(), ks->pack_lanes, packed.data());
+    Tensor<T> out(Shape{1, g.out_c, g.out_h, g.out_w});
+    Tensor<T> first;
+    for (int run = 0; run < 100; ++run) {
+      ks->conv(g, in.data(), w.data(),
+               packed.empty() ? nullptr : packed.data(), bias.data(),
+               out.data().data());
+      if (run == 0)
+        first = out;
+      else
+        ASSERT_TRUE(tensor::bitwise_equal(out, first))
+            << name << " run " << run;
+    }
+    if (ks->bit_identical) {
+      const Tensor<T> want = run_conv(scalar_kernels<T>(), g, in, w, bias);
+      EXPECT_TRUE(tensor::bitwise_equal(first, want)) << name;
+    }
+  }
+}
+
+TEST(KernelPacking, PackRowsInterleavesFullBlocksOnly) {
+  const std::size_t rows = 10, cols = 3, lanes = 4;
+  ASSERT_EQ(packed_elems(rows, cols, lanes), (rows / lanes) * cols * lanes);
+  ASSERT_EQ(packed_elems(rows, cols, 0), 0u);
+  std::vector<float> w(rows * cols);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(i);
+  std::vector<float> dst(packed_elems(rows, cols, lanes), -1.0f);
+  pack_rows(w.data(), rows, cols, lanes, dst.data());
+  for (std::size_t b = 0; b < rows / lanes; ++b)
+    for (std::size_t c = 0; c < cols; ++c)
+      for (std::size_t l = 0; l < lanes; ++l)
+        EXPECT_EQ(dst[(b * cols + c) * lanes + l],
+                  w[(b * lanes + l) * cols + c]);
+}
+
+/// set_active_mode is process-global; restore the default on scope exit so
+/// test order cannot leak a scalar override into other suites.
+struct ModeGuard {
+  ~ModeGuard() { set_active_mode("auto"); }
+};
+
+template <typename T>
+void executor_modes_match() {
+  const auto spec = zoo::network_spec(zoo::NetworkId::kConvNet);
+  WeightsBlob blob;
+  {
+    Network<float> seed_net(spec);
+    init_weights(seed_net, 99);
+    blob = extract_weights(seed_net);
+  }
+  Tensor<float> img_f(spec.input);
+  for (std::size_t i = 0; i < img_f.size(); ++i)
+    img_f[i] = 0.01f * static_cast<float>(i % 113) - 0.5f;
+  const Tensor<T> img = tensor::convert<T>(img_f);
+
+  ModeGuard guard;
+  auto run_with = [&](const char* mode) {
+    EXPECT_TRUE(set_active_mode(mode));
+    Network<T> net(spec);  // plan captures the active set at build time
+    load_weights(net, blob);
+    const Executor<T> exec(net.plan());
+    Workspace<T> ws(net.plan());
+    RunRequest<T> req;
+    req.input = img;
+    Tensor<T> out(net.plan().output_shape());
+    out.view().copy_from(exec.run(ws, req));
+    return out;
+  };
+  const Tensor<T> scalar_out = run_with("scalar");
+  const Tensor<T> simd_out = run_with("avx2");
+  EXPECT_TRUE(tensor::bitwise_equal(simd_out, scalar_out));
+}
+
+TEST(KernelDispatch, ExecutorScalarAndAvx2ModesBitIdentical) {
+  if (kernel_set<float>("avx2") == nullptr)
+    GTEST_SKIP() << "avx2 kernels not available on this build/CPU";
+  executor_modes_match<float>();
+  executor_modes_match<numeric::Half>();
+  executor_modes_match<double>();
+}
+
+TEST(KernelDispatch, UnknownModeRejected) {
+  EXPECT_FALSE(set_active_mode("sse9"));
+  EXPECT_TRUE(set_active_mode("auto"));
+}
+
+}  // namespace
+}  // namespace dnnfi::dnn::kernels
