@@ -225,14 +225,13 @@ ConstTensorView<T> Executor<T>::run_faulty(Workspace<T>& ws,
     in.copy_from(g.layer_input(f.layer));
     DNNFI_EXPECTS(f.input_index < in.size());
     const T before = in[f.input_index];
-    const T after =
-        detail::storage_flip(before, f.input_bit, f.input_storage, f.input_burst);
+    const T after = detail::storage_apply(before, f.input_op, f.input_storage);
     in[f.input_index] = after;
     if (req.record != nullptr) {
       req.record->corrupted_before = detail::to_d(before);
       req.record->corrupted_after = detail::to_d(after);
       req.record->zero_to_one =
-          detail::storage_flip_dir(before, f.input_bit, f.input_storage);
+          detail::storage_apply_dir(before, f.input_op, f.input_storage);
       req.record->applied = true;
     }
     plan_->exec_step(f.layer, ConstTensorView<T>(in), a, ws.packed_data());

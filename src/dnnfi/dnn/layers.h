@@ -24,6 +24,7 @@
 #include "dnnfi/common/rng.h"
 #include "dnnfi/dnn/kernels/kernels.h"
 #include "dnnfi/dnn/layer.h"
+#include "dnnfi/fault/fault_op.h"
 #include "dnnfi/numeric/traits.h"
 
 namespace dnnfi::dnn {
@@ -38,27 +39,27 @@ T from_d(double v) {
   return numeric::numeric_traits<T>::from_double(v);
 }
 
-/// Flips a `burst` of adjacent bits starting at `bit`, optionally striking
-/// a reduced storage format (encode -> upset -> decode) instead of the
+/// Applies a mask-based fault operation to `v`, optionally striking a
+/// reduced storage format (encode -> upset -> decode) instead of the
 /// datapath word.
 template <typename T>
-T storage_flip(T v, int bit, const std::optional<numeric::DType>& storage,
-               int burst = 1) {
-  if (!storage) return numeric::flip_burst(v, bit, burst);
+T storage_apply(T v, const fault::FaultOp& op,
+                const std::optional<numeric::DType>& storage) {
+  if (!storage) return fault::apply_op(v, op);
   return from_d<T>(numeric::dispatch_dtype(*storage, [&]<typename S>() {
     using Tr = numeric::numeric_traits<S>;
-    return Tr::to_double(
-        numeric::flip_burst(Tr::from_double(to_d(v)), bit, burst));
+    return Tr::to_double(fault::apply_op(Tr::from_double(to_d(v)), op));
   }));
 }
 
-/// Direction of the flipped bit (0 -> 1?) in the format it struck.
+/// Direction of the lowest affected bit (0 -> 1?) in the format it struck.
 template <typename T>
-bool storage_flip_dir(T v, int bit, const std::optional<numeric::DType>& storage) {
-  if (!storage) return numeric::flip_is_zero_to_one(v, bit);
+bool storage_apply_dir(T v, const fault::FaultOp& op,
+                       const std::optional<numeric::DType>& storage) {
+  if (!storage) return fault::op_zero_to_one(v, op);
   return numeric::dispatch_dtype(*storage, [&]<typename S>() {
-    return numeric::flip_is_zero_to_one(
-        numeric::numeric_traits<S>::from_double(to_d(v)), bit);
+    return fault::op_zero_to_one(
+        numeric::numeric_traits<S>::from_double(to_d(v)), op);
   });
 }
 }  // namespace detail
@@ -147,11 +148,11 @@ class Conv2d final : public Layer<T> {
       const WeightFault& f = *faults.weight;
       DNNFI_EXPECTS(f.weight_index < weights_.size());
       const T w0 = weights_[f.weight_index];
-      const T w1 = detail::storage_flip(w0, f.bit, f.storage, f.burst);
+      const T w1 = detail::storage_apply(w0, f.op, f.storage);
       if (rec != nullptr) {
         rec->corrupted_before = detail::to_d(w0);
         rec->corrupted_after = detail::to_d(w1);
-        rec->zero_to_one = detail::storage_flip_dir(w0, f.bit, f.storage);
+        rec->zero_to_one = detail::storage_apply_dir(w0, f.op, f.storage);
         rec->applied = true;
       }
       // The corrupted weight feeds every MAC of its output channel.
@@ -169,11 +170,11 @@ class Conv2d final : public Layer<T> {
       DNNFI_EXPECTS(f.input_index < in.size());
       DNNFI_EXPECTS(f.out_channel < os.c && f.out_row < os.h);
       const T v0 = in[f.input_index];
-      const T v1 = detail::storage_flip(v0, f.bit, f.storage, f.burst);
+      const T v1 = detail::storage_apply(v0, f.op, f.storage);
       if (rec != nullptr) {
         rec->corrupted_before = detail::to_d(v0);
         rec->corrupted_after = detail::to_d(v1);
-        rec->zero_to_one = detail::storage_flip_dir(v0, f.bit, f.storage);
+        rec->zero_to_one = detail::storage_apply_dir(v0, f.op, f.storage);
         rec->applied = true;
       }
       const Override ov{f.input_index, v1};
@@ -182,6 +183,31 @@ class Conv2d final : public Layer<T> {
         out.at(0, f.out_channel, f.out_row, ox) = compute_one(
             in, f.out_channel, f.out_row, ox, nullptr, nullptr, kNoOverride, ov);
       note_act(rec, rep_before, out.at(0, f.out_channel, f.out_row, 0));
+    }
+    if (faults.column) {
+      // Weight-stationary systolic column propagation (accel::SystolicArray):
+      // every output element still flowing through the struck column after
+      // the strike re-accumulates through the corrupt partial-sum chain.
+      const ColumnFault& f = *faults.column;
+      DNNFI_EXPECTS(f.step < steps() && f.cols > 0 && f.first_out < out.size());
+      const std::size_t plane = os.h * os.w;
+      bool first = true;
+      for (std::size_t e = f.first_out; e < out.size(); ++e) {
+        if ((e / plane) % f.cols != f.col) continue;
+        MacFault mf;
+        mf.out_index = e;
+        mf.step = f.step;
+        mf.site = MacSite::kAccumulator;
+        mf.op = f.op;
+        const auto [co, oy, ox] = unflatten(os, e);
+        const T before = out[e];
+        const T after = compute_one(in, co, oy, ox, &mf,
+                                    first ? rec : nullptr, kNoOverride,
+                                    kNoOverride);
+        out[e] = after;
+        if (first) note_act(rec, before, after);
+        first = false;
+      }
     }
   }
 
@@ -286,22 +312,22 @@ class Conv2d final : public Layer<T> {
 
           const bool fault_here = (mf != nullptr) && (step == mf->step);
           if (fault_here && mf->site == MacSite::kOperandAct) {
-            record_flip(rec, act, mf->bit, mf->burst);
-            act = numeric::flip_burst(act, mf->bit, mf->burst);
+            record_flip(rec, act, mf->op);
+            act = fault::apply_op(act, mf->op);
           }
           if (fault_here && mf->site == MacSite::kOperandWeight) {
-            record_flip(rec, w, mf->bit, mf->burst);
-            w = numeric::flip_burst(w, mf->bit, mf->burst);
+            record_flip(rec, w, mf->op);
+            w = fault::apply_op(w, mf->op);
           }
           T product = w * act;
           if (fault_here && mf->site == MacSite::kProduct) {
-            record_flip(rec, product, mf->bit, mf->burst);
-            product = numeric::flip_burst(product, mf->bit, mf->burst);
+            record_flip(rec, product, mf->op);
+            product = fault::apply_op(product, mf->op);
           }
           acc += product;
           if (fault_here && mf->site == MacSite::kAccumulator) {
-            record_flip(rec, acc, mf->bit, mf->burst);
-            acc = numeric::flip_burst(acc, mf->bit, mf->burst);
+            record_flip(rec, acc, mf->op);
+            acc = fault::apply_op(acc, mf->op);
           }
         }
       }
@@ -310,11 +336,12 @@ class Conv2d final : public Layer<T> {
     return acc;
   }
 
-  static void record_flip(InjectionRecord* rec, T value, int bit, int burst) {
+  static void record_flip(InjectionRecord* rec, T value,
+                          const fault::FaultOp& op) {
     if (rec == nullptr) return;
     rec->corrupted_before = detail::to_d(value);
-    rec->corrupted_after = detail::to_d(numeric::flip_burst(value, bit, burst));
-    rec->zero_to_one = numeric::flip_is_zero_to_one(value, bit);
+    rec->corrupted_after = detail::to_d(fault::apply_op(value, op));
+    rec->zero_to_one = fault::op_zero_to_one(value, op);
     rec->applied = true;
   }
 
@@ -388,13 +415,13 @@ class FullyConnected final : public Layer<T> {
       const WeightFault& f = *faults.weight;
       DNNFI_EXPECTS(f.weight_index < weights_.size());
       const std::size_t o = f.weight_index / in_;
-      const T w1 = detail::storage_flip(weights_[f.weight_index], f.bit,
-                                        f.storage, f.burst);
+      const T w1 =
+          detail::storage_apply(weights_[f.weight_index], f.op, f.storage);
       if (rec != nullptr) {
         rec->corrupted_before = detail::to_d(weights_[f.weight_index]);
         rec->corrupted_after = detail::to_d(w1);
-        rec->zero_to_one = detail::storage_flip_dir(weights_[f.weight_index],
-                                                    f.bit, f.storage);
+        rec->zero_to_one = detail::storage_apply_dir(weights_[f.weight_index],
+                                                     f.op, f.storage);
         rec->applied = true;
       }
       const T before = out[o];
@@ -406,19 +433,37 @@ class FullyConnected final : public Layer<T> {
       const ScopedInputFault& f = *faults.scoped_input;
       DNNFI_EXPECTS(f.input_index < in.size());
       DNNFI_EXPECTS(f.out_channel < out_);
-      const T v1 = detail::storage_flip(in[f.input_index], f.bit, f.storage,
-                                        f.burst);
+      const T v1 = detail::storage_apply(in[f.input_index], f.op, f.storage);
       if (rec != nullptr) {
         rec->corrupted_before = detail::to_d(in[f.input_index]);
         rec->corrupted_after = detail::to_d(v1);
-        rec->zero_to_one = detail::storage_flip_dir(in[f.input_index], f.bit,
-                                                    f.storage);
+        rec->zero_to_one =
+            detail::storage_apply_dir(in[f.input_index], f.op, f.storage);
         rec->applied = true;
       }
       const T before = out[f.out_channel];
       out[f.out_channel] = compute_one(in, f.out_channel, nullptr, nullptr,
                                        std::nullopt, Override{f.input_index, v1});
       note_act(rec, before, out[f.out_channel]);
+    }
+    if (faults.column) {
+      // Systolic column propagation: FC output o maps onto column o % cols.
+      const ColumnFault& f = *faults.column;
+      DNNFI_EXPECTS(f.step < in_ && f.cols > 0 && f.first_out < out_);
+      bool first = true;
+      for (std::size_t o = f.first_out; o < out_; ++o) {
+        if (o % f.cols != f.col) continue;
+        MacFault mf;
+        mf.out_index = o;
+        mf.step = f.step;
+        mf.site = MacSite::kAccumulator;
+        mf.op = f.op;
+        const T before = out[o];
+        out[o] = compute_one(in, o, &mf, first ? rec : nullptr, std::nullopt,
+                             std::nullopt);
+        if (first) note_act(rec, before, out[o]);
+        first = false;
+      }
     }
   }
 
@@ -466,33 +511,34 @@ class FullyConnected final : public Layer<T> {
       if (w_over && w_over->index == base + i) w = w_over->value;
       const bool fault_here = (mf != nullptr) && (i == mf->step);
       if (fault_here && mf->site == MacSite::kOperandAct) {
-        record_flip(rec, act, mf->bit, mf->burst);
-        act = numeric::flip_burst(act, mf->bit, mf->burst);
+        record_flip(rec, act, mf->op);
+        act = fault::apply_op(act, mf->op);
       }
       if (fault_here && mf->site == MacSite::kOperandWeight) {
-        record_flip(rec, w, mf->bit, mf->burst);
-        w = numeric::flip_burst(w, mf->bit, mf->burst);
+        record_flip(rec, w, mf->op);
+        w = fault::apply_op(w, mf->op);
       }
       T product = w * act;
       if (fault_here && mf->site == MacSite::kProduct) {
-        record_flip(rec, product, mf->bit, mf->burst);
-        product = numeric::flip_burst(product, mf->bit, mf->burst);
+        record_flip(rec, product, mf->op);
+        product = fault::apply_op(product, mf->op);
       }
       acc += product;
       if (fault_here && mf->site == MacSite::kAccumulator) {
-        record_flip(rec, acc, mf->bit, mf->burst);
-        acc = numeric::flip_burst(acc, mf->bit, mf->burst);
+        record_flip(rec, acc, mf->op);
+        acc = fault::apply_op(acc, mf->op);
       }
     }
     acc += bias_[o];
     return acc;
   }
 
-  static void record_flip(InjectionRecord* rec, T value, int bit, int burst) {
+  static void record_flip(InjectionRecord* rec, T value,
+                          const fault::FaultOp& op) {
     if (rec == nullptr) return;
     rec->corrupted_before = detail::to_d(value);
-    rec->corrupted_after = detail::to_d(numeric::flip_burst(value, bit, burst));
-    rec->zero_to_one = numeric::flip_is_zero_to_one(value, bit);
+    rec->corrupted_after = detail::to_d(fault::apply_op(value, op));
+    rec->zero_to_one = fault::op_zero_to_one(value, op);
     rec->applied = true;
   }
 

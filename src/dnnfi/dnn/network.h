@@ -64,12 +64,11 @@ struct Trace {
 /// visible to every consumer).
 struct AppliedFault {
   std::size_t layer = 0;       ///< target layer index (conv/FC)
-  LayerFaults faults;          ///< latch / filter-SRAM / img-REG faults
+  LayerFaults faults;          ///< latch / SRAM / REG / column faults
   bool flip_layer_input = false;  ///< global-buffer model: corrupt input ACT
-  std::size_t input_index = 0;    ///< flat index of the input ACT to flip
-  int input_bit = 0;
-  int input_burst = 1;            ///< adjacent bits flipped
-  /// Reduced storage format for the flipped input word, if any.
+  std::size_t input_index = 0;    ///< flat index of the input ACT to corrupt
+  fault::FaultOp input_op;        ///< mask operation applied to that word
+  /// Reduced storage format for the corrupted input word, if any.
   std::optional<numeric::DType> input_storage;
 };
 

@@ -105,10 +105,14 @@ struct Campaign::TypedBackend final : Campaign::Backend {
 
   void write_checkpoint(const ShardSpec& shard, std::uint64_t fingerprint,
                         std::uint64_t total, std::uint64_t begin,
-                        std::uint64_t end, const ShardResult& st) const {
+                        std::uint64_t end, const ShardResult& st,
+                        const std::string& accel_id,
+                        const std::string& op_id) const {
     ShardCheckpoint ck;
     ck.fingerprint = fingerprint;
     ck.network = net.spec().name;
+    ck.accel = accel_id;
+    ck.fault_op = op_id;
     ck.trials_total = total;
     ck.shard_begin = begin;
     ck.shard_end = end;
@@ -126,6 +130,23 @@ struct Campaign::TypedBackend final : Campaign::Backend {
     const std::uint64_t begin = shard.begin;
     const std::uint64_t end = shard.end == 0 ? total : shard.end;
     DNNFI_EXPECTS(begin <= end && end <= total);
+
+    // Geometry the shard samples from and lowers through. The default
+    // (Eyeriss) reuses the backend's precomputed sampler so the hot path is
+    // unchanged; other geometries build their model + sampler per run.
+    const std::string accel_id = opt.accel.to_string();
+    const std::string op_id = opt.constraint.op_spec().to_string();
+    std::unique_ptr<accel::AcceleratorModel> owned_model;
+    const accel::AcceleratorModel* model = &accel::eyeriss_model();
+    const Sampler* sampler = &site_sampler;
+    std::optional<Sampler> shard_sampler;
+    if (!opt.accel.is_eyeriss()) {
+      owned_model = accel::make_accelerator(opt.accel);
+      model = owned_model.get();
+      shard_sampler.emplace(net.spec(), numeric::dtype_of<T>(), *model);
+      sampler = &*shard_sampler;
+    }
+    DNNFI_EXPECTS(model->supports(opt.site));
 
     ShardResult st;
     st.acc = OutcomeAccumulator(ends.size());
@@ -150,6 +171,10 @@ struct Campaign::TypedBackend final : Campaign::Backend {
                 std::to_string(ck.trials_total) + " trials, run requests [" +
                 std::to_string(begin) + ", " + std::to_string(end) + ") of " +
                 std::to_string(total) + ")");
+      if (auto axes = validate_checkpoint_axes(ck, accel_id, op_id); !axes.ok())
+        throw CheckpointError(axes.error().code,
+                              "checkpoint " + shard.checkpoint + ": " +
+                                  axes.error().message);
       st.acc = std::move(ck.acc);
       st.next_trial = ck.next_trial;
       st.masked_exits = ck.masked_exits;
@@ -249,8 +274,8 @@ struct Campaign::TypedBackend final : Campaign::Backend {
           Pending p;
           p.idx = i;
           p.input = static_cast<std::size_t>(trial % caches.size());
-          p.fd = site_sampler.sample(opt.site, rng, opt.constraint);
-          p.af = lower(p.fd, net.mac_layers());
+          p.fd = sampler->sample(opt.site, rng, opt.constraint);
+          p.af = lower(p.fd, net.mac_layers(), *model);
           pending.push_back(p);
         }
         std::sort(pending.begin(), pending.end(),
@@ -362,7 +387,8 @@ struct Campaign::TypedBackend final : Campaign::Backend {
       if (sink)
         for (std::size_t i = 0; i < count; ++i) (*sink)(b0 + i, recbuf[i]);
       if (!shard.checkpoint.empty())
-        write_checkpoint(shard, fingerprint, total, begin, end, st);
+        write_checkpoint(shard, fingerprint, total, begin, end, st, accel_id,
+                         op_id);
       if (opt.progress) {
         const double secs =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -398,7 +424,8 @@ struct Campaign::TypedBackend final : Campaign::Backend {
     // An empty shard (or one already finished on disk) never enters the
     // loop; still leave a checkpoint behind so resume tooling sees it.
     if (!shard.checkpoint.empty() && ran == 0 && !st.resumed)
-      write_checkpoint(shard, fingerprint, total, begin, end, st);
+      write_checkpoint(shard, fingerprint, total, begin, end, st, accel_id,
+                       op_id);
     return st;
   }
 
@@ -476,6 +503,14 @@ std::uint64_t Campaign::fingerprint(const CampaignOptions& opt) const {
   // The detector is a std::function and cannot be fingerprinted; record its
   // presence only. Resuming with a *different* detector is on the caller.
   w.u8(opt.detector ? 1 : 0);
+  // Accelerator-geometry / fault-op axes fold in only when non-default, so
+  // every pre-geometry campaign keeps its historical fingerprint (and its
+  // checkpoints and stats files keep matching).
+  if (!opt.accel.is_eyeriss() || c.op_kind != FaultOpKind::kToggle ||
+      c.op_pattern != 0) {
+    w.str(opt.accel.to_string());
+    w.str(c.op_spec().to_string());
+  }
   return fingerprint64(w.bytes().data(), w.bytes().size());
 }
 

@@ -58,6 +58,11 @@ struct CampaignOptions {
   std::uint64_t seed = 2017;
   SampleConstraint constraint;
 
+  /// Accelerator geometry trials sample from and lower through. The default
+  /// (Eyeriss) reproduces the paper's site inventory — and the pre-geometry
+  /// campaign bytes — exactly; `site` must be in the geometry's inventory.
+  accel::AcceleratorConfig accel;
+
   /// Optional symptom detector: returns true when `value` observed at the
   /// end of logical layer `block` is anomalous. A trial is "detected" when
   /// any checked activation fires. Checks run at block-end layers only

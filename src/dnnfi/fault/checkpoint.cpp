@@ -22,6 +22,8 @@ Expected<void> try_save_shard_checkpoint(const std::string& path,
   ByteWriter payload;
   payload.u64(ck.fingerprint);
   payload.str(ck.network);
+  payload.str(ck.accel);
+  payload.str(ck.fault_op);
   payload.u64(ck.trials_total);
   payload.u64(ck.shard_begin);
   payload.u64(ck.shard_end);
@@ -85,6 +87,8 @@ Expected<ShardCheckpoint> try_load_shard_checkpoint(const std::string& path) {
     ShardCheckpoint ck;
     ck.fingerprint = r.u64();
     ck.network = r.str();
+    ck.accel = r.str();
+    ck.fault_op = r.str();
     ck.trials_total = r.u64();
     ck.shard_begin = r.u64();
     ck.shard_end = r.u64();
@@ -128,6 +132,20 @@ ShardCheckpoint load_shard_checkpoint(const std::string& path) {
   auto loaded = try_load_shard_checkpoint(path);
   if (!loaded.ok()) throw CheckpointError(loaded.error());
   return std::move(loaded).value();
+}
+
+Expected<void> validate_checkpoint_axes(const ShardCheckpoint& ck,
+                                        const std::string& accel,
+                                        const std::string& fault_op) {
+  if (ck.accel != accel)
+    return fail(Errc::kFingerprintMismatch,
+                "checkpoint was produced on accelerator '" + ck.accel +
+                    "' but this campaign runs '" + accel + "'");
+  if (ck.fault_op != fault_op)
+    return fail(Errc::kFingerprintMismatch,
+                "checkpoint was produced with fault op '" + ck.fault_op +
+                    "' but this campaign runs '" + fault_op + "'");
+  return {};
 }
 
 }  // namespace dnnfi::fault

@@ -7,12 +7,16 @@
 //
 //   offset  size  field
 //   0       8     magic "DNNFICKP"
-//   8       4     format version (currently 3)
+//   8       4     format version (currently 4)
 //   12      4     CRC-32 of the payload
 //   16      8     payload size in bytes
 //   24      ...   payload (ByteWriter stream):
 //                   u64 fingerprint       — campaign-config fold (below)
 //                   str network name      — diagnostics only
+//                   str accel             — v4: geometry identity, e.g.
+//                                           "eyeriss", "systolic:16x16"
+//                   str fault_op          — v4: op identity, e.g. "toggle",
+//                                           "set1:0x5"
 //                   u64 trials_total      — opt.trials of the whole campaign
 //                   u64 shard_begin, shard_end
 //                   u64 next_trial        — first trial index NOT yet folded
@@ -21,10 +25,11 @@
 //                   u64 aborted count + u64[count] — v3: quarantined trials
 //                   ...  OutcomeAccumulator::serialize
 //
-// Version history: v1 lacked masked_exits; v2 lacked aborted_trials. Loads
-// of older files fail with a version error (campaign semantics are
-// unchanged, but mixing counters across formats silently would corrupt
-// masked-rate and quarantine reporting).
+// Version history: v1 lacked masked_exits; v2 lacked aborted_trials; v3
+// lacked the accelerator-geometry / fault-op identity strings. Loads of
+// older files fail with a version error (campaign semantics are unchanged,
+// but mixing counters across formats silently would corrupt masked-rate,
+// quarantine, and cross-geometry reporting).
 //
 // Every structural defect — bad magic, unknown version, CRC mismatch,
 // truncation — is reported with a typed Errc (error.h) naming the file and
@@ -68,12 +73,16 @@ class CheckpointError : public std::runtime_error {
 
 inline constexpr char kCheckpointMagic[8] = {'D', 'N', 'N', 'F',
                                              'I', 'C', 'K', 'P'};
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 /// One shard's persistent state.
 struct ShardCheckpoint {
   std::uint64_t fingerprint = 0;  ///< campaign-config fold (campaign.h)
   std::string network;            ///< spec name, for diagnostics
+  /// Canonical accelerator-geometry identity the shard ran on (new in v4).
+  std::string accel = "eyeriss";
+  /// Canonical fault-operation identity (FaultOpSpec::to_string; v4).
+  std::string fault_op = "toggle";
   std::uint64_t trials_total = 0;
   std::uint64_t shard_begin = 0;
   std::uint64_t shard_end = 0;
@@ -104,5 +113,13 @@ void save_shard_checkpoint(const std::string& path, const ShardCheckpoint& ck);
 
 /// Throwing wrapper over try_load_shard_checkpoint.
 ShardCheckpoint load_shard_checkpoint(const std::string& path);
+
+/// Validates that a loaded checkpoint was produced on the given accelerator
+/// geometry and fault operation (canonical identity strings). Fails with
+/// kFingerprintMismatch naming both sides — resuming a shard under a
+/// different geometry/op would silently merge incomparable trials.
+Expected<void> validate_checkpoint_axes(const ShardCheckpoint& ck,
+                                        const std::string& accel,
+                                        const std::string& fault_op);
 
 }  // namespace dnnfi::fault

@@ -8,53 +8,22 @@
 #include <optional>
 #include <string>
 
+#include "dnnfi/accel/accelerator.h"
 #include "dnnfi/accel/datapath.h"
 #include "dnnfi/accel/eyeriss.h"
+#include "dnnfi/fault/fault_op.h"
 #include "dnnfi/numeric/dtype.h"
 
 namespace dnnfi::fault {
 
-/// Where the upset physically originates (paper §4.3: datapath latches and
-/// buffers, inside and outside PEs).
-enum class SiteClass {
-  kDatapathLatch,  ///< PE MAC latches (Fig 1b); read exactly once
-  kGlobalBuffer,   ///< shared buffer ifmap word; reused by all consumers
-  kFilterSram,     ///< per-PE weight word; reused across the whole fmap
-  kImgReg,         ///< per-PE ifmap-row register; reused along one row
-  kPsumReg,        ///< per-PE partial-sum register; read by next accumulate
-};
-
-inline constexpr std::array<SiteClass, 5> kAllSiteClasses = {
-    SiteClass::kDatapathLatch, SiteClass::kGlobalBuffer,
-    SiteClass::kFilterSram, SiteClass::kImgReg, SiteClass::kPsumReg};
-
-inline constexpr std::array<SiteClass, 4> kBufferSiteClasses = {
-    SiteClass::kGlobalBuffer, SiteClass::kFilterSram, SiteClass::kImgReg,
-    SiteClass::kPsumReg};
-
-constexpr const char* site_class_name(SiteClass c) {
-  switch (c) {
-    case SiteClass::kDatapathLatch: return "datapath";
-    case SiteClass::kGlobalBuffer:  return "global-buffer";
-    case SiteClass::kFilterSram:    return "filter-sram";
-    case SiteClass::kImgReg:        return "img-reg";
-    case SiteClass::kPsumReg:       return "psum-reg";
-  }
-  return "?";
-}
-
-/// Maps a buffer site class to the Eyeriss structure it models.
-constexpr accel::BufferKind buffer_of(SiteClass c) {
-  switch (c) {
-    case SiteClass::kGlobalBuffer: return accel::BufferKind::kGlobalBuffer;
-    case SiteClass::kFilterSram:   return accel::BufferKind::kFilterSram;
-    case SiteClass::kImgReg:       return accel::BufferKind::kImgReg;
-    case SiteClass::kPsumReg:      return accel::BufferKind::kPsumReg;
-    case SiteClass::kDatapathLatch: break;
-  }
-  DNNFI_EXPECTS(false);
-  return accel::BufferKind::kGlobalBuffer;
-}
+// The site taxonomy lives with the accelerator geometries (each model
+// declares which classes it implements); re-exported here so fault-module
+// consumers keep spelling `fault::SiteClass` etc.
+using accel::SiteClass;
+using accel::kAllSiteClasses;
+using accel::kBufferSiteClasses;
+using accel::site_class_name;
+using accel::buffer_of;
 
 /// One sampled single-event upset.
 struct FaultDescriptor {
@@ -69,6 +38,8 @@ struct FaultDescriptor {
   ///   datapath / psum-reg : flat output-element index
   ///   filter-sram         : flat weight index
   ///   global-buffer/img-reg: flat input-element index
+  /// Exception: a systolic operand-weight latch strike holds the flat
+  /// weight index of the stationary weight (see accel::SystolicArray).
   std::size_t element = 0;
   std::size_t step = 0;  ///< accumulation step (datapath / psum-reg)
 
@@ -76,14 +47,30 @@ struct FaultDescriptor {
   std::size_t out_channel = 0;
   std::size_t out_row = 0;
 
-  int bit = 0;    ///< first flipped bit, 0 = LSB
-  int burst = 1;  ///< adjacent bits flipped (1 = SEU; >1 = multi-bit upset)
+  int bit = 0;    ///< first affected bit, 0 = LSB
+  int burst = 1;  ///< adjacent bits affected (1 = SEU; >1 = multi-bit upset)
+
+  /// The fault operation applied to the struck word. The sampler always
+  /// fills it; a default-constructed (identity) op means "legacy toggle
+  /// burst of (bit, burst)" so hand-built descriptors keep working.
+  FaultOp op;
+
+  /// Geometry the site was sampled on. Drives describe(); the campaign
+  /// lowers through the matching accel::AcceleratorModel.
+  accel::AcceleratorKind geom = accel::AcceleratorKind::kEyeriss;
+  std::size_t pe_row = 0;  ///< struck PE row (array geometries)
+  std::size_t pe_col = 0;  ///< struck PE column (array geometries)
 
   /// Reduced-precision buffer storage (Proteus-style protocol, the paper's
   /// deferred future work): when set, the upset strikes the value as
   /// *stored* in this format; the datapath still computes in its own type.
   /// Only meaningful for buffer site classes.
   std::optional<numeric::DType> storage;
+
+  /// The operation to apply, resolving the legacy identity-op convention.
+  FaultOp effective_op() const {
+    return op.is_identity() ? FaultOp::flip(bit, burst) : op;
+  }
 
   /// Human-readable one-liner for logs and examples.
   std::string describe() const;

@@ -2,78 +2,25 @@
 
 namespace dnnfi::fault {
 
-namespace {
-
-dnn::MacSite to_mac_site(accel::DatapathLatch l) {
-  switch (l) {
-    case accel::DatapathLatch::kOperandAct:    return dnn::MacSite::kOperandAct;
-    case accel::DatapathLatch::kOperandWeight: return dnn::MacSite::kOperandWeight;
-    case accel::DatapathLatch::kProduct:       return dnn::MacSite::kProduct;
-    case accel::DatapathLatch::kAccumulator:   return dnn::MacSite::kAccumulator;
-  }
-  DNNFI_EXPECTS(false);
-  return dnn::MacSite::kAccumulator;
-}
-
-}  // namespace
-
 dnn::AppliedFault lower(const FaultDescriptor& f,
-                        const std::vector<std::size_t>& mac_layers) {
+                        const std::vector<std::size_t>& mac_layers,
+                        const accel::AcceleratorModel& model) {
   DNNFI_EXPECTS(f.mac_ordinal < mac_layers.size());
+  // A descriptor sampled on one geometry must lower through the same
+  // geometry: the site coordinates only mean something there.
+  DNNFI_EXPECTS(f.geom == model.config().kind);
+  accel::SiteCoords c;
+  c.cls = f.cls;
+  c.latch = f.latch;
+  c.element = f.element;
+  c.step = f.step;
+  c.out_channel = f.out_channel;
+  c.out_row = f.out_row;
+  c.pe_row = f.pe_row;
+  c.pe_col = f.pe_col;
   dnn::AppliedFault a;
   a.layer = mac_layers[f.mac_ordinal];
-  switch (f.cls) {
-    case SiteClass::kDatapathLatch: {
-      dnn::MacFault m;
-      m.out_index = f.element;
-      m.step = f.step;
-      m.site = to_mac_site(f.latch);
-      m.bit = f.bit;
-      m.burst = f.burst;
-      a.faults.mac = m;
-      break;
-    }
-    case SiteClass::kPsumReg: {
-      // A PSum-REG upset is consumed by the next accumulation of its output
-      // element: identical semantics to an accumulator-latch flip.
-      dnn::MacFault m;
-      m.out_index = f.element;
-      m.step = f.step;
-      m.site = dnn::MacSite::kAccumulator;
-      m.bit = f.bit;
-      m.burst = f.burst;
-      a.faults.mac = m;
-      break;
-    }
-    case SiteClass::kFilterSram: {
-      dnn::WeightFault w;
-      w.weight_index = f.element;
-      w.bit = f.bit;
-      w.burst = f.burst;
-      w.storage = f.storage;
-      a.faults.weight = w;
-      break;
-    }
-    case SiteClass::kImgReg: {
-      dnn::ScopedInputFault s;
-      s.input_index = f.element;
-      s.out_channel = f.out_channel;
-      s.out_row = f.out_row;
-      s.bit = f.bit;
-      s.burst = f.burst;
-      s.storage = f.storage;
-      a.faults.scoped_input = s;
-      break;
-    }
-    case SiteClass::kGlobalBuffer: {
-      a.flip_layer_input = true;
-      a.input_index = f.element;
-      a.input_bit = f.bit;
-      a.input_burst = f.burst;
-      a.input_storage = f.storage;
-      break;
-    }
-  }
+  model.lower_site(c, f.effective_op(), f.storage, a);
   return a;
 }
 

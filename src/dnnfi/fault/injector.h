@@ -8,6 +8,7 @@
 // see it, so fault coordinates mean the same thing under every kernel set.
 #pragma once
 
+#include "dnnfi/accel/accelerator.h"
 #include "dnnfi/dnn/executor.h"
 #include "dnnfi/dnn/network.h"
 #include "dnnfi/fault/descriptor.h"
@@ -15,9 +16,11 @@
 namespace dnnfi::fault {
 
 /// Lowers a sampled hardware fault onto the layer-level hook the network
-/// executes. `mac_layers` maps MAC ordinals to NetworkSpec layer indices.
-dnn::AppliedFault lower(const FaultDescriptor& f,
-                        const std::vector<std::size_t>& mac_layers);
+/// executes, through the geometry the fault was sampled on. `mac_layers`
+/// maps MAC ordinals to NetworkSpec layer indices.
+dnn::AppliedFault lower(
+    const FaultDescriptor& f, const std::vector<std::size_t>& mac_layers,
+    const accel::AcceleratorModel& model = accel::eyeriss_model());
 
 /// Runs one faulty inference against a cached golden trace on the compiled
 /// engine: zero heap allocations after the workspace is warm. Returns a
@@ -28,8 +31,9 @@ tensor::ConstTensorView<T> inject(
     const dnn::Executor<T>& exec, dnn::Workspace<T>& ws,
     const std::vector<std::size_t>& mac_layers, const dnn::Trace<T>& golden,
     const FaultDescriptor& f, dnn::InjectionRecord* rec = nullptr,
-    const dnn::LayerObserver<T>* observer = nullptr) {
-  const dnn::AppliedFault af = lower(f, mac_layers);
+    const dnn::LayerObserver<T>* observer = nullptr,
+    const accel::AcceleratorModel& model = accel::eyeriss_model()) {
+  const dnn::AppliedFault af = lower(f, mac_layers, model);
   dnn::RunRequest<T> req;
   req.golden = &golden;
   req.fault = &af;
@@ -50,8 +54,9 @@ tensor::ConstTensorView<T> inject(
     const dnn::ActivationCache<T>& cache, const FaultDescriptor& f,
     bool early_exit = true, dnn::ReplayInfo* replay = nullptr,
     dnn::InjectionRecord* rec = nullptr,
-    const dnn::LayerObserver<T>* observer = nullptr) {
-  const dnn::AppliedFault af = lower(f, mac_layers);
+    const dnn::LayerObserver<T>* observer = nullptr,
+    const accel::AcceleratorModel& model = accel::eyeriss_model()) {
+  const dnn::AppliedFault af = lower(f, mac_layers, model);
   dnn::RunRequest<T> req;
   req.cache = &cache;
   req.fault = &af;

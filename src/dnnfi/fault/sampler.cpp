@@ -6,8 +6,12 @@ namespace dnnfi::fault {
 
 using accel::LayerFootprint;
 
-Sampler::Sampler(const dnn::NetworkSpec& spec, numeric::DType dtype)
-    : spec_(spec), dtype_(dtype), footprints_(accel::analyze(spec)) {}
+Sampler::Sampler(const dnn::NetworkSpec& spec, numeric::DType dtype,
+                 const accel::AcceleratorModel& model)
+    : spec_(spec),
+      dtype_(dtype),
+      model_(&model),
+      footprints_(accel::analyze(spec)) {}
 
 std::size_t Sampler::pick_layer(SiteClass cls, Rng& rng,
                                 const SampleConstraint& constraint) const {
@@ -19,7 +23,7 @@ std::size_t Sampler::pick_layer(SiteClass cls, Rng& rng,
     if (constraint.fixed_block && fp.block != *constraint.fixed_block) continue;
     double w = static_cast<double>(fp.macs);
     if (cls != SiteClass::kDatapathLatch)
-      w *= static_cast<double>(accel::occupied_elems(fp, buffer_of(cls)));
+      w *= static_cast<double>(model_->occupied_elems(fp, cls));
     weight[i] = w;
     total += w;
   }
@@ -38,6 +42,7 @@ std::size_t Sampler::pick_layer(SiteClass cls, Rng& rng,
 
 FaultDescriptor Sampler::sample(SiteClass cls, Rng& rng,
                                 const SampleConstraint& constraint) const {
+  DNNFI_EXPECTS(model_->supports(cls));
   const std::size_t ordinal = pick_layer(cls, rng, constraint);
   const LayerFootprint& fp = footprints_[ordinal];
 
@@ -46,6 +51,7 @@ FaultDescriptor Sampler::sample(SiteClass cls, Rng& rng,
   f.mac_ordinal = ordinal;
   f.layer_index = fp.layer_index;
   f.block = fp.block;
+  f.geom = model_->config().kind;
   if (cls != SiteClass::kDatapathLatch && constraint.buffer_storage)
     f.storage = constraint.buffer_storage;
   const int width = f.storage ? numeric::dtype_width(*f.storage)
@@ -56,57 +62,17 @@ FaultDescriptor Sampler::sample(SiteClass cls, Rng& rng,
   DNNFI_EXPECTS(f.bit >= 0 && f.bit < width);
   DNNFI_EXPECTS(constraint.burst >= 1);
   f.burst = constraint.burst;
+  f.op = constraint.op_spec().at(f.bit);
 
-  switch (cls) {
-    case SiteClass::kDatapathLatch: {
-      f.latch = constraint.fixed_latch
-                    ? *constraint.fixed_latch
-                    : accel::kAllDatapathLatches[rng.below(
-                          accel::kAllDatapathLatches.size())];
-      f.element = rng.below(fp.output_elems);
-      f.step = rng.below(fp.steps);
-      break;
-    }
-    case SiteClass::kPsumReg: {
-      f.element = rng.below(fp.output_elems);
-      f.step = rng.below(fp.steps);
-      break;
-    }
-    case SiteClass::kFilterSram: {
-      f.element = rng.below(fp.weight_elems);
-      break;
-    }
-    case SiteClass::kGlobalBuffer: {
-      f.element = rng.below(fp.input_elems);
-      break;
-    }
-    case SiteClass::kImgReg: {
-      f.element = rng.below(fp.input_elems);
-      if (fp.is_conv) {
-        // Find the conv spec to honor stride/pad/kernel geometry.
-        const dnn::LayerSpec& ls = spec_.layers[fp.layer_index];
-        f.out_channel = rng.below(fp.out_shape.c);
-        // Output rows whose receptive field covers the faulty input row iy:
-        // oy*stride + ky - pad == iy for some ky in [0, k).
-        const std::size_t iy = (f.element / fp.in_shape.w) % fp.in_shape.h;
-        std::vector<std::size_t> rows;
-        for (std::size_t oy = 0; oy < fp.out_shape.h; ++oy) {
-          const auto lo = static_cast<std::ptrdiff_t>(oy * ls.stride) -
-                          static_cast<std::ptrdiff_t>(ls.pad);
-          const auto hi = lo + static_cast<std::ptrdiff_t>(ls.kernel) - 1;
-          const auto y = static_cast<std::ptrdiff_t>(iy);
-          if (y >= lo && y <= hi) rows.push_back(oy);
-        }
-        DNNFI_EXPECTS(!rows.empty());
-        f.out_row = rows[rng.below(rows.size())];
-      } else {
-        // FC: the staged input feeds one output neuron per REG residency.
-        f.out_channel = rng.below(fp.output_elems);
-        f.out_row = 0;
-      }
-      break;
-    }
-  }
+  const accel::SiteCoords c = model_->sample_site(
+      cls, fp, spec_.layers[fp.layer_index], rng, constraint.fixed_latch);
+  f.latch = c.latch;
+  f.element = c.element;
+  f.step = c.step;
+  f.out_channel = c.out_channel;
+  f.out_row = c.out_row;
+  f.pe_row = c.pe_row;
+  f.pe_col = c.pe_col;
   return f;
 }
 

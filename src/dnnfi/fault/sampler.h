@@ -7,11 +7,16 @@
 // itself is uniform over the occupied footprint. Faults landing in
 // unoccupied buffer space are architecturally masked and therefore excluded
 // from sampling (the FIT model accounts for occupancy — DESIGN.md §4/5).
+//
+// Within-layer coordinates come from the accelerator geometry
+// (accel::AcceleratorModel::sample_site): Eyeriss reproduces the seed draw
+// order bit-for-bit; other geometries define their own site inventory.
 #pragma once
 
 #include <optional>
 #include <vector>
 
+#include "dnnfi/accel/accelerator.h"
 #include "dnnfi/accel/dataflow.h"
 #include "dnnfi/common/rng.h"
 #include "dnnfi/fault/descriptor.h"
@@ -27,16 +32,29 @@ struct SampleConstraint {
   /// Reduced-precision buffer storage: buffer upsets strike this format
   /// (and bits are sampled within its width) instead of the datapath type.
   std::optional<numeric::DType> buffer_storage;
-  /// Adjacent bits flipped per strike (1 = the paper's SEU model).
+  /// Adjacent bits affected per strike (1 = the paper's SEU model).
   int burst = 1;
+  /// Fault operation applied at the sampled bit: toggle (default, the
+  /// paper's XOR model), stuck-at-0, or stuck-at-1.
+  FaultOpKind op_kind = FaultOpKind::kToggle;
+  /// Arbitrary multi-bit footprint, relative to the sampled bit (anchored
+  /// at its lowest set bit). Zero = contiguous burst of `burst` bits.
+  std::uint64_t op_pattern = 0;
+
+  /// The op descriptor these fields select (bit-position independent).
+  FaultOpSpec op_spec() const noexcept {
+    return FaultOpSpec{op_kind, burst, op_pattern};
+  }
 };
 
-/// Samples fault descriptors for one (topology, dtype) pair.
+/// Samples fault descriptors for one (topology, dtype, geometry) triple.
 class Sampler {
  public:
-  Sampler(const dnn::NetworkSpec& spec, numeric::DType dtype);
+  Sampler(const dnn::NetworkSpec& spec, numeric::DType dtype,
+          const accel::AcceleratorModel& model = accel::eyeriss_model());
 
-  /// Draws one fault site of class `cls` from `rng`.
+  /// Draws one fault site of class `cls` from `rng`. `cls` must be in the
+  /// geometry's site inventory (model().supports(cls)).
   FaultDescriptor sample(SiteClass cls, Rng& rng,
                          const SampleConstraint& constraint = {}) const;
 
@@ -44,6 +62,7 @@ class Sampler {
     return footprints_;
   }
   numeric::DType dtype() const noexcept { return dtype_; }
+  const accel::AcceleratorModel& model() const noexcept { return *model_; }
 
  private:
   std::size_t pick_layer(SiteClass cls, Rng& rng,
@@ -51,6 +70,7 @@ class Sampler {
 
   dnn::NetworkSpec spec_;
   numeric::DType dtype_;
+  const accel::AcceleratorModel* model_;
   std::vector<accel::LayerFootprint> footprints_;
 };
 

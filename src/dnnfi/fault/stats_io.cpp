@@ -9,9 +9,18 @@ namespace dnnfi::fault {
 
 void write_stats(std::ostream& os, std::uint64_t fingerprint,
                  const OutcomeAccumulator& acc, std::uint64_t masked_exits,
-                 const std::vector<std::uint64_t>& aborted_trials) {
-  os << "dnnfi-campaign-stats v3\n";
-  os << "fingerprint " << fingerprint << "\n";
+                 const std::vector<std::uint64_t>& aborted_trials,
+                 const StatsAxes& axes) {
+  // Default axes emit the exact v3 bytes: pre-refactor stats diff clean.
+  if (axes.is_default()) {
+    os << "dnnfi-campaign-stats v3\n";
+    os << "fingerprint " << fingerprint << "\n";
+  } else {
+    os << "dnnfi-campaign-stats v4\n";
+    os << "fingerprint " << fingerprint << "\n";
+    os << "accel " << axes.accel << "\n";
+    os << "fault_op " << axes.fault_op << "\n";
+  }
   os << "trials " << acc.trials() << "\n";
   os << "masked_exits " << masked_exits << "\n";
   os << "aborted " << aborted_trials.size() << "\n";
@@ -40,9 +49,9 @@ void write_stats(std::ostream& os, std::uint64_t fingerprint,
 Expected<void> write_stats_file(
     const std::string& path, std::uint64_t fingerprint,
     const OutcomeAccumulator& acc, std::uint64_t masked_exits,
-    const std::vector<std::uint64_t>& aborted_trials) {
+    const std::vector<std::uint64_t>& aborted_trials, const StatsAxes& axes) {
   std::ostringstream os;
-  write_stats(os, fingerprint, acc, masked_exits, aborted_trials);
+  write_stats(os, fingerprint, acc, masked_exits, aborted_trials, axes);
   auto written = write_file_atomic(path, os.str());
   if (!written.ok())
     return fail(Errc::kIo, "stats file " + path + ": " +

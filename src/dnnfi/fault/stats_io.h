@@ -2,10 +2,14 @@
 // text, so bit-identity across shardings/processes is a plain `diff`.
 // Counters print in decimal and doubles as C99 hex floats (no rounding).
 //
-// Format (v3):
+// Format (v3; v4 when non-default axes are selected):
 //
 //   dnnfi-campaign-stats v3
 //   fingerprint <u64>
+//   accel <geometry>            — v4 only: emitted when the campaign ran a
+//   fault_op <op>                 non-default accelerator geometry or fault
+//                                 op; default campaigns keep the exact v3
+//                                 bytes so pre-refactor stats diff clean
 //   trials <n>
 //   masked_exits <n>            — how trials were *executed* (early exits);
 //                                 the one line that may differ between
@@ -30,15 +34,28 @@
 
 namespace dnnfi::fault {
 
+/// The campaign's (geometry, fault-op) identity, as canonical strings.
+/// Defaults are the paper's configuration: stats stay byte-identical v3.
+struct StatsAxes {
+  std::string accel = "eyeriss";
+  std::string fault_op = "toggle";
+
+  bool is_default() const noexcept {
+    return accel == "eyeriss" && fault_op == "toggle";
+  }
+};
+
 /// Streams the deterministic stats dump.
 void write_stats(std::ostream& os, std::uint64_t fingerprint,
                  const OutcomeAccumulator& acc, std::uint64_t masked_exits,
-                 const std::vector<std::uint64_t>& aborted_trials = {});
+                 const std::vector<std::uint64_t>& aborted_trials = {},
+                 const StatsAxes& axes = {});
 
 /// Atomically writes the dump to `path`. kIo on any filesystem failure.
 Expected<void> write_stats_file(
     const std::string& path, std::uint64_t fingerprint,
     const OutcomeAccumulator& acc, std::uint64_t masked_exits,
-    const std::vector<std::uint64_t>& aborted_trials = {});
+    const std::vector<std::uint64_t>& aborted_trials = {},
+    const StatsAxes& axes = {});
 
 }  // namespace dnnfi::fault

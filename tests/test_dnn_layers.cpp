@@ -127,7 +127,7 @@ TEST(Conv2d, MacFaultAccumulatorFlipChangesExactlyOneOutput) {
   mf.out_index = 17;
   mf.step = 5;
   mf.site = MacSite::kAccumulator;
-  mf.bit = 30;  // float high exponent bit
+  mf.op = fault::FaultOp::flip(30);  // float high exponent bit
   faults.mac = mf;
 
   Tensor<float> faulty = golden;
@@ -159,7 +159,7 @@ TEST(Conv2d, MacFaultLastStepAccumulatorFlipIsExactBitFlipOfPreBias) {
   mf.out_index = 0;
   mf.step = conv->steps() - 1;
   mf.site = MacSite::kAccumulator;
-  mf.bit = 12;
+  mf.op = fault::FaultOp::flip(12);
   faults.mac = mf;
   Tensor<float> faulty = golden;
   conv->apply_faults(in, faulty, faults, nullptr);
@@ -181,7 +181,7 @@ TEST(Conv2d, OperandFaultOnPaddedTapFlipsZero) {
   mf.out_index = 0;
   mf.step = 0;  // (ci=0, ky=0, kx=0) is in the padding for output (0,0)
   mf.site = MacSite::kOperandAct;
-  mf.bit = 31;
+  mf.op = fault::FaultOp::flip(31);
   faults.mac = mf;
   InjectionRecord rec;
   Tensor<float> faulty = golden;
@@ -200,7 +200,7 @@ TEST(Conv2d, WeightFaultAffectsOnlyItsOutputChannel) {
   LayerFaults faults;
   WeightFault wf;
   wf.weight_index = conv->steps() * 1 + 4;  // a weight of channel co=1
-  wf.bit = 28;
+  wf.op = fault::FaultOp::flip(28);
   faults.weight = wf;
   Tensor<float> faulty = golden;
   conv->apply_faults(in, faulty, faults, nullptr);
@@ -228,7 +228,7 @@ TEST(Conv2d, WeightFaultEqualsForwardWithFlippedWeight) {
   const std::size_t wi = 7;
   const int bit = 20;
   LayerFaults faults;
-  faults.weight = WeightFault{wi, bit};
+  faults.weight = WeightFault{wi, fault::FaultOp::flip(bit)};
   Tensor<float> faulty = golden;
   conv->apply_faults(in, faulty, faults, nullptr);
 
@@ -252,7 +252,7 @@ TEST(Conv2d, ScopedInputFaultAffectsOnlyOneRow) {
   sf.input_index = in.shape().index(0, 0, 2, 3);
   sf.out_channel = 1;
   sf.out_row = 2;
-  sf.bit = 27;
+  sf.op = fault::FaultOp::flip(27);
   faults.scoped_input = sf;
   Tensor<float> faulty = golden;
   conv->apply_faults(in, faulty, faults, nullptr);
@@ -312,7 +312,7 @@ TEST(FullyConnected, MacFaultOperandWeight) {
   mf.out_index = 2;
   mf.step = 1;
   mf.site = MacSite::kOperandWeight;
-  mf.bit = 25;
+  mf.op = fault::FaultOp::flip(25);
   faults.mac = mf;
   Tensor<float> faulty = golden;
   InjectionRecord rec;
@@ -331,7 +331,8 @@ TEST(FullyConnected, WeightFaultAffectsSingleOutput) {
   Tensor<float> golden;
   fc.forward(in, golden);
   LayerFaults faults;
-  faults.weight = WeightFault{3 * 5 + 2, 22};  // weight of output 3
+  faults.weight =
+      WeightFault{3 * 5 + 2, fault::FaultOp::flip(22)};  // weight of output 3
   Tensor<float> faulty = golden;
   fc.apply_faults(in, faulty, faults, nullptr);
   for (std::size_t o = 0; o < 4; ++o) {

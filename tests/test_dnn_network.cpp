@@ -92,7 +92,7 @@ TEST(Network, FaultFreeFaultPathIsIdentity) {
   mf.out_index = 3;
   mf.step = 2;
   mf.site = MacSite::kAccumulator;
-  mf.bit = 14;  // high exponent bit of binary16
+  mf.op = fault::FaultOp::flip(14);  // high exponent bit of binary16
   f.faults.mac = mf;
 
   InjectionRecord rec;
@@ -121,7 +121,7 @@ TEST(Network, GlobalBufferFaultEqualsFullForwardOnFlippedInput) {
   f.layer = fc_layer;
   f.flip_layer_input = true;
   f.input_index = 10;
-  f.input_bit = 25;
+  f.input_op = fault::FaultOp::flip(25);
   const auto fast = net.forward_with_fault(golden, f);
 
   // Reference: full forward with the same flip applied at that point.
@@ -145,7 +145,7 @@ TEST(Network, ObserverSeesAllLayersFromFaultOnward) {
   const auto golden = net.forward_trace(img);
   AppliedFault f;
   f.layer = 0;
-  f.faults.mac = MacFault{0, 0, MacSite::kProduct, 30};
+  f.faults.mac = MacFault{0, 0, MacSite::kProduct, fault::FaultOp::flip(30)};
   std::vector<std::size_t> seen;
   Network<float>::LayerObserverFn obs =
       [&](std::size_t layer, tensor::ConstTensorView<float>) {

@@ -118,7 +118,12 @@ TEST(AtomicFile, SuccessLeavesNoTmpSibling) {
 class CheckpointErrors : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "dnnfi_test_error_ckpt";
+    // Per-test directory: ctest runs the fixture's tests in parallel
+    // processes, and a shared directory would let one test's TearDown
+    // delete another's checkpoint mid-load.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("dnnfi_test_error_ckpt_") + info->name());
     fs::create_directories(dir_);
     path_ = (dir_ / "shard.ckpt").string();
   }
@@ -225,6 +230,54 @@ TEST_F(CheckpointErrors, AbortedTrialsRoundTripInV3) {
   EXPECT_EQ(r.value().fingerprint, ck.fingerprint);
 }
 
+TEST_F(CheckpointErrors, V3FileIsRejectedWithVersionSkew) {
+  // A pre-geometry (v3) checkpoint lacks the accel/fault_op identity
+  // strings; reading its payload under the v4 layout would shift every
+  // subsequent field. The version gate must reject it as typed skew, not
+  // let it parse.
+  ASSERT_TRUE(fault::try_save_shard_checkpoint(path_, sample()).ok());
+  std::string bytes = read_all();
+  bytes[8] = 3;  // version field, little-endian u32 at offset 8
+  write_all(bytes);
+  const auto r = fault::try_load_shard_checkpoint(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kVersionSkew);
+  EXPECT_FALSE(r.error().retryable());
+  EXPECT_NE(r.error().message.find("version 3"), std::string::npos);
+}
+
+TEST_F(CheckpointErrors, AcceleratorAxesRoundTrip) {
+  fault::ShardCheckpoint ck = sample();
+  ck.accel = "systolic:16x16";
+  ck.fault_op = "set1:4";
+  ASSERT_TRUE(fault::try_save_shard_checkpoint(path_, ck).ok());
+  const auto r = fault::try_load_shard_checkpoint(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().accel, "systolic:16x16");
+  EXPECT_EQ(r.value().fault_op, "set1:4");
+}
+
+TEST_F(CheckpointErrors, MismatchedAcceleratorIsFingerprintMismatch) {
+  fault::ShardCheckpoint ck = sample();
+  ck.accel = "systolic:16x16";
+  const auto r = fault::validate_checkpoint_axes(ck, "eyeriss", "toggle");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kFingerprintMismatch);
+  EXPECT_FALSE(r.error().retryable());
+  EXPECT_NE(r.error().message.find("systolic:16x16"), std::string::npos);
+  EXPECT_NE(r.error().message.find("eyeriss"), std::string::npos);
+}
+
+TEST_F(CheckpointErrors, MismatchedFaultOpIsFingerprintMismatch) {
+  fault::ShardCheckpoint ck = sample();  // default axes: eyeriss + toggle
+  const auto r = fault::validate_checkpoint_axes(ck, "eyeriss", "set0:0x5");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kFingerprintMismatch);
+  EXPECT_NE(r.error().message.find("set0:0x5"), std::string::npos);
+  // Matching axes validate clean.
+  EXPECT_TRUE(fault::validate_checkpoint_axes(ck, "eyeriss", "toggle").ok());
+}
+
 TEST(StatsIo, WriteToUnwritableDirIsIo) {
   fault::OutcomeAccumulator acc;
   const auto r =
@@ -245,6 +298,23 @@ TEST(StatsIo, AbortedTrialsAreEnumeratedSorted) {
   ASSERT_NE(a2, std::string::npos);
   ASSERT_NE(a11, std::string::npos);
   EXPECT_LT(a2, a11);  // ascending regardless of input order
+}
+
+TEST(StatsIo, NonDefaultAxesEmitV4HeaderWithIdentityLines) {
+  fault::OutcomeAccumulator acc;
+  std::ostringstream os;
+  fault::write_stats(os, 42, acc, 0, {},
+                     fault::StatsAxes{"systolic:8x8", "set1"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("dnnfi-campaign-stats v4\n"), std::string::npos);
+  EXPECT_NE(s.find("accel systolic:8x8\n"), std::string::npos);
+  EXPECT_NE(s.find("fault_op set1\n"), std::string::npos);
+  // Default axes keep the exact v3 header: no accel/fault_op lines at all.
+  std::ostringstream v3;
+  fault::write_stats(v3, 42, acc, 0, {}, fault::StatsAxes{});
+  EXPECT_NE(v3.str().find("dnnfi-campaign-stats v3\n"), std::string::npos);
+  EXPECT_EQ(v3.str().find("accel "), std::string::npos);
+  EXPECT_EQ(v3.str().find("fault_op "), std::string::npos);
 }
 
 TEST(StatsIo, CleanRunPrintsAbortedZero) {

@@ -68,8 +68,8 @@ Tensor<T> legacy_fault(const Network<T>& net, const Trace<T>& golden,
   Tensor<T> a, b;
   if (f.flip_layer_input) {
     Tensor<T> in = golden.layer_input(f.layer);
-    in[f.input_index] = detail::storage_flip(in[f.input_index], f.input_bit,
-                                             f.input_storage, f.input_burst);
+    in[f.input_index] =
+        detail::storage_apply(in[f.input_index], f.input_op, f.input_storage);
     net.layer(f.layer).forward(in, a);
   } else {
     a = golden.acts[f.layer];
@@ -114,14 +114,14 @@ AppliedFault nth_fault(const Network<T>& net, std::size_t trial) {
       mf.out_index = trial % out_elems;
       mf.step = trial % mac_steps;
       mf.site = kMacSites[trial % std::size(kMacSites)];
-      mf.bit = bit;
+      mf.op = fault::FaultOp::flip(bit);
       f.faults.mac = mf;
       break;
     }
     case 1: {
       WeightFault wf;
       wf.weight_index = (trial * 7) % net.layer(layer).weights().size();
-      wf.bit = bit;
+      wf.op = fault::FaultOp::flip(bit);
       f.faults.weight = wf;
       break;
     }
@@ -130,14 +130,14 @@ AppliedFault nth_fault(const Network<T>& net, std::size_t trial) {
       sf.input_index = (trial * 11) % step.in_shape.size();
       sf.out_channel = 0;
       sf.out_row = 0;
-      sf.bit = bit;
+      sf.op = fault::FaultOp::flip(bit);
       f.faults.scoped_input = sf;
       break;
     }
     default: {
       f.flip_layer_input = true;
       f.input_index = (trial * 13) % step.in_shape.size();
-      f.input_bit = bit;
+      f.input_op = fault::FaultOp::flip(bit);
       break;
     }
   }

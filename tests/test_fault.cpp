@@ -177,7 +177,7 @@ TEST(Lower, MapsEveryClassToTheRightHook) {
   a = lower(f, macs);
   EXPECT_TRUE(a.flip_layer_input);
   EXPECT_EQ(a.input_index, 42U);
-  EXPECT_EQ(a.input_bit, 5);
+  EXPECT_EQ(a.input_op, fault::FaultOp::flip(5));
 }
 
 TEST(Lower, OrdinalOutOfRangeThrows) {

@@ -11,8 +11,13 @@
 #include "dnnfi/common/exact_sum.h"
 #include "dnnfi/common/rng.h"
 #include "dnnfi/common/serial.h"
+#include "dnnfi/dnn/kernels/kernels.h"
 #include "dnnfi/dnn/spec.h"
+#include "dnnfi/dnn/weights.h"
+#include "dnnfi/dnn/zoo.h"
 #include "dnnfi/fault/descriptor.h"
+#include "dnnfi/fault/fault_op.h"
+#include "dnnfi/fault/injector.h"
 #include "dnnfi/fault/sampler.h"
 #include "dnnfi/mitigate/slh.h"
 #include "dnnfi/numeric/dtype.h"
@@ -22,6 +27,7 @@ namespace {
 
 using numeric::DType;
 using numeric::Half;
+using tensor::Tensor;
 
 // ---------------------------------------------------------------------------
 // Half algebraic properties over a pseudo-random sample of finite values.
@@ -212,6 +218,186 @@ TEST(Descriptor, BufferOfMapsAllBufferClasses) {
             accel::BufferKind::kImgReg);
   EXPECT_THROW(fault::buffer_of(fault::SiteClass::kDatapathLatch),
                ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// FaultOp algebra (DESIGN.md §11): the mask model bits' = ((bits & ~set0) |
+// set1) ^ toggle makes toggle an involution, set0/set1 idempotent, and the
+// all-zero op the identity — and a pure toggle burst must be bit-for-bit the
+// legacy numeric::flip_burst the paper's campaigns were built on.
+
+/// Applies `op` to a raw 64-bit word via the double bit-cast traits (pure
+/// bit operations end to end, so arbitrary patterns survive untouched).
+std::uint64_t apply64(std::uint64_t v, const fault::FaultOp& op) {
+  using Tr = numeric::numeric_traits<double>;
+  return Tr::to_bits(fault::apply_op(Tr::from_bits(v), op));
+}
+
+fault::FaultOp random_op(Rng& rng) {
+  fault::FaultOp op;
+  // Populate one, two, or three masks; keep them within 64 bits.
+  const auto mask = [&rng] { return rng() & rng(); };  // sparse-ish
+  switch (rng.below(4)) {
+    case 0: op.toggle = mask(); break;
+    case 1: op.set0 = mask(); break;
+    case 2: op.set1 = mask(); break;
+    default: op.set0 = mask(); op.set1 = mask(); op.toggle = mask(); break;
+  }
+  return op;
+}
+
+TEST(FaultOpAlgebra, ToggleIsAnInvolutionOnEveryDType) {
+  for (const DType dt : numeric::kAllDTypes) {
+    numeric::dispatch_dtype(dt, [&]<typename T>() {
+      Rng rng(0xF0 ^ static_cast<std::uint64_t>(dt));
+      for (int i = 0; i < 300; ++i) {
+        const T v = numeric::numeric_traits<T>::from_double(rng.normal() * 8);
+        fault::FaultOp op;
+        op.toggle = rng();
+        const T twice = fault::apply_op(fault::apply_op(v, op), op);
+        EXPECT_EQ(numeric::numeric_traits<T>::to_bits(twice),
+                  numeric::numeric_traits<T>::to_bits(v))
+            << numeric::dtype_name(dt);
+      }
+    });
+  }
+}
+
+TEST(FaultOpAlgebra, EveryOpIsIdempotentUpToItsToggleParity) {
+  // set0/set1 alone are idempotent; a general op applied twice differs from
+  // once only by the second toggle, so stripping toggle makes any op
+  // idempotent. Checked on raw uint64 words (the mask algebra itself).
+  Rng rng(0x1D3);
+  for (int i = 0; i < 500; ++i) {
+    fault::FaultOp op = random_op(rng);
+    op.toggle = 0;
+    const std::uint64_t v = rng();
+    const std::uint64_t once = apply64(v, op);
+    EXPECT_EQ(apply64(once, op), once);
+  }
+}
+
+TEST(FaultOpAlgebra, DefaultOpIsTheIdentity) {
+  const fault::FaultOp id;
+  EXPECT_TRUE(id.is_identity());
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng();
+    EXPECT_EQ(apply64(v, id), v);
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(rng.below(0x10000)));
+    EXPECT_EQ(fault::apply_op(h, id).bits(), h.bits());
+  }
+}
+
+TEST(FaultOpAlgebra, FlipBurstOpMatchesLegacyFlipBurst) {
+  for (const DType dt : numeric::kAllDTypes) {
+    numeric::dispatch_dtype(dt, [&]<typename T>() {
+      using Tr = numeric::numeric_traits<T>;
+      Rng rng(0xB57 ^ static_cast<std::uint64_t>(dt));
+      for (int i = 0; i < 300; ++i) {
+        const T v = Tr::from_double(rng.normal() * 4);
+        const int bit = static_cast<int>(rng.below(Tr::width));
+        const int len = 1 + static_cast<int>(rng.below(4));
+        EXPECT_EQ(Tr::to_bits(fault::apply_op(v, fault::FaultOp::flip(bit, len))),
+                  Tr::to_bits(numeric::flip_burst(v, bit, len)))
+            << numeric::dtype_name(dt) << " bit=" << bit << " len=" << len;
+      }
+    });
+  }
+}
+
+TEST(FaultOpAlgebra, SetOpsForceAffectedBitsRegardlessOfInput) {
+  Rng rng(0x5E7);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t m = rng() | 1;
+    const std::uint64_t v = rng();
+    EXPECT_EQ(apply64(v, fault::FaultOp{m, 0, 0}) & m, 0U);
+    EXPECT_EQ(apply64(v, fault::FaultOp{0, m, 0}) & m, m);
+  }
+}
+
+TEST(FaultOpSpecRoundTrip, CanonicalStringsParseBack) {
+  for (const char* s :
+       {"toggle", "toggle:3", "set0", "set1", "set1:4", "set0:0x0005"}) {
+    const auto spec = fault::FaultOpSpec::parse(s);
+    ASSERT_TRUE(spec.has_value()) << s;
+    EXPECT_EQ(spec->to_string(), s);
+  }
+  for (const char* s : {"", "mixed", "toggle:", "toggle:0", "set1:0x0",
+                        "set0:abc", "flip"}) {
+    EXPECT_FALSE(fault::FaultOpSpec::parse(s).has_value()) << s;
+  }
+  // Materializing at a bit shifts the relative footprint to that anchor.
+  const auto burst = fault::FaultOpSpec::parse("toggle:3");
+  EXPECT_EQ(burst->at(5), fault::FaultOp::flip(5, 3));
+  const auto pat = fault::FaultOpSpec::parse("set1:0x5");
+  EXPECT_EQ(pat->at(2), fault::FaultOp::pattern(fault::FaultOpKind::kSet1,
+                                                0x5ULL << 2));
+}
+
+// Op application must be bit-identical whichever kernel set executes the
+// faulty layer: the injection hooks corrupt logical tensor words, never the
+// SIMD-packed copies, so scalar and avx2 runs see the same upset.
+TEST(FaultOpKernels, FaultyRunsBitIdenticalAcrossScalarAndAvx2) {
+  if (dnn::kernels::kernel_set<float>("avx2") == nullptr)
+    GTEST_SKIP() << "avx2 kernels not available on this build/CPU";
+  struct ModeGuard {
+    ~ModeGuard() { dnn::kernels::set_active_mode("auto"); }
+  } guard;
+
+  const auto spec = dnn::zoo::network_spec(dnn::zoo::NetworkId::kConvNet);
+  dnn::WeightsBlob blob;
+  {
+    dnn::Network<float> seed(spec);
+    dnn::init_weights(seed, 77);
+    blob = dnn::extract_weights(seed);
+  }
+  Tensor<Half> img(spec.input);
+  {
+    Rng rng(123);
+    for (std::size_t i = 0; i < img.size(); ++i)
+      img[i] = numeric::numeric_traits<Half>::from_double(rng.normal() * 0.5);
+  }
+
+  // Faults sampled on the systolic geometry with non-toggle ops exercise
+  // every lowering path (column propagation included) under both kernel
+  // sets with identical descriptors.
+  const auto model = accel::make_accelerator(
+      *accel::parse_accelerator("systolic:8x8"));
+  const fault::Sampler sampler(spec, DType::kFloat16, *model);
+  std::vector<fault::FaultDescriptor> faults;
+  {
+    Rng rng(2017);
+    fault::SampleConstraint sc;
+    int i = 0;
+    for (const auto cls : model->site_classes()) {
+      for (const auto kind :
+           {fault::FaultOpKind::kToggle, fault::FaultOpKind::kSet0,
+            fault::FaultOpKind::kSet1}) {
+        sc.op_kind = kind;
+        sc.burst = 1 + (i++ % 3);
+        faults.push_back(sampler.sample(cls, rng, sc));
+      }
+    }
+  }
+
+  auto run_mode = [&](const char* mode) {
+    EXPECT_TRUE(dnn::kernels::set_active_mode(mode));
+    dnn::Network<Half> net(spec);  // plan captures the active kernel set
+    dnn::load_weights(net, blob);
+    const auto golden = net.forward_trace(img);
+    std::vector<Tensor<Half>> outs;
+    for (const auto& f : faults)
+      outs.push_back(net.forward_with_fault(
+          golden, fault::lower(f, net.mac_layers(), *model)));
+    return outs;
+  };
+  const auto scalar = run_mode("scalar");
+  const auto avx2 = run_mode("avx2");
+  ASSERT_EQ(scalar.size(), avx2.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i)
+    EXPECT_TRUE(tensor::bitwise_equal(avx2[i], scalar[i]))
+        << faults[i].describe();
 }
 
 // ---------------------------------------------------------------------------

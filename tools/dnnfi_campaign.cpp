@@ -92,8 +92,11 @@ void install_signal_handlers() {
          "  networks: convnet alexnet caffenet nin\n"
          "  dtypes:   DOUBLE FLOAT FLOAT16 32b_rb26 32b_rb10 16b_rb10\n"
          "  sites:    datapath global-buffer filter-sram img-reg psum-reg\n"
+         "  accels:   eyeriss systolic:<rows>x<cols>\n"
+         "  fault ops: toggle toggle:<n> set0 set1 set0:0x<mask> ...\n"
          "  options:  --trials N --seed S --shard B:E --checkpoint FILE\n"
          "            --batch N --stop-after N --bit B --layer L --inputs N\n"
+         "            --accel <geom> --fault-op <op>\n"
          "            --distances --out FILE --no-progress --no-incremental\n"
          "  supervise: --workers W --shard-size N --ckpt-dir DIR\n"
          "            --heartbeat-timeout S --shard-timeout S\n"
@@ -147,6 +150,8 @@ struct Args {
   std::uint64_t stop_after = 0;
   std::optional<int> bit;
   std::optional<int> layer;
+  accel::AcceleratorConfig accel;
+  fault::FaultOpSpec fault_op;
   std::size_t inputs = 8;
   bool distances = false;
   bool incremental = true;
@@ -217,6 +222,15 @@ Args parse(int argc, char** argv) {
       a.bit = std::stoi(val);
     } else if (key == "--layer") {
       a.layer = std::stoi(val);
+    } else if (key == "--accel") {
+      const auto cfg = accel::parse_accelerator(val);
+      if (!cfg) usage("bad --accel (want eyeriss or systolic:<rows>x<cols>)");
+      a.accel = *cfg;
+    } else if (key == "--fault-op") {
+      const auto spec = fault::FaultOpSpec::parse(val);
+      if (!spec)
+        usage("bad --fault-op (want toggle|set0|set1[:<n>|:0x<mask>])");
+      a.fault_op = *spec;
     } else if (key == "--inputs") {
       a.inputs = std::stoull(val);
     } else if (key == "--out") {
@@ -244,7 +258,15 @@ Args parse(int argc, char** argv) {
     }
   }
   if (a.command != "merge" && !have_network) usage("--network is required");
+  if (a.command != "merge" &&
+      !accel::make_accelerator(a.accel)->supports(a.site))
+    usage("site " + std::string(fault::site_class_name(a.site)) +
+          " is not in the " + a.accel.to_string() + " site inventory");
   return a;
+}
+
+fault::StatsAxes stats_axes(const Args& a) {
+  return fault::StatsAxes{a.accel.to_string(), a.fault_op.to_string()};
 }
 
 std::vector<dnn::Example> test_inputs(NetworkId id, std::size_t n) {
@@ -277,9 +299,10 @@ void print_summary(const std::string& title,
 int emit_stats_or_fail(const std::string& path, std::uint64_t fingerprint,
                        const fault::OutcomeAccumulator& acc,
                        std::uint64_t masked_exits,
-                       const std::vector<std::uint64_t>& aborted = {}) {
-  auto written =
-      fault::write_stats_file(path, fingerprint, acc, masked_exits, aborted);
+                       const std::vector<std::uint64_t>& aborted = {},
+                       const fault::StatsAxes& axes = {}) {
+  auto written = fault::write_stats_file(path, fingerprint, acc, masked_exits,
+                                         aborted, axes);
   if (!written.ok()) {
     std::cerr << "error: " << written.error().to_string() << "\n";
     return exit_code(written.error().code);
@@ -294,6 +317,10 @@ fault::CampaignOptions campaign_options(const Args& a) {
   opt.site = a.site;
   opt.constraint.fixed_bit = a.bit;
   opt.constraint.fixed_block = a.layer;
+  opt.constraint.op_kind = a.fault_op.kind;
+  opt.constraint.burst = a.fault_op.burst;
+  opt.constraint.op_pattern = a.fault_op.pattern;
+  opt.accel = a.accel;
   opt.record_block_distances = a.distances;
   opt.incremental_replay = a.incremental;
   opt.cancel = &g_cancel;
@@ -354,7 +381,7 @@ int cmd_run(const Args& a, bool resume) {
                 res.acc);
   if (!a.out.empty())
     return emit_stats_or_fail(a.out, c.fingerprint(opt), res.acc,
-                              res.masked_exits);
+                              res.masked_exits, {}, stats_axes(a));
   return 0;
 }
 
@@ -473,6 +500,8 @@ int cmd_supervise(const Args& a, const char* argv0) {
       "--seed",    std::to_string(a.seed),
       "--inputs",  std::to_string(a.inputs),
       "--batch",   std::to_string(a.batch),
+      "--accel",   a.accel.to_string(),
+      "--fault-op", a.fault_op.to_string(),
   };
   if (a.bit) {
     so.worker_flags.push_back("--bit");
@@ -515,7 +544,8 @@ int cmd_supervise(const Args& a, const char* argv0) {
   }
   if (!a.out.empty())
     return emit_stats_or_fail(a.out, rep.fingerprint, rep.acc,
-                              rep.masked_exits, rep.aborted_trials);
+                              rep.masked_exits, rep.aborted_trials,
+                              stats_axes(a));
   return 0;
 }
 
@@ -538,6 +568,12 @@ int cmd_merge(const Args& a) {
           Errc::kFingerprintMismatch,
           "shard " + a.files[i] + " belongs to a different campaign than " +
               a.files[0]);
+    if (auto axes = fault::validate_checkpoint_axes(cks[i], cks[0].accel,
+                                                    cks[0].fault_op);
+        !axes.ok())
+      throw fault::CheckpointError(axes.error().code,
+                                   "shard " + a.files[i] + ": " +
+                                       axes.error().message);
   }
   std::vector<std::size_t> order(cks.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -571,8 +607,9 @@ int cmd_merge(const Args& a) {
                     cks[0].network,
                 merged);
   if (!a.out.empty())
-    return emit_stats_or_fail(a.out, cks[0].fingerprint, merged, masked,
-                              aborted);
+    return emit_stats_or_fail(
+        a.out, cks[0].fingerprint, merged, masked, aborted,
+        fault::StatsAxes{cks[0].accel, cks[0].fault_op});
   return 0;
 }
 

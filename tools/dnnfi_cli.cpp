@@ -14,6 +14,8 @@
 // Networks: convnet | alexnet | caffenet | nin
 // DTypes:   DOUBLE | FLOAT | FLOAT16 | 32b_rb26 | 32b_rb10 | 16b_rb10
 // Sites:    datapath | global-buffer | filter-sram | img-reg | psum-reg
+// Accels:   eyeriss (default) | systolic:<rows>x<cols>
+// Fault ops: toggle (default) | toggle:<n> | set0[:<n>|:0x<mask>] | set1[...]
 
 #include <cstring>
 #include <iostream>
@@ -39,8 +41,10 @@ using dnn::zoo::NetworkId;
                "  networks: convnet alexnet caffenet nin\n"
                "  dtypes:   DOUBLE FLOAT FLOAT16 32b_rb26 32b_rb10 16b_rb10\n"
                "  sites:    datapath global-buffer filter-sram img-reg psum-reg\n"
+               "  accels:   eyeriss systolic:<rows>x<cols>\n"
+               "  fault ops: toggle toggle:<n> set0 set1 set0:0x<mask> ...\n"
                "  options:  --trials N --seed S --bit B --layer L --count N "
-               "--storage <dtype>\n";
+               "--storage <dtype> --accel <geom> --fault-op <op>\n";
   std::exit(2);
 }
 
@@ -75,6 +79,8 @@ struct Args {
   std::optional<int> bit;
   std::optional<int> layer;
   std::optional<numeric::DType> storage;
+  accel::AcceleratorConfig accel;
+  fault::FaultOpSpec fault_op;
 };
 
 Args parse(int argc, char** argv) {
@@ -104,11 +110,23 @@ Args parse(int argc, char** argv) {
       a.layer = std::stoi(val);
     } else if (key == "--storage") {
       a.storage = parse_dtype(val);
+    } else if (key == "--accel") {
+      const auto cfg = accel::parse_accelerator(val);
+      if (!cfg) usage("bad --accel (want eyeriss or systolic:<rows>x<cols>)");
+      a.accel = *cfg;
+    } else if (key == "--fault-op") {
+      const auto spec = fault::FaultOpSpec::parse(val);
+      if (!spec) usage("bad --fault-op (want toggle|set0|set1[:<n>|:0x<mask>])");
+      a.fault_op = *spec;
     } else {
       usage(("unknown option " + key).c_str());
     }
   }
   if (!have_network) usage("--network is required");
+  if (!accel::make_accelerator(a.accel)->supports(a.site))
+    usage(("site " + std::string(fault::site_class_name(a.site)) +
+           " is not in the " + a.accel.to_string() + " site inventory")
+              .c_str());
   return a;
 }
 
@@ -132,6 +150,10 @@ int cmd_campaign(const Args& a) {
   opt.constraint.fixed_bit = a.bit;
   opt.constraint.fixed_block = a.layer;
   opt.constraint.buffer_storage = a.storage;
+  opt.constraint.op_kind = a.fault_op.kind;
+  opt.constraint.burst = a.fault_op.burst;
+  opt.constraint.op_pattern = a.fault_op.pattern;
+  opt.accel = a.accel;
   const auto r = c.run(opt);
 
   Table t("campaign: " + std::string(dnn::zoo::network_name(a.network)) + " " +
@@ -151,15 +173,24 @@ int cmd_campaign(const Args& a) {
       }));
   t.print(std::cout);
 
-  const auto cfg = accel::eyeriss_16nm();
-  double f;
-  if (a.site == fault::SiteClass::kDatapathLatch) {
-    f = fit::datapath_fit(a.dtype, cfg.num_pes, r.sdc1().p);
-  } else {
-    f = fit::buffer_fit(accel::analyze(m.spec), fault::buffer_of(a.site), cfg,
-                        r.sdc1().p);
+  if (a.accel.is_eyeriss()) {
+    const auto cfg = accel::eyeriss_16nm();
+    double f;
+    if (a.site == fault::SiteClass::kDatapathLatch) {
+      f = fit::datapath_fit(a.dtype, cfg.num_pes, r.sdc1().p);
+    } else {
+      f = fit::buffer_fit(accel::analyze(m.spec), fault::buffer_of(a.site),
+                          cfg, r.sdc1().p);
+    }
+    std::cout << "Eyeriss-16nm FIT for this component: " << f << "\n";
+  } else if (a.site == fault::SiteClass::kDatapathLatch) {
+    // Buffer FIT needs a per-buffer bit inventory, which only the Eyeriss
+    // config carries; datapath FIT scales with the PE count alone.
+    const double f = fit::datapath_fit(
+        a.dtype, accel::make_accelerator(a.accel)->num_pes(), r.sdc1().p);
+    std::cout << a.accel.to_string() << " datapath FIT (16nm latch rate): "
+              << f << "\n";
   }
-  std::cout << "Eyeriss-16nm FIT for this component: " << f << "\n";
   return 0;
 }
 
@@ -194,6 +225,10 @@ int cmd_inject(const Args& a) {
   opt.constraint.fixed_bit = a.bit;
   opt.constraint.fixed_block = a.layer;
   opt.constraint.buffer_storage = a.storage;
+  opt.constraint.op_kind = a.fault_op.kind;
+  opt.constraint.burst = a.fault_op.burst;
+  opt.constraint.op_pattern = a.fault_op.pattern;
+  opt.accel = a.accel;
   const auto r = c.run(opt);
   const auto& tr = r.trials.front();
   std::cout << "fault:   " << tr.fault.describe() << "\n"

@@ -109,3 +109,48 @@ else
   cat "$WORK/sup.log" >&2
   exit 1
 fi
+
+echo "== systolic geometry: supervised 2k-trial campaign, kill/resume merge =="
+# Same contract on the non-default fault-model axes (DESIGN.md §11): a
+# weight-stationary systolic array with stuck-at-1 faults. The supervised
+# (sharded, killed, resumed, merged) run must be bit-identical to a
+# monolithic run of the same campaign, and both must carry the v4 axis
+# identity lines in their stats.
+SYS=(--network convnet --dtype FLOAT16 --trials 2000 --seed 20170101
+     --inputs 8 --distances --no-progress
+     --accel systolic:8x8 --fault-op set1)
+
+"$CAMPAIGN" run "${SYS[@]}" --out "$WORK/sys_full.stats"
+
+"$CAMPAIGN" supervise "${SYS[@]}" --batch 100 --workers 2 \
+    --ckpt-dir "$WORK/sys-ckpt" --backoff 0.1 \
+    --out "$WORK/sys_sup.stats" 2>"$WORK/sys_sup.log" &
+SUP_PID=$!
+VICTIM=""
+for _ in $(seq 1 100); do
+  VICTIM="$(pgrep -P "$SUP_PID" -f ' worker ' | head -n1 || true)"
+  [ -n "$VICTIM" ] && break
+  sleep 0.1
+done
+if [ -n "$VICTIM" ]; then
+  kill -9 "$VICTIM" && echo "killed worker pid $VICTIM"
+else
+  echo "warn: no live worker found to kill (campaign too fast?)" >&2
+fi
+rc=0; wait "$SUP_PID" || rc=$?
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: systolic supervise exited $rc" >&2
+  cat "$WORK/sys_sup.log" >&2; exit 1; }
+
+grep -q '^accel systolic:8x8$' "$WORK/sys_sup.stats" || {
+  echo "FAIL: systolic stats missing the accel identity line" >&2; exit 1; }
+grep -q '^fault_op set1$' "$WORK/sys_sup.stats" || {
+  echo "FAIL: systolic stats missing the fault_op identity line" >&2; exit 1; }
+
+if diff -u "$WORK/sys_full.stats" "$WORK/sys_sup.stats"; then
+  echo "PASS: systolic supervised campaign merged bit-identically"
+else
+  echo "FAIL: systolic supervised campaign diverged" >&2
+  cat "$WORK/sys_sup.log" >&2
+  exit 1
+fi
