@@ -117,4 +117,19 @@ constexpr Rng derive_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
   return Rng(mixed);
 }
 
+/// Two-level stream derivation for (seed, stream, substream): stratified
+/// campaigns key trial t of stratum h as derive_stream(seed, h, t), so a
+/// stratum's trial sequence is independent of every other stratum's and of
+/// how many trials any stratum ultimately receives. The stream fold uses a
+/// different xor constant than the single-level derivation, so
+/// derive_stream(s, a, b) never collides with derive_stream(s, f(a, b)) for
+/// the linear folds one might be tempted to write by hand.
+constexpr Rng derive_stream(std::uint64_t seed, std::uint64_t stream,
+                            std::uint64_t substream) noexcept {
+  std::uint64_t sm =
+      seed ^ (0xC2B2AE3D27D4EB4FULL + stream * 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t folded = splitmix64(sm) ^ splitmix64(sm);
+  return derive_stream(folded, substream);
+}
+
 }  // namespace dnnfi

@@ -38,6 +38,14 @@ void OutcomeAccumulator::add(const TrialRecord& t) {
 }
 
 void OutcomeAccumulator::merge(const OutcomeAccumulator& o) {
+  // A zero-trial operand carries no observations — every counter and
+  // ExactSum is in its initial state, and only its block-slot *count* (an
+  // artifact of pre-sizing per-stratum accumulators) could differ. Merging
+  // it must be a strict identity: growing blocks_ here would change the
+  // target's serialized bytes without adding a single trial, breaking the
+  // "equal aggregate state <=> equal bytes" contract stratified campaigns
+  // rely on when folding empty strata.
+  if (o.n_ == 0) return;
   n_ += o.n_;
   sdc1_ += o.sdc1_;
   sdc5_ += o.sdc5_;

@@ -47,7 +47,10 @@ class OutcomeAccumulator {
   /// accumulator per worker and merge.
   void add(const TrialRecord& t);
 
-  /// Exact associative merge; block slots grow to the larger operand.
+  /// Exact associative merge; block slots grow to the larger *observed*
+  /// operand. Merging a zero-trial accumulator is a strict identity — its
+  /// pre-sized (but unobserved) block slots never leak into the target's
+  /// serialized state.
   void merge(const OutcomeAccumulator& o);
 
   std::uint64_t trials() const noexcept { return n_; }

@@ -1,0 +1,278 @@
+#include "dnnfi/fault/adaptive_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "dnnfi/common/expects.h"
+
+namespace dnnfi::fault {
+
+namespace {
+
+/// Largest-remainder apportionment of `count` across `score`: floors of the
+/// proportional quotas first, then +1 by descending fractional part, ties
+/// resolved to the lower index (stable sort). All-zero scores yield an
+/// all-zero plan.
+std::vector<std::uint64_t> apportion(std::uint64_t count,
+                                     const std::vector<double>& score) {
+  const std::size_t K = score.size();
+  std::vector<std::uint64_t> out(K, 0);
+  double total = 0;
+  for (const double v : score) total += v;
+  if (count == 0 || total <= 0) return out;
+  std::vector<double> frac(K, 0.0);
+  std::uint64_t assigned = 0;
+  for (std::size_t k = 0; k < K; ++k) {
+    const double q = static_cast<double>(count) * score[k] / total;
+    out[k] = static_cast<std::uint64_t>(q);
+    frac[k] = q - static_cast<double>(out[k]);
+    assigned += out[k];
+  }
+  std::vector<std::size_t> order(K);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return frac[a] > frac[b];
+  });
+  // Only positive-score slots may take remainder trials (a retired
+  // component must never be handed work), cycling if the remainder exceeds
+  // their number.
+  for (std::size_t i = 0; assigned < count; ++i) {
+    const std::size_t k = order[i % K];
+    if (score[k] <= 0) continue;
+    ++out[k];
+    ++assigned;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StratifiedOptions::to_string() const {
+  std::ostringstream os;  // default 6-sig-digit formatting is canonical
+  os << "stratified(pilot=" << pilot << ",round=" << round << ",ci="
+     << target_ci << ")";
+  return os.str();
+}
+
+ZeroPool zero_pool(const std::vector<StratumCounts>& s) {
+  ZeroPool pool;
+  for (const StratumCounts& c : s) {
+    if (c.n == 0 || c.hits != 0) continue;
+    pool.weight += c.weight;
+    pool.n += c.n;
+  }
+  if (pool.n == 0) return pool;
+  // Skew: the pooled variance bound describes the *sampled* mixture
+  // Σ (n_h/n_Z)·p_h, while the estimand is the weighted mixture
+  // Σ (W_h/W_Z)·p_h. The worst-case ratio between the two is the largest
+  // per-stratum over-representation of weight relative to trials; pricing
+  // the pool variance at that factor keeps the interval honest while the
+  // pilot's equal allocation is still far from proportional, and decays to
+  // 1 as the allocator's within-pool ∝W split takes over.
+  for (const StratumCounts& c : s) {
+    if (c.n == 0 || c.hits != 0) continue;
+    const double rep = (c.weight / pool.weight) /
+                       (static_cast<double>(c.n) / static_cast<double>(pool.n));
+    pool.skew = std::max(pool.skew, rep);
+  }
+  return pool;
+}
+
+double zero_pool_variance(const ZeroPool& pool) {
+  if (pool.n == 0) return 0;
+  const double nn = static_cast<double>(pool.n);
+  // A 0-hit binomial is too skewed for any symmetric p̃(1-p̃)/n price: the
+  // normal half-width at the Jeffreys center is ~1.4·W_Z/n_Z while a pooled
+  // member can still hide rate mass up to ~3.7·W_Z/n_Z with 2.5%
+  // probability — the coverage tests catch exactly that as truth escaping
+  // above `hi`. Price the pool by the exact Clopper–Pearson 97.5% upper
+  // bound for 0 hits in n_Z trials instead, p_up = 1 - 0.025^(1/n_Z)
+  // (→ -ln(0.025)/n_Z ≈ 3.69/n_Z), expressed as the variance whose normal
+  // interval has half-width W_Z·skew·p_up so the z·sqrt fold downstream
+  // reproduces the one-sided bound exactly.
+  const double p_up = 1.0 - std::pow(0.025, 1.0 / nn);
+  const double half = pool.weight * pool.skew * p_up;
+  return half * half / (1.96 * 1.96);
+}
+
+StratifiedEstimate stratified_estimate(const std::vector<StratumCounts>& s) {
+  constexpr double z = 1.96;
+  constexpr double z2 = z * z;
+  StratifiedEstimate out;
+  double p = 0;
+  double var = 0;
+  std::uint64_t hits = 0, n = 0;
+  for (const StratumCounts& c : s) {
+    hits += c.hits;
+    n += c.n;
+    if (c.n == 0) {
+      // Unpiloted stratum: nothing observed, so the point estimate takes 0
+      // from it and the variance prices it at the binomial maximum over one
+      // pseudo-trial — maximally honest until the pilot lands.
+      var += c.weight * c.weight * 0.25;
+      continue;
+    }
+    if (c.hits == 0) continue;  // priced collectively by the zero pool below
+    const double nn = static_cast<double>(c.n);
+    const double ph = static_cast<double>(c.hits) / nn;
+    p += c.weight * ph;
+    // Hit-bearing strata are priced by their Wilson half-width (expressed
+    // as the variance whose z·sqrt fold reproduces it): near the plug-in
+    // p̂(1-p̂)/n once counts are healthy, but carrying the z²/4n² small-
+    // count correction a plain plug-in (or Jeffreys-center) price lacks —
+    // without it, 1-to-5-hit strata leak truth above `hi` often enough to
+    // fail nominal coverage. This is also exactly the quantity the
+    // retirement rule (stratum_converged) thresholds, so a retired
+    // stratum's residual price is negligible by construction.
+    const double wh = wilson(static_cast<std::size_t>(c.hits),
+                             static_cast<std::size_t>(c.n)).ci95;
+    var += c.weight * c.weight * wh * wh / (z * z);
+  }
+  // All-miss strata are collapsed into one pooled pseudo-stratum (header:
+  // the zero pool). Pricing each of them individually would force the
+  // campaign to certify every stratum's deadness separately — an
+  // O(W_h·√H/target) trial tax that dominates rare-event campaigns —
+  // while the pooled draw certifies their collective contribution with a
+  // single pooled variance term. The pool adds nothing to the point estimate
+  // (0 observed hits), only its honest variance.
+  var += zero_pool_variance(zero_pool(s));
+  p = std::clamp(p, 0.0, 1.0);
+  const double half = z * std::sqrt(var);
+  out.est.p = p;
+  out.est.ci95 = half;
+  out.est.lo = std::max(0.0, p - half);
+  out.est.hi = std::min(1.0, p + half);
+  out.est.hits = static_cast<std::size_t>(hits);
+  out.est.n = static_cast<std::size_t>(n);
+  if (var > 0) {
+    // n_eff solves p~(1-p~)/n_eff = var at the overall Wilson center, so a
+    // p̂ of exactly 0/1 still reports a finite effective size.
+    const double nn = static_cast<double>(n);
+    const double pt =
+        n > 0 ? (p + z2 / (2.0 * nn)) / (1.0 + z2 / nn) : 0.5;
+    out.n_eff = pt * (1.0 - pt) / var;
+  } else {
+    out.n_eff = static_cast<double>(n);
+  }
+  return out;
+}
+
+bool stratum_converged(const StratumCounts& s, const StratifiedOptions& opt,
+                       std::size_t num_components) {
+  if (opt.target_ci <= 0) return false;
+  if (s.n < opt.pilot) return false;
+  const Estimate w = wilson(static_cast<std::size_t>(s.hits),
+                            static_cast<std::size_t>(s.n));
+  return s.weight * w.ci95 <=
+         opt.target_ci / (2.0 * std::sqrt(static_cast<double>(num_components)));
+}
+
+std::vector<std::uint64_t> next_allocation(const std::vector<StratumCounts>& s,
+                                           const StratifiedOptions& opt,
+                                           std::uint64_t budget_remaining) {
+  DNNFI_EXPECTS(opt.pilot > 0 && opt.round > 0);
+  if (budget_remaining == 0 || s.empty()) return {};
+  const std::size_t H = s.size();
+  std::vector<std::uint64_t> plan(H, 0);
+
+  // Phase 1: finish the pilot. Filling strictly in stratum order makes a
+  // budget-truncated pilot deterministic too.
+  std::uint64_t left = budget_remaining;
+  bool piloting = false;
+  for (std::size_t h = 0; h < H && left > 0; ++h) {
+    if (s[h].n >= opt.pilot) continue;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(opt.pilot - s[h].n, left);
+    plan[h] = take;
+    left -= take;
+    piloting = true;
+  }
+  if (piloting) return plan;
+
+  // Phase 2: converged? (target_ci == 0 never converges: budget-bound.)
+  if (opt.target_ci > 0 &&
+      stratified_estimate(s).est.ci95 <= opt.target_ci)
+    return {};
+
+  // Phase 3: marginal-gain scores over the live estimator components. The
+  // round goes to components proportionally to -d/dn Var(p̂) = W²·v/n², the
+  // rate at which one more trial there shrinks the stratified variance.
+  // The stationary point of this rule IS the Neyman allocation (scores
+  // equalize exactly when n_h ∝ W_h·σ_h), but finite-sample it correctly
+  // deprioritizes components that already carry many trials instead of
+  // chasing them. Components are the estimator's (header): each
+  // hit-bearing stratum individually — at the Jeffreys center p̃, which
+  // unlike the raw p̂ never scores an edge case (all hits) as exactly
+  // zero — plus the zero pool as a single component, whose members a
+  // raw-p̂ rule would have frozen at p̂ = 0 forever after an unlucky
+  // pilot, an optional-stopping artifact that biases the HT estimate low.
+  // tests/test_stratified_sampling.cpp locks the unbiasedness down against
+  // enumerated ground truth.
+  constexpr double z = 1.96;
+  const ZeroPool pool = zero_pool(s);
+  std::size_t comps = pool.n > 0 ? 1 : 0;
+  for (const StratumCounts& c : s)
+    if (c.hits > 0) ++comps;
+  std::vector<double> score(H, 0.0);  // hit-bearing strata only
+  double pool_gain = 0;
+  double total = 0;
+  for (std::size_t h = 0; h < H; ++h) {
+    if (s[h].hits == 0) continue;  // pooled below
+    if (stratum_converged(s[h], opt, comps)) continue;
+    const double nn = static_cast<double>(s[h].n);
+    const double pt = (static_cast<double>(s[h].hits) + 0.5) / (nn + 1.0);
+    score[h] = s[h].weight * s[h].weight * pt * (1.0 - pt) / (nn * nn);
+    total += score[h];
+  }
+  if (pool.n > 0) {
+    // The pool retires exactly like an individual component: when its
+    // weighted interval (z·sqrt of its variance term) is negligible
+    // against the per-component share of the target.
+    const double pool_var = zero_pool_variance(pool);
+    const bool retired =
+        opt.target_ci > 0 &&
+        z * std::sqrt(pool_var) <=
+            opt.target_ci / (2.0 * std::sqrt(static_cast<double>(comps)));
+    if (!retired) {
+      pool_gain = pool_var / static_cast<double>(pool.n);
+      total += pool_gain;
+    }
+  }
+  if (total <= 0) return {};  // every component retired
+
+  // Apportion the round across components; hit-bearing strata take their
+  // share directly.
+  const std::uint64_t round =
+      std::min<std::uint64_t>(opt.round, budget_remaining);
+  std::uint64_t pool_take = 0;
+  {
+    std::vector<double> cscore = score;
+    cscore.push_back(pool_gain);  // the pool rides along as one extra slot
+    const std::vector<std::uint64_t> cplan = apportion(round, cscore);
+    std::copy(cplan.begin(), cplan.begin() + static_cast<std::ptrdiff_t>(H),
+              plan.begin());
+    pool_take = cplan[H];
+  }
+  if (pool_take > 0) {
+    // Water-fill the pool's allotment toward the ∝W allocation the pooled
+    // Wilson bound wants: each member's claim is its *deficit* against the
+    // proportional target at the grown pool size. A flat ∝W split would
+    // starve tiny-weight members forever (their share rounds to zero every
+    // round), and a starved member is exactly what makes ZeroPool::skew —
+    // and with it the pool's variance price — grow without bound.
+    const double grown = static_cast<double>(pool.n + pool_take);
+    std::vector<double> deficit(H, 0.0);
+    for (std::size_t h = 0; h < H; ++h) {
+      if (s[h].n == 0 || s[h].hits != 0) continue;
+      const double want = s[h].weight / pool.weight * grown;
+      deficit[h] = std::max(0.0, want - static_cast<double>(s[h].n));
+    }
+    const std::vector<std::uint64_t> dplan = apportion(pool_take, deficit);
+    for (std::size_t h = 0; h < H; ++h) plan[h] += dplan[h];
+  }
+  return plan;
+}
+
+}  // namespace dnnfi::fault

@@ -1,0 +1,146 @@
+// Adaptive stratified-sampling controller and Horvitz–Thompson estimator
+// (DESIGN.md §12).
+//
+// Estimator. With strata weights W_h (exact uniform-draw probabilities,
+// strata.h) and per-stratum binomial observations (hits_h, n_h), the
+// population rate estimate is the stratified Horvitz–Thompson form
+//
+//     p̂ = Σ_h W_h · hits_h / n_h
+//
+// which is unbiased for any allocation {n_h > 0}: each stratum's mean is
+// estimated on its own substream and reweighted by its true probability.
+// The variance is Var(p̂) = Σ_h W_h² · σ_h² / n_h; the reported 95% interval
+// is the normal fold z·sqrt(Var) with hit-bearing strata priced by their
+// Wilson half-width — essentially the plug-in p̂(1-p̂)/n once counts are
+// healthy, but carrying the small-count correction that keeps 1-to-5-hit
+// strata from leaking truth above `hi` (nominal coverage is locked down by
+// tests/test_estimator_stats.cpp).
+//
+// Zero pool. All-miss strata are NOT priced individually: doing so makes
+// the campaign certify every stratum's deadness separately, and that tax —
+// O(W_h·√H / target) trials per dead stratum — dominates rare-event
+// campaigns where most strata are inert (the paper's Fig 4 masking
+// argument: low-order mantissa bits almost never matter). Instead every
+// piloted zero-hit stratum is collapsed into one pooled pseudo-stratum
+// whose collective contribution W_Z·p̄_Z is priced by a single exact
+// binomial (Clopper–Pearson) upper bound on the pooled draw (0 hits in
+// n_Z = Σ n_h trials), scaled by the allocation-skew factor
+// (ZeroPool::skew) while the
+// within-pool allocation is still far from ∝W. A stratum leaves the pool
+// the moment it records a hit; membership is a pure function of the
+// accumulated counts, so nothing extra needs checkpointing.
+// tests/test_estimator_stats.cpp drives the coverage consequences
+// (≥93/100 nominal-95% intervals must cover).
+//
+// Controller. Allocation is round-based and a *pure function* of the
+// accumulated per-stratum state:
+//   1. pilot   — bring every stratum to `pilot` trials;
+//   2. adapt   — apportion the next `round`-sized batch across the
+//                estimator components (hit-bearing strata + the zero
+//                pool) proportionally to the marginal-gain score
+//                W²·p̃(1-p̃)/n² — the rate at which one more trial there
+//                shrinks the stratified variance, whose stationary point
+//                is exactly the Neyman allocation n_h ∝ W_h·σ_h
+//                (largest-remainder apportionment, ties to the lower
+//                index). The pool's allotment is then water-filled across
+//                its members toward the ∝W split its pooled bound
+//                assumes;
+//   3. stop    — a component retires when its weighted CI contribution is
+//                negligible; the campaign stops when the stratified CI
+//                half-width reaches target_ci or the trial budget is spent.
+// Purity is what makes the stratified campaign deterministic and resumable:
+// replaying the same state always yields the same next allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnnfi/fault/outcome.h"
+
+namespace dnnfi::fault {
+
+/// Tuning knobs of the stratified controller. The canonical string (e.g.
+/// "stratified(pilot=4,round=256,ci=0.005)") is the sampler's identity in
+/// fingerprints, checkpoints, and stats files.
+struct StratifiedOptions {
+  /// Trials every stratum receives before any adaptation.
+  std::size_t pilot = 4;
+  /// Upper bound on trials allocated per adaptive round.
+  std::size_t round = 256;
+  /// Stop when the stratified SDC-1 CI half-width falls to this (the trial
+  /// budget still caps the run). 0 disables the convergence stop: the
+  /// campaign runs its full budget, which is what the bit-identity legs
+  /// use to pin the trial count.
+  double target_ci = 0.005;
+
+  std::string to_string() const;
+};
+
+/// One stratum's sufficient statistics as the controller and estimator see
+/// them. `hits` counts the allocation/stopping metric — SDC-1, the paper's
+/// headline criterion.
+struct StratumCounts {
+  double weight = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t n = 0;
+};
+
+/// Stratified population estimate. `est.p` is the HT point estimate,
+/// `est.lo/hi/ci95` the stratified interval, `est.hits/n` the raw totals.
+struct StratifiedEstimate {
+  Estimate est;
+  /// Effective sample size: the uniform-campaign n whose binomial variance
+  /// at p̂ equals this stratified variance (how many uniform trials the
+  /// stratification is worth). Equal to Σ n_h when the variance is zero.
+  double n_eff = 0;
+};
+
+/// The collapsed zero pool: every piloted stratum with zero observed hits,
+/// summarized as one pseudo-stratum. `weight`/`n` are the members' totals;
+/// `skew` is the worst-case over-representation of weight relative to
+/// trials among members (1 when the within-pool allocation is exactly
+/// proportional to weight), which scales the pooled variance so the bound
+/// stays honest before the allocator's ∝W split has converged.
+struct ZeroPool {
+  double weight = 0;
+  std::uint64_t n = 0;
+  double skew = 1.0;
+};
+
+/// Summarizes the zero-hit strata of `s` into the pooled pseudo-stratum.
+ZeroPool zero_pool(const std::vector<StratumCounts>& s);
+
+/// The pool's contribution to the stratified variance: the variance whose
+/// normal 95% interval has half-width W_Z·skew·p_up, where p_up is the
+/// exact Clopper–Pearson 97.5% upper bound for 0 hits in n_Z trials
+/// (≈ 3.69/n_Z) — a 0-hit binomial is too skewed for a symmetric
+/// p̃(1-p̃)/n price to cover. Zero for an empty pool.
+double zero_pool_variance(const ZeroPool& pool);
+
+/// Computes the HT estimate and stratified 95% interval (header math).
+StratifiedEstimate stratified_estimate(const std::vector<StratumCounts>& s);
+
+/// True when a hit-bearing stratum's weighted CI contribution is negligible
+/// against the target: n ≥ pilot and weight · wilson_half(hits, n) ≤
+/// target_ci / (2·sqrt(num_components)), where num_components counts the
+/// estimator's components (hit-bearing strata plus the zero pool). The
+/// sqrt scaling is what makes a stall impossible: variances add across
+/// components, so if every one of C components meets this bound the
+/// overall half-width is at most target_ci / 2 and the campaign-level
+/// convergence stop has already fired. Always false when target_ci is 0
+/// (budget-bound campaigns never retire anything).
+bool stratum_converged(const StratumCounts& s, const StratifiedOptions& opt,
+                       std::size_t num_components);
+
+/// The controller: next round's per-stratum trial counts, given the
+/// accumulated state and the remaining trial budget. An empty vector means
+/// the campaign is done (CI target reached, every live stratum retired, or
+/// budget exhausted). Deterministic and pure — equal inputs, equal plan —
+/// which is what lets a resumed campaign recompute its schedule instead of
+/// persisting it beyond the in-flight round.
+std::vector<std::uint64_t> next_allocation(const std::vector<StratumCounts>& s,
+                                           const StratifiedOptions& opt,
+                                           std::uint64_t budget_remaining);
+
+}  // namespace dnnfi::fault

@@ -23,12 +23,20 @@
 #include "dnnfi/dnn/train.h"
 #include "dnnfi/dnn/weights.h"
 #include "dnnfi/fault/accumulator.h"
+#include "dnnfi/fault/adaptive_sampler.h"
 #include "dnnfi/fault/descriptor.h"
 #include "dnnfi/fault/injector.h"
 #include "dnnfi/fault/outcome.h"
 #include "dnnfi/fault/sampler.h"
+#include "dnnfi/fault/strata.h"
 
 namespace dnnfi::fault {
+
+/// How trials are drawn from the site population.
+enum class SamplerMode : std::uint8_t {
+  kUniform,     ///< i.i.d. uniform draws; trial t = derive_stream(seed, t)
+  kStratified,  ///< adaptive stratified sampling (strata.h, DESIGN.md §12)
+};
 
 /// Per-layer value bounds used by symptom detectors: block -> [lo, hi].
 struct BlockRange {
@@ -99,7 +107,22 @@ struct CampaignOptions {
   /// result — exactly like stop_after, but signal-driven. Typically points
   /// at an atomic set from a signal handler; null disables the check.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// Trial-drawing strategy. kUniform is the seed semantics: every output
+  /// byte, fingerprint, and checkpoint is unchanged from before the sampler
+  /// axis existed. kStratified runs the adaptive campaign (run_stratified);
+  /// `trials` becomes the trial *budget* rather than an exact count.
+  SamplerMode sampler = SamplerMode::kUniform;
+
+  /// Controller knobs; read only under kStratified.
+  StratifiedOptions stratified;
 };
+
+/// The sampler axis's identity string: "uniform", or the stratified
+/// options' canonical form. Folded into the campaign fingerprint only when
+/// non-default (mirroring the geometry and fault-op axes), carried in
+/// checkpoints and non-default stats headers.
+std::string sampler_id(const CampaignOptions& opt);
 
 /// One shard of a campaign: which trial-index range to run and how to
 /// persist it.
@@ -160,6 +183,43 @@ struct CampaignResult {
   Estimate sdc20() const;
 };
 
+/// What a stratified campaign produced: the partition, per-stratum
+/// aggregates, and Horvitz–Thompson estimate helpers. Deterministic in
+/// (options, budget) regardless of thread count, batching, or
+/// checkpoint/resume boundaries, like the uniform shard path.
+struct StratifiedResult {
+  /// Canonical stratum definitions and their exact weights (StratumSet
+  /// order; weights sum to 1).
+  std::vector<Stratum> strata;
+  std::vector<double> weights;
+  /// One accumulator per stratum, fed only by that stratum's trials.
+  std::vector<OutcomeAccumulator> per_stratum;
+  /// Exact fold of every per-stratum accumulator: the raw (unweighted)
+  /// pooled counts, what the checkpoint's top-level accumulator carries.
+  OutcomeAccumulator pooled;
+
+  std::uint64_t rounds = 0;        ///< completed allocation rounds
+  std::uint64_t trials = 0;        ///< trials executed (== pooled.trials())
+  std::uint64_t masked_exits = 0;  ///< early cache-match exits (pooled)
+  bool complete = false;   ///< controller finished (vs stop_after/cancel)
+  bool converged = false;  ///< complete via the CI target, not the budget
+  bool resumed = false;    ///< a checkpoint was loaded before running
+
+  /// Stratified HT estimates of the paper's SDC criteria. Unlike the
+  /// pooled accumulator's Wilson rates, these are unbiased for the
+  /// *population* rate under the adaptive allocation.
+  StratifiedEstimate sdc1() const;
+  StratifiedEstimate sdc5() const;
+  StratifiedEstimate sdc10() const;
+  StratifiedEstimate sdc20() const;
+
+  /// Per-stratum sufficient statistics with `hits` drawn by `metric` —
+  /// the form stratified_estimate() and next_allocation() consume.
+  std::vector<StratumCounts> counts(
+      const std::function<std::size_t(const OutcomeAccumulator&)>& metric)
+      const;
+};
+
 /// A reusable (network, dtype, inputs) binding for running campaigns.
 class Campaign {
  public:
@@ -183,6 +243,18 @@ class Campaign {
   /// by trial count.
   ShardResult run_shard(const CampaignOptions& opt, const ShardSpec& shard,
                         const TrialSink* sink = nullptr) const;
+
+  /// Runs the adaptive stratified campaign (opt.sampler must be
+  /// kStratified): pilot, Neyman reallocation rounds, and convergence /
+  /// budget stop, per adaptive_sampler.h. Stratified campaigns are
+  /// sequential-adaptive, so they don't shard: `shard.begin` must be 0 and
+  /// `shard.end` 0 or opt.trials; checkpoint, batch, and stop_after keep
+  /// their run_shard meanings (stop_after counts new trials). Trial t of
+  /// stratum h draws from derive_stream(seed, h, t) and replays input
+  /// t % num_inputs — functions of accumulated state alone, so resumed and
+  /// uninterrupted runs are byte-identical at any thread count.
+  StratifiedResult run_stratified(const CampaignOptions& opt,
+                                  const ShardSpec& shard = {}) const;
 
   /// Fold of every option that changes trial outcomes — seed, trial count,
   /// site, constraint, dtype, topology, detector presence — used to refuse

@@ -24,6 +24,7 @@ Expected<void> try_save_shard_checkpoint(const std::string& path,
   payload.str(ck.network);
   payload.str(ck.accel);
   payload.str(ck.fault_op);
+  payload.str(ck.sampler);
   payload.u64(ck.trials_total);
   payload.u64(ck.shard_begin);
   payload.u64(ck.shard_end);
@@ -33,6 +34,20 @@ Expected<void> try_save_shard_checkpoint(const std::string& path,
   payload.u64(ck.aborted_trials.size());
   for (const std::uint64_t t : ck.aborted_trials) payload.u64(t);
   ck.acc.serialize(payload);
+  payload.u8(ck.stratified.has_value() ? 1 : 0);
+  if (ck.stratified) {
+    const StratifiedCheckpoint& s = *ck.stratified;
+    payload.u64(s.rounds);
+    payload.u64(s.cursor);
+    payload.u64(s.plan.size());
+    for (const std::uint64_t n : s.plan) payload.u64(n);
+    payload.u64(s.strata.size());
+    for (const StratumCheckpoint& h : s.strata) {
+      payload.str(h.id);
+      payload.f64(h.weight);
+      h.acc.serialize(payload);
+    }
+  }
 
   ByteWriter file;
   file.raw(reinterpret_cast<const std::uint8_t*>(kCheckpointMagic),
@@ -89,6 +104,7 @@ Expected<ShardCheckpoint> try_load_shard_checkpoint(const std::string& path) {
     ck.network = r.str();
     ck.accel = r.str();
     ck.fault_op = r.str();
+    ck.sampler = r.str();
     ck.trials_total = r.u64();
     ck.shard_begin = r.u64();
     ck.shard_end = r.u64();
@@ -105,6 +121,51 @@ Expected<ShardCheckpoint> try_load_shard_checkpoint(const std::string& path) {
     for (std::uint64_t i = 0; i < aborted; ++i)
       ck.aborted_trials.push_back(r.u64());
     ck.acc = OutcomeAccumulator::deserialize(r);
+    if (r.u8() != 0) {
+      StratifiedCheckpoint s;
+      s.rounds = r.u64();
+      s.cursor = r.u64();
+      // Structural sanity bound: strata counts are (blocks x classes x
+      // latches), a few hundred in practice; anything huge is corruption
+      // and must not drive allocations.
+      constexpr std::uint64_t kMaxStrata = 1u << 20;
+      const std::uint64_t plan_count = r.u64();
+      if (plan_count > kMaxStrata)
+        return defect(Errc::kCorruptData, path,
+                      "implausible stratified plan size " +
+                          std::to_string(plan_count));
+      s.plan.reserve(static_cast<std::size_t>(plan_count));
+      std::uint64_t plan_sum = 0;
+      for (std::uint64_t i = 0; i < plan_count; ++i) {
+        s.plan.push_back(r.u64());
+        plan_sum += s.plan.back();
+      }
+      const std::uint64_t strata_count = r.u64();
+      if (strata_count > kMaxStrata)
+        return defect(Errc::kCorruptData, path,
+                      "implausible stratum count " +
+                          std::to_string(strata_count));
+      if (strata_count == 0 ||
+          (plan_count != 0 && plan_count != strata_count))
+        return defect(Errc::kCorruptData, path,
+                      "stratified section has " +
+                          std::to_string(strata_count) + " strata but a " +
+                          std::to_string(plan_count) + "-entry plan");
+      if (s.cursor > plan_sum)
+        return defect(Errc::kCorruptData, path,
+                      "stratified cursor " + std::to_string(s.cursor) +
+                          " exceeds in-flight plan total " +
+                          std::to_string(plan_sum));
+      s.strata.reserve(static_cast<std::size_t>(strata_count));
+      for (std::uint64_t i = 0; i < strata_count; ++i) {
+        StratumCheckpoint h;
+        h.id = r.str();
+        h.weight = r.f64();
+        h.acc = OutcomeAccumulator::deserialize(r);
+        s.strata.push_back(std::move(h));
+      }
+      ck.stratified = std::move(s);
+    }
     if (!r.done())
       return defect(Errc::kCorruptData, path, "trailing garbage after payload");
     if (ck.shard_begin > ck.shard_end || ck.next_trial < ck.shard_begin ||
@@ -136,7 +197,8 @@ ShardCheckpoint load_shard_checkpoint(const std::string& path) {
 
 Expected<void> validate_checkpoint_axes(const ShardCheckpoint& ck,
                                         const std::string& accel,
-                                        const std::string& fault_op) {
+                                        const std::string& fault_op,
+                                        const std::string& sampler) {
   if (ck.accel != accel)
     return fail(Errc::kFingerprintMismatch,
                 "checkpoint was produced on accelerator '" + ck.accel +
@@ -145,6 +207,10 @@ Expected<void> validate_checkpoint_axes(const ShardCheckpoint& ck,
     return fail(Errc::kFingerprintMismatch,
                 "checkpoint was produced with fault op '" + ck.fault_op +
                     "' but this campaign runs '" + fault_op + "'");
+  if (ck.sampler != sampler)
+    return fail(Errc::kFingerprintMismatch,
+                "checkpoint was produced with sampler '" + ck.sampler +
+                    "' but this campaign runs '" + sampler + "'");
   return {};
 }
 

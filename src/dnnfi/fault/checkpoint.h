@@ -7,7 +7,7 @@
 //
 //   offset  size  field
 //   0       8     magic "DNNFICKP"
-//   8       4     format version (currently 4)
+//   8       4     format version (currently 5)
 //   12      4     CRC-32 of the payload
 //   16      8     payload size in bytes
 //   24      ...   payload (ByteWriter stream):
@@ -17,19 +17,31 @@
 //                                           "eyeriss", "systolic:16x16"
 //                   str fault_op          — v4: op identity, e.g. "toggle",
 //                                           "set1:0x5"
+//                   str sampler           — v5: sampler identity, "uniform"
+//                                           or "stratified(pilot=…,…)"
 //                   u64 trials_total      — opt.trials of the whole campaign
 //                   u64 shard_begin, shard_end
 //                   u64 next_trial        — first trial index NOT yet folded
+//                                           (stratified: trials executed)
 //                   u8  complete          — next_trial == shard_end
 //                   u64 masked_exits      — early-exited (masked) trials
 //                   u64 aborted count + u64[count] — v3: quarantined trials
-//                   ...  OutcomeAccumulator::serialize
+//                   ...  OutcomeAccumulator::serialize — pooled aggregate
+//                   u8  has_stratified    — v5: sections below present?
+//                   u64 rounds            — completed allocation rounds
+//                   u64 cursor            — executed trials of the plan
+//                   u64 plan count + u64[count] — in-flight round allocation
+//                   u64 strata count; per stratum:
+//                     str id              — canonical Stratum::id()
+//                     f64 weight          — exact uniform-draw probability
+//                     ...  OutcomeAccumulator::serialize
 //
 // Version history: v1 lacked masked_exits; v2 lacked aborted_trials; v3
-// lacked the accelerator-geometry / fault-op identity strings. Loads of
-// older files fail with a version error (campaign semantics are unchanged,
-// but mixing counters across formats silently would corrupt masked-rate,
-// quarantine, and cross-geometry reporting).
+// lacked the accelerator-geometry / fault-op identity strings; v4 lacked
+// the sampler identity and the per-stratum section. Loads of older files
+// fail with a version error (campaign semantics are unchanged, but mixing
+// counters across formats silently would corrupt masked-rate, quarantine,
+// and cross-geometry reporting).
 //
 // Every structural defect — bad magic, unknown version, CRC mismatch,
 // truncation — is reported with a typed Errc (error.h) naming the file and
@@ -43,6 +55,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -73,7 +86,26 @@ class CheckpointError : public std::runtime_error {
 
 inline constexpr char kCheckpointMagic[8] = {'D', 'N', 'N', 'F',
                                              'I', 'C', 'K', 'P'};
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+inline constexpr std::uint32_t kCheckpointVersion = 5;
+
+/// One stratum's persisted state inside a stratified checkpoint (v5).
+struct StratumCheckpoint {
+  std::string id;     ///< canonical Stratum::id(); layout-mismatch guard
+  double weight = 0;  ///< exact uniform-draw probability W_h
+  OutcomeAccumulator acc;
+};
+
+/// Stratified-campaign extension of a checkpoint (v5): the per-stratum
+/// accumulators plus the controller's in-flight round. Everything else the
+/// controller needs (the next allocation) is a pure function of this state,
+/// so nothing else is persisted.
+struct StratifiedCheckpoint {
+  std::uint64_t rounds = 0;  ///< completed allocation rounds
+  std::uint64_t cursor = 0;  ///< trials of `plan` already executed + folded
+  /// The in-flight round's per-stratum allocation (empty between rounds).
+  std::vector<std::uint64_t> plan;
+  std::vector<StratumCheckpoint> strata;
+};
 
 /// One shard's persistent state.
 struct ShardCheckpoint {
@@ -83,6 +115,8 @@ struct ShardCheckpoint {
   std::string accel = "eyeriss";
   /// Canonical fault-operation identity (FaultOpSpec::to_string; v4).
   std::string fault_op = "toggle";
+  /// Canonical sampler identity (campaign.h sampler_id; new in v5).
+  std::string sampler = "uniform";
   std::uint64_t trials_total = 0;
   std::uint64_t shard_begin = 0;
   std::uint64_t shard_end = 0;
@@ -96,7 +130,11 @@ struct ShardCheckpoint {
   /// Always empty for worker-written shard checkpoints; the supervisor's
   /// merged campaign checkpoint enumerates them. New in format v3.
   std::vector<std::uint64_t> aborted_trials;
+  /// Pooled aggregate: for stratified campaigns, the exact fold of every
+  /// per-stratum accumulator (so uniform-only consumers still read totals).
   OutcomeAccumulator acc;
+  /// Present iff the campaign ran a non-uniform sampler (v5).
+  std::optional<StratifiedCheckpoint> stratified;
 };
 
 /// Atomically writes `ck` to `path` (tmp file + rename). kIo on failure.
@@ -115,11 +153,13 @@ void save_shard_checkpoint(const std::string& path, const ShardCheckpoint& ck);
 ShardCheckpoint load_shard_checkpoint(const std::string& path);
 
 /// Validates that a loaded checkpoint was produced on the given accelerator
-/// geometry and fault operation (canonical identity strings). Fails with
-/// kFingerprintMismatch naming both sides — resuming a shard under a
-/// different geometry/op would silently merge incomparable trials.
+/// geometry, fault operation, and sampler (canonical identity strings).
+/// Fails with kFingerprintMismatch naming both sides — resuming a shard
+/// under a different geometry/op/sampler would silently merge incomparable
+/// trials.
 Expected<void> validate_checkpoint_axes(const ShardCheckpoint& ck,
                                         const std::string& accel,
-                                        const std::string& fault_op);
+                                        const std::string& fault_op,
+                                        const std::string& sampler = "uniform");
 
 }  // namespace dnnfi::fault

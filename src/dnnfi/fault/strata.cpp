@@ -1,0 +1,179 @@
+#include "dnnfi/fault/strata.h"
+
+#include <algorithm>
+
+namespace dnnfi::fault {
+
+namespace {
+
+/// (fraction-field bits, scale-field bits) of the stored word: mantissa and
+/// exponent for the IEEE formats, fraction and integer field for the
+/// fixed-point ones. Width = frac + scale + 1 (sign) always.
+struct FieldSplit {
+  int frac = 0;
+  int scale = 0;
+};
+
+FieldSplit field_split(numeric::DType t) {
+  using numeric::DType;
+  switch (t) {
+    case DType::kDouble:  return {52, 11};
+    case DType::kFloat:   return {23, 8};
+    case DType::kFloat16: return {10, 5};
+    case DType::kFx32r26: return {26, 5};
+    case DType::kFx32r10: return {10, 21};
+    case DType::kFx16r10: return {10, 5};
+  }
+  DNNFI_EXPECTS(false);
+  return {};
+}
+
+std::size_t class_slot(BitClass c) {
+  for (std::size_t i = 0; i < kAllBitClasses.size(); ++i)
+    if (kAllBitClasses[i] == c) return i;
+  DNNFI_EXPECTS(false);
+  return 0;
+}
+
+std::size_t latch_slot(accel::DatapathLatch l) {
+  for (std::size_t i = 0; i < accel::kAllDatapathLatches.size(); ++i)
+    if (accel::kAllDatapathLatches[i] == l) return i;
+  DNNFI_EXPECTS(false);
+  return 0;
+}
+
+}  // namespace
+
+std::array<BitRange, 5> bit_class_layout(numeric::DType dtype) {
+  const auto [frac, scale] = field_split(dtype);
+  const int width = numeric::dtype_width(dtype);
+  DNNFI_EXPECTS(frac + scale + 1 == width);
+  std::array<BitRange, 5> out{};
+  // Fields split low-half = floor(n/2), high-half = the rest, so the high
+  // half (the statistically hot one) is never smaller than the low half.
+  const int frac_lo = frac / 2;
+  const int scale_lo = scale / 2;
+  out[class_slot(BitClass::kMantLow)] = {0, frac_lo};
+  out[class_slot(BitClass::kMantHigh)] = {frac_lo, frac - frac_lo};
+  out[class_slot(BitClass::kExpLow)] = {frac, scale_lo};
+  out[class_slot(BitClass::kExpHigh)] = {frac + scale_lo, scale - scale_lo};
+  out[class_slot(BitClass::kSign)] = {width - 1, 1};
+  return out;
+}
+
+BitClass bit_class_of(numeric::DType dtype, int bit) {
+  DNNFI_EXPECTS(bit >= 0 && bit < numeric::dtype_width(dtype));
+  const auto layout = bit_class_layout(dtype);
+  for (std::size_t i = 0; i < layout.size(); ++i)
+    if (bit >= layout[i].lo && bit < layout[i].lo + layout[i].count)
+      return kAllBitClasses[i];
+  DNNFI_EXPECTS(false);
+  return BitClass::kSign;
+}
+
+std::string Stratum::id() const {
+  std::string s = "b";
+  s += std::to_string(block);
+  s += '/';
+  s += bit_class_name(bits);
+  if (latch) {
+    s += '/';
+    s += accel::datapath_latch_name(*latch);
+  }
+  return s;
+}
+
+StratumSet::StratumSet(const Sampler& sampler, SiteClass site,
+                       const SampleConstraint& base)
+    : sampler_(&sampler), site_(site), base_(base) {
+  // Stratified campaigns stratify the *whole* population: a base constraint
+  // that already pins an axis would make the weights wrong.
+  DNNFI_EXPECTS(!base_.fixed_bit && !base_.fixed_block && !base_.fixed_latch);
+  DNNFI_EXPECTS(sampler.model().supports(site));
+
+  word_dtype_ = (site != SiteClass::kDatapathLatch && base_.buffer_storage)
+                    ? *base_.buffer_storage
+                    : sampler.dtype();
+  width_ = numeric::dtype_width(word_dtype_);
+  layout_ = bit_class_layout(word_dtype_);
+
+  // Per-block share of the layer-weight mass the base sampler draws from:
+  // MACs for datapath latches, occupied-words x MACs for buffers. Blocks
+  // whose mass is zero (nothing of this site class lives there) are not
+  // part of the population and get no stratum.
+  const auto& fps = sampler.footprints();
+  int max_block = 0;
+  for (const auto& fp : fps) max_block = std::max(max_block, fp.block);
+  std::vector<double> block_mass(static_cast<std::size_t>(max_block) + 1, 0.0);
+  double grand = 0;
+  for (const auto& fp : fps) {
+    double w = static_cast<double>(fp.macs);
+    if (site != SiteClass::kDatapathLatch)
+      w *= static_cast<double>(sampler.model().occupied_elems(fp, site));
+    block_mass[static_cast<std::size_t>(fp.block)] += w;
+    grand += w;
+  }
+  DNNFI_EXPECTS(grand > 0);
+
+  num_latches_ =
+      site == SiteClass::kDatapathLatch ? accel::kAllDatapathLatches.size() : 1;
+  const double latch_p = 1.0 / static_cast<double>(num_latches_);
+
+  block_slot_.assign(block_mass.size(), -1);
+  int next_slot = 0;
+  for (std::size_t b = 1; b < block_mass.size(); ++b) {
+    if (block_mass[b] <= 0) continue;
+    block_slot_[b] = next_slot++;
+    const double block_p = block_mass[b] / grand;
+    for (std::size_t ci = 0; ci < kAllBitClasses.size(); ++ci) {
+      if (layout_[ci].count == 0) continue;
+      const double bit_p =
+          static_cast<double>(layout_[ci].count) / static_cast<double>(width_);
+      for (std::size_t li = 0; li < num_latches_; ++li) {
+        Stratum s;
+        s.block = static_cast<int>(b);
+        s.bits = kAllBitClasses[ci];
+        if (site == SiteClass::kDatapathLatch)
+          s.latch = accel::kAllDatapathLatches[li];
+        strata_.push_back(s);
+        weights_.push_back(block_p * bit_p * latch_p);
+      }
+    }
+  }
+  DNNFI_EXPECTS(!strata_.empty());
+}
+
+std::size_t StratumSet::index_of(const FaultDescriptor& fd) const {
+  DNNFI_EXPECTS(fd.cls == site_);
+  DNNFI_EXPECTS(fd.block >= 0 &&
+                static_cast<std::size_t>(fd.block) < block_slot_.size());
+  const int bslot = block_slot_[static_cast<std::size_t>(fd.block)];
+  DNNFI_EXPECTS(bslot >= 0);
+  const std::size_t ci = class_slot(bit_class_of(word_dtype_, fd.bit));
+  // Strata are emitted per block in (class x latch) order, but only for
+  // non-empty classes; recover the dense class ordinal by counting.
+  std::size_t dense_ci = 0;
+  for (std::size_t i = 0; i < ci; ++i)
+    if (layout_[i].count > 0) ++dense_ci;
+  DNNFI_EXPECTS(layout_[ci].count > 0);
+  std::size_t classes = 0;
+  for (const BitRange& r : layout_)
+    if (r.count > 0) ++classes;
+  const std::size_t li =
+      site_ == SiteClass::kDatapathLatch ? latch_slot(fd.latch) : 0;
+  return (static_cast<std::size_t>(bslot) * classes + dense_ci) * num_latches_ +
+         li;
+}
+
+FaultDescriptor StratumSet::sample(std::size_t h, Rng& rng) const {
+  const Stratum& s = strata_.at(h);
+  SampleConstraint c = base_;
+  c.fixed_block = s.block;
+  c.fixed_latch = s.latch;
+  const BitRange& r = layout_[class_slot(s.bits)];
+  c.fixed_bit =
+      r.lo + static_cast<int>(rng.below(static_cast<std::uint64_t>(r.count)));
+  return sampler_->sample(site_, rng, c);
+}
+
+}  // namespace dnnfi::fault

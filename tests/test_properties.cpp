@@ -15,6 +15,7 @@
 #include "dnnfi/dnn/spec.h"
 #include "dnnfi/dnn/weights.h"
 #include "dnnfi/dnn/zoo.h"
+#include "dnnfi/fault/accumulator.h"
 #include "dnnfi/fault/descriptor.h"
 #include "dnnfi/fault/fault_op.h"
 #include "dnnfi/fault/injector.h"
@@ -570,6 +571,44 @@ TEST(ExactSumProperty, ZeroMeansNothingAdded) {
   EXPECT_TRUE(s.zero());
   s.add(1.0);
   EXPECT_FALSE(s.zero());
+}
+
+// ---------------------------------------------------------------------------
+// Accumulator merge identity: a zero-trial stratum is a no-op operand.
+
+TEST(OutcomeAccumulatorProperty, MergingZeroTrialStratumIsIdentity) {
+  fault::TrialRecord t;
+  t.outcome.sdc1 = true;
+  t.output_corruption = 0.25;
+  t.block_distance = {0.5, 3.0};
+  fault::OutcomeAccumulator acc(2);
+  acc.add(t);
+  t.outcome.sdc1 = false;
+  t.block_distance = {0.0, 1.0};
+  acc.add(t);
+
+  const auto before = acc.bytes();
+  const fault::Estimate ci_before = acc.sdc1();
+
+  // A pre-sized per-stratum accumulator that saw zero trials — exactly what
+  // the stratified campaign holds for a converged-at-pilot or empty stratum.
+  // Its block-slot count is deliberately *larger* than the target's; merging
+  // it must not grow the target's block vector or otherwise perturb its
+  // serialized state (ExactSums included) or its CI widths.
+  const fault::OutcomeAccumulator empty(8);
+  acc.merge(empty);
+
+  EXPECT_EQ(acc.bytes(), before);
+  EXPECT_EQ(acc.sdc1().ci95, ci_before.ci95);
+  EXPECT_EQ(acc.trials(), 2U);
+  EXPECT_EQ(acc.num_blocks(), 2U);
+
+  // Merging real state *into* a zero-trial accumulator still works and
+  // reproduces the source bytes (pre-sizing on the target side is the
+  // intended per-stratum construction pattern, not a perturbation).
+  fault::OutcomeAccumulator sink;
+  sink.merge(acc);
+  EXPECT_EQ(sink.bytes(), acc.bytes());
 }
 
 // ---------------------------------------------------------------------------

@@ -97,6 +97,8 @@ void install_signal_handlers() {
          "  options:  --trials N --seed S --shard B:E --checkpoint FILE\n"
          "            --batch N --stop-after N --bit B --layer L --inputs N\n"
          "            --accel <geom> --fault-op <op>\n"
+         "            --sampler uniform|stratified --pilot N --round-size N\n"
+         "            --ci-target X (stratified: 0 disables the CI stop)\n"
          "            --distances --out FILE --no-progress --no-incremental\n"
          "  supervise: --workers W --shard-size N --ckpt-dir DIR\n"
          "            --heartbeat-timeout S --shard-timeout S\n"
@@ -152,6 +154,8 @@ struct Args {
   std::optional<int> layer;
   accel::AcceleratorConfig accel;
   fault::FaultOpSpec fault_op;
+  fault::SamplerMode sampler = fault::SamplerMode::kUniform;
+  fault::StratifiedOptions stratified;
   std::size_t inputs = 8;
   bool distances = false;
   bool incremental = true;
@@ -231,6 +235,22 @@ Args parse(int argc, char** argv) {
       if (!spec)
         usage("bad --fault-op (want toggle|set0|set1[:<n>|:0x<mask>])");
       a.fault_op = *spec;
+    } else if (key == "--sampler") {
+      if (val == "uniform")
+        a.sampler = fault::SamplerMode::kUniform;
+      else if (val == "stratified")
+        a.sampler = fault::SamplerMode::kStratified;
+      else
+        usage("bad --sampler (want uniform or stratified)");
+    } else if (key == "--pilot") {
+      a.stratified.pilot = std::stoull(val);
+      if (a.stratified.pilot == 0) usage("--pilot must be positive");
+    } else if (key == "--round-size") {
+      a.stratified.round = std::stoull(val);
+      if (a.stratified.round == 0) usage("--round-size must be positive");
+    } else if (key == "--ci-target") {
+      a.stratified.target_ci = std::stod(val);
+      if (a.stratified.target_ci < 0) usage("--ci-target must be >= 0");
     } else if (key == "--inputs") {
       a.inputs = std::stoull(val);
     } else if (key == "--out") {
@@ -262,11 +282,28 @@ Args parse(int argc, char** argv) {
       !accel::make_accelerator(a.accel)->supports(a.site))
     usage("site " + std::string(fault::site_class_name(a.site)) +
           " is not in the " + a.accel.to_string() + " site inventory");
+  if (a.sampler == fault::SamplerMode::kStratified) {
+    // Stratified campaigns are sequential-adaptive over the *whole* site
+    // population: no trial-index shards, no pinned axes, no supervision.
+    if (a.shard_begin != 0 || a.shard_end != 0)
+      usage("--shard is incompatible with --sampler stratified");
+    if (a.bit || a.layer)
+      usage("--bit/--layer pin a stratification axis; use --sampler uniform");
+    if (a.command == "supervise" || a.command == "worker")
+      usage("supervise runs uniform campaigns; use run --sampler stratified");
+  }
   return a;
 }
 
+std::string sampler_cli_id(const Args& a) {
+  return a.sampler == fault::SamplerMode::kStratified
+             ? a.stratified.to_string()
+             : std::string("uniform");
+}
+
 fault::StatsAxes stats_axes(const Args& a) {
-  return fault::StatsAxes{a.accel.to_string(), a.fault_op.to_string()};
+  return fault::StatsAxes{a.accel.to_string(), a.fault_op.to_string(),
+                          sampler_cli_id(a)};
 }
 
 std::vector<dnn::Example> test_inputs(NetworkId id, std::size_t n) {
@@ -300,14 +337,80 @@ int emit_stats_or_fail(const std::string& path, std::uint64_t fingerprint,
                        const fault::OutcomeAccumulator& acc,
                        std::uint64_t masked_exits,
                        const std::vector<std::uint64_t>& aborted = {},
-                       const fault::StatsAxes& axes = {}) {
+                       const fault::StatsAxes& axes = {},
+                       const fault::StratifiedStatsSection* strat = nullptr) {
   auto written = fault::write_stats_file(path, fingerprint, acc, masked_exits,
-                                         aborted, axes);
+                                         aborted, axes, strat);
   if (!written.ok()) {
     std::cerr << "error: " << written.error().to_string() << "\n";
     return exit_code(written.error().code);
   }
   return 0;
+}
+
+/// The v5 stats section of a finished stratified run.
+fault::StratifiedStatsSection strat_section(const fault::StratifiedResult& r) {
+  fault::StratifiedStatsSection s;
+  s.strata.reserve(r.strata.size());
+  for (std::size_t h = 0; h < r.strata.size(); ++h) {
+    fault::StratumStats st;
+    st.id = r.strata[h].id();
+    st.weight = r.weights[h];
+    st.trials = r.per_stratum[h].trials();
+    st.sdc1 = r.per_stratum[h].sdc1().hits;
+    st.sdc5 = r.per_stratum[h].sdc5().hits;
+    st.sdc10 = r.per_stratum[h].sdc10().hits;
+    st.sdc20 = r.per_stratum[h].sdc20().hits;
+    s.strata.push_back(std::move(st));
+  }
+  return s;
+}
+
+/// Same section rebuilt from a v5 checkpoint (for `merge`): identical bytes
+/// to the run-time emission because both reduce to the same counters.
+fault::StratifiedStatsSection strat_section(
+    const fault::StratifiedCheckpoint& ck) {
+  fault::StratifiedStatsSection s;
+  s.strata.reserve(ck.strata.size());
+  for (const auto& h : ck.strata) {
+    fault::StratumStats st;
+    st.id = h.id;
+    st.weight = h.weight;
+    st.trials = h.acc.trials();
+    st.sdc1 = h.acc.sdc1().hits;
+    st.sdc5 = h.acc.sdc5().hits;
+    st.sdc10 = h.acc.sdc10().hits;
+    st.sdc20 = h.acc.sdc20().hits;
+    s.strata.push_back(std::move(st));
+  }
+  return s;
+}
+
+/// Horvitz–Thompson estimates of a stratified section: unbiased population
+/// rates with stratified 95% intervals and the effective sample size.
+void print_ht_summary(const fault::StratifiedStatsSection& s,
+                      std::uint64_t executed) {
+  Table t("stratified estimates (Horvitz–Thompson)");
+  t.header({"metric", "estimate", "n_eff"});
+  const auto row = [&](const char* name,
+                       std::uint64_t fault::StratumStats::*hits) {
+    std::vector<fault::StratumCounts> c(s.strata.size());
+    for (std::size_t h = 0; h < s.strata.size(); ++h) {
+      c[h].weight = s.strata[h].weight;
+      c[h].hits = s.strata[h].*hits;
+      c[h].n = s.strata[h].trials;
+    }
+    const fault::StratifiedEstimate e = fault::stratified_estimate(c);
+    t.row({name, Table::pct_ci(e.est.p, e.est.ci95),
+           std::to_string(static_cast<std::uint64_t>(e.n_eff))});
+  };
+  row("SDC-1", &fault::StratumStats::sdc1);
+  row("SDC-5", &fault::StratumStats::sdc5);
+  row("SDC-10%", &fault::StratumStats::sdc10);
+  row("SDC-20%", &fault::StratumStats::sdc20);
+  t.print(std::cout);
+  std::cout << "(" << s.strata.size() << " strata, " << executed
+            << " trials executed)\n";
 }
 
 fault::CampaignOptions campaign_options(const Args& a) {
@@ -321,10 +424,66 @@ fault::CampaignOptions campaign_options(const Args& a) {
   opt.constraint.burst = a.fault_op.burst;
   opt.constraint.op_pattern = a.fault_op.pattern;
   opt.accel = a.accel;
+  opt.sampler = a.sampler;
+  opt.stratified = a.stratified;
   opt.record_block_distances = a.distances;
   opt.incremental_replay = a.incremental;
   opt.cancel = &g_cancel;
   return opt;
+}
+
+/// run/resume with --sampler stratified: the adaptive campaign. Prints the
+/// pooled (raw-count) summary plus the HT estimates; --out emits the v5
+/// stats file with the per-stratum section.
+int cmd_run_stratified(const Args& a) {
+  const dnn::Model m = data::pretrained(a.network);
+  const fault::Campaign c(m.spec, m.blob, a.dtype,
+                          test_inputs(a.network, a.inputs));
+
+  fault::CampaignOptions opt = campaign_options(a);
+  if (a.progress) {
+    opt.progress = [](const fault::CampaignProgress& p) {
+      std::cerr << "\rstratified: " << p.done << "/" << p.end
+                << " trial budget, "
+                << static_cast<int>(p.trials_per_sec) << "/s, SDC-1 "
+                << Table::pct_ci(p.sdc1.p, p.sdc1.ci95) << ", masked "
+                << static_cast<int>(p.masked_exit_rate * 100.0) << "%   "
+                << std::flush;
+    };
+  }
+
+  fault::ShardSpec shard;
+  shard.checkpoint = a.checkpoint;
+  shard.batch = a.batch;
+  shard.stop_after = a.stop_after;
+
+  const auto res = c.run_stratified(opt, shard);
+  if (a.progress) std::cerr << "\n";
+
+  if (!res.complete) {
+    const bool interrupted = g_cancel.load(std::memory_order_relaxed);
+    std::cerr << (interrupted ? "interrupted after " : "stopped after ")
+              << res.trials << " of " << a.trials << " budgeted trials"
+              << (a.checkpoint.empty() ? "" : "; checkpoint saved") << "\n";
+    return interrupted ? exit_code(Errc::kInterrupted) : 3;
+  }
+
+  print_summary("stratified campaign, " + std::to_string(res.trials) + "/" +
+                    std::to_string(a.trials) + " budgeted trials (pooled): " +
+                    std::string(dnn::zoo::network_name(a.network)) + " " +
+                    std::string(numeric::dtype_name(a.dtype)) + " " +
+                    fault::site_class_name(a.site),
+                res.pooled);
+  const fault::StratifiedStatsSection section = strat_section(res);
+  print_ht_summary(section, res.trials);
+  std::cerr << "stratified: " << res.rounds << " round(s), "
+            << (res.converged ? "converged on the CI target"
+                              : "stopped on the trial budget")
+            << "\n";
+  if (!a.out.empty())
+    return emit_stats_or_fail(a.out, c.fingerprint(opt), res.pooled,
+                              res.masked_exits, {}, stats_axes(a), &section);
+  return 0;
 }
 
 int cmd_run(const Args& a, bool resume) {
@@ -336,6 +495,8 @@ int cmd_run(const Args& a, bool resume) {
       return 1;
     }
   }
+  if (a.sampler == fault::SamplerMode::kStratified)
+    return cmd_run_stratified(a);
   const dnn::Model m = data::pretrained(a.network);
   const fault::Campaign c(m.spec, m.blob, a.dtype,
                           test_inputs(a.network, a.inputs));
@@ -568,12 +729,43 @@ int cmd_merge(const Args& a) {
           Errc::kFingerprintMismatch,
           "shard " + a.files[i] + " belongs to a different campaign than " +
               a.files[0]);
-    if (auto axes = fault::validate_checkpoint_axes(cks[i], cks[0].accel,
-                                                    cks[0].fault_op);
+    if (auto axes = fault::validate_checkpoint_axes(
+            cks[i], cks[0].accel, cks[0].fault_op, cks[0].sampler);
         !axes.ok())
       throw fault::CheckpointError(axes.error().code,
                                    "shard " + a.files[i] + ": " +
                                        axes.error().message);
+  }
+
+  // A stratified campaign is one sequential-adaptive run, so its final
+  // checkpoint IS the whole campaign: `merge` degenerates to validating it
+  // and re-emitting the stats — byte-identical to the run's own --out,
+  // which is what the nightly kill/resume/merge leg diffs.
+  if (cks[0].sampler != "uniform") {
+    if (cks.size() != 1)
+      throw fault::CheckpointError(
+          Errc::kShardMismatch,
+          "stratified campaigns don't shard; merge accepts exactly one "
+          "stratified checkpoint (got " +
+              std::to_string(cks.size()) + ")");
+    const fault::ShardCheckpoint& ck = cks[0];
+    if (!ck.stratified)
+      throw fault::CheckpointError(
+          Errc::kCorruptData,
+          "checkpoint " + a.files[0] +
+              ": sampler is stratified but the per-stratum section is "
+              "missing");
+    print_summary("stratified campaign, " + std::to_string(ck.acc.trials()) +
+                      "/" + std::to_string(ck.trials_total) +
+                      " budgeted trials (pooled): " + ck.network,
+                  ck.acc);
+    const fault::StratifiedStatsSection section = strat_section(*ck.stratified);
+    print_ht_summary(section, ck.acc.trials());
+    if (!a.out.empty())
+      return emit_stats_or_fail(
+          a.out, ck.fingerprint, ck.acc, ck.masked_exits, {},
+          fault::StatsAxes{ck.accel, ck.fault_op, ck.sampler}, &section);
+    return 0;
   }
   std::vector<std::size_t> order(cks.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

@@ -154,3 +154,40 @@ else
   cat "$WORK/sys_sup.log" >&2
   exit 1
 fi
+
+echo "== stratified sampler: kill/resume/merge byte-identity =="
+# The adaptive stratified campaign (DESIGN.md §12) makes the same
+# determinism promise as the uniform sharded engine: a run stopped by
+# --stop-after and resumed from its v5 checkpoint, and a `merge` of that
+# finished checkpoint, must both reproduce the uninterrupted run's stats
+# file byte-for-byte — per-stratum counts, HT estimate, allocator cursor
+# and all. --ci-target 0 disables the convergence stop so the 2000-trial
+# budget pins the trial count.
+STRAT=(--network convnet --dtype FLOAT16 --trials 2000 --seed 20170101
+       --inputs 8 --distances --no-progress
+       --sampler stratified --ci-target 0)
+
+"$CAMPAIGN" run "${STRAT[@]}" --out "$WORK/strat_full.stats"
+
+rc=0
+"$CAMPAIGN" run "${STRAT[@]}" --batch 100 --stop-after 700 \
+    --checkpoint "$WORK/strat.ckpt" || rc=$?
+[ "$rc" -eq 3 ] || { echo "error: expected exit 3 after stratified --stop-after, got $rc" >&2; exit 1; }
+
+"$CAMPAIGN" resume "${STRAT[@]}" --batch 100 \
+    --checkpoint "$WORK/strat.ckpt" --out "$WORK/strat_resumed.stats"
+
+"$CAMPAIGN" merge "$WORK/strat.ckpt" --out "$WORK/strat_merged.stats"
+
+grep -q '^sampler stratified(' "$WORK/strat_full.stats" || {
+  echo "FAIL: stratified stats missing the sampler identity line" >&2; exit 1; }
+grep -q '^stratum ' "$WORK/strat_full.stats" || {
+  echo "FAIL: stratified stats missing the per-stratum section" >&2; exit 1; }
+
+if diff -u "$WORK/strat_full.stats" "$WORK/strat_resumed.stats" &&
+   diff -u "$WORK/strat_full.stats" "$WORK/strat_merged.stats"; then
+  echo "PASS: stratified kill/resume and merge are bit-identical"
+else
+  echo "FAIL: stratified resume or merge diverged from the uninterrupted run" >&2
+  exit 1
+fi
