@@ -453,8 +453,76 @@ std::vector<KernelCell> measure_kernel_gflops() {
   return cells;
 }
 
+// ---------------------------------------------------------------------------
+// Per-layer-kind wall-time profile of the fault-free forward pass: each plan
+// step is timed individually (the steps are microseconds-scale, so the
+// clock-read overhead is in the noise) and aggregated by LayerKind. This is
+// the Amdahl accounting for the kernel work: it shows where a forward pass
+// actually spends its time once conv/FC are vectorized.
+// ---------------------------------------------------------------------------
+
+struct LayerKindCost {
+  std::string network;
+  std::string dtype;
+  std::string kind;
+  double ns_per_forward = 0;
+  double share = 0;  ///< fraction of that network+dtype's total
+};
+
+template <typename T>
+void profile_layer_kinds(const char* netname, const char* dtype, NetworkId id,
+                         std::vector<LayerKindCost>& out) {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::size_t kWarm = 8;
+  constexpr std::size_t kReps = 64;
+  const NetContext& ctx = ctx_for(id);
+  const auto net = dnn::instantiate<T>(ctx.model.spec, ctx.model.blob);
+  const auto& plan = net.plan();
+  dnn::Workspace<T> ws(plan);
+  const auto input = tensor::convert<T>(ctx.inputs[0].image);
+  const auto& steps = plan.steps();
+  std::map<dnn::LayerKind, double> acc;
+  const auto drive = [&](bool timed) {
+    tensor::ConstTensorView<T> cur = input.view();
+    unsigned parity = 0;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      tensor::TensorView<T> o = ws.out_buffer(parity, steps[i].out_shape);
+      const auto t0 = Clock::now();
+      plan.exec_step(i, cur, o, ws.packed_data());
+      if (timed)
+        acc[steps[i].layer->kind()] += static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 t0)
+                .count());
+      cur = o;
+      parity ^= 1U;
+    }
+    benchmark::DoNotOptimize(cur);
+  };
+  for (std::size_t i = 0; i < kWarm; ++i) drive(false);
+  for (std::size_t i = 0; i < kReps; ++i) drive(true);
+  double total = 0;
+  for (const auto& [kind, ns] : acc) total += ns;
+  for (const auto& [kind, ns] : acc)
+    out.push_back({netname, dtype, dnn::layer_kind_name(kind),
+                   ns / static_cast<double>(kReps),
+                   total > 0 ? ns / total : 0});
+}
+
+std::vector<LayerKindCost> measure_layer_profile() {
+  std::vector<LayerKindCost> cells;
+  profile_layer_kinds<numeric::Half>("AlexNet-S", "float16",
+                                     NetworkId::kAlexNetS, cells);
+  profile_layer_kinds<float>("AlexNet-S", "float", NetworkId::kAlexNetS,
+                             cells);
+  profile_layer_kinds<numeric::Half>("ConvNet", "float16", NetworkId::kConvNet,
+                                     cells);
+  return cells;
+}
+
 void write_json(const AllocatorReport& r, const StreamingReport& s,
-                const std::vector<KernelCell>& kc, const std::string& path) {
+                const std::vector<KernelCell>& kc,
+                const std::vector<LayerKindCost>& lp, const std::string& path) {
   std::ostringstream out;
   out << "{\n"
       << "  \"network\": \"ConvNet\",\n"
@@ -472,6 +540,7 @@ void write_json(const AllocatorReport& r, const StreamingReport& s,
   const auto prof = dnn::kernels::kernel_profile();
   out << "  \"kernels\": {\"mode\": \"" << prof.mode
       << "\", \"cpu_avx2\": " << (prof.cpu_avx2 ? "true" : "false")
+      << ", \"cpu_avx512\": " << (prof.cpu_avx512 ? "true" : "false")
       << ", \"cpu_f16c\": " << (prof.cpu_f16c ? "true" : "false")
       << ", \"f16c_compiled\": " << (prof.f16c_compiled ? "true" : "false")
       << ", \"active_float\": \"" << prof.active_float
@@ -483,6 +552,16 @@ void write_json(const AllocatorReport& r, const StreamingReport& s,
         << "\", \"op\": \"" << c.op << "\", \"gflops\": " << c.gflops
         << ", \"bit_identical\": " << (c.bit_identical ? "true" : "false")
         << "}" << (i + 1 < kc.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"layer_profile\": [\n";
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    const LayerKindCost& c = lp[i];
+    out << "    {\"network\": \"" << c.network << "\", \"dtype\": \""
+        << c.dtype << "\", \"kind\": \"" << c.kind
+        << "\", \"ns_per_forward\": " << c.ns_per_forward
+        << ", \"share\": " << c.share << "}"
+        << (i + 1 < lp.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   if (!dnnfi::write_file_atomic(path, out.str()))
@@ -500,15 +579,21 @@ int main(int argc, char** argv) {
   const AllocatorReport r = measure_hot_path();
   const StreamingReport s = measure_streaming_memory();
   const std::vector<KernelCell> kc = measure_kernel_gflops();
+  const std::vector<LayerKindCost> lp = measure_layer_profile();
   std::filesystem::create_directories(results_dir());
   const std::string json = results_dir() + "/BENCH_perf_micro.json";
-  write_json(r, s, kc, json);
+  write_json(r, s, kc, lp, json);
   std::printf("\nper-kernel throughput (GFLOP/s, fixed conv 32c16x16k3 / fc "
               "1024x1024):\n");
   for (const KernelCell& c : kc)
     std::printf("  %-8s %-13s %-4s %8.2f%s\n", c.dtype.c_str(), c.set.c_str(),
                 c.op.c_str(), c.gflops,
                 c.bit_identical ? "" : "  (tolerance mode)");
+  std::printf("\nper-layer-kind wall time of a fault-free forward:\n");
+  for (const LayerKindCost& c : lp)
+    std::printf("  %-10s %-8s %-14s %10.0f ns  %5.1f%%\n", c.network.c_str(),
+                c.dtype.c_str(), c.kind.c_str(), c.ns_per_forward,
+                100.0 * c.share);
   std::printf(
       "\ncompiled-engine hot path (ConvNet, float16, counting allocator):\n"
       "  ns/inference:                    %.0f\n"

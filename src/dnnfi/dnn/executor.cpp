@@ -58,6 +58,28 @@ ExecutionPlan<T>::ExecutionPlan(const Network<T>& net)
       case LayerKind::kRelu:
         st.kernel = StepKernel::kRelu;
         break;
+      case LayerKind::kLrn: {
+        const auto* l = static_cast<const Lrn<T>*>(st.layer);
+        st.kernel = StepKernel::kLrn;
+        st.lrn = {st.in_shape.c, st.in_shape.h, st.in_shape.w,
+                  l->size(),     l->alpha(),    l->beta(),
+                  l->bias_k()};
+        break;
+      }
+      case LayerKind::kMaxPool: {
+        const auto* m = static_cast<const MaxPool2d<T>*>(st.layer);
+        st.kernel = StepKernel::kMaxPool;
+        st.pool = {st.out_shape.c, st.in_shape.h,  st.in_shape.w,
+                   st.out_shape.h, st.out_shape.w, m->kernel(),
+                   m->stride()};
+        break;
+      }
+      case LayerKind::kGlobalAvgPool:
+        st.kernel = StepKernel::kAvgPool;
+        break;
+      case LayerKind::kSoftmax:
+        st.kernel = StepKernel::kSoftmax;
+        break;
       default:
         break;
     }
@@ -105,6 +127,19 @@ void ExecutionPlan<T>::exec_step(std::size_t i, ConstTensorView<T> in,
       break;
     case StepKernel::kRelu:
       kset_->relu(in.data().data(), out.data().data(), in.size());
+      return;
+    case StepKernel::kLrn:
+      kset_->lrn(st.lrn, in.data().data(), out.data().data());
+      return;
+    case StepKernel::kMaxPool:
+      kset_->maxpool(st.pool, in.data().data(), out.data().data());
+      return;
+    case StepKernel::kAvgPool:
+      kset_->avgpool(in.data().data(), out.data().data(), st.in_shape.c,
+                     st.in_shape.h * st.in_shape.w);
+      return;
+    case StepKernel::kSoftmax:
+      kset_->softmax(in.data().data(), out.data().data(), in.size());
       return;
     case StepKernel::kNone:
       break;

@@ -28,8 +28,8 @@
 // exit, where it aliases the (stable) ActivationCache instead.
 //
 // Kernel dispatch: a plan captures kernels::active_kernels<T>() at
-// construction and routes every conv / fully-connected / relu step through
-// it (exec_step). Public tensors — activations, caches, checkpoints, fault
+// construction and routes every conv / fully-connected / relu / lrn /
+// maxpool / avgpool / softmax step through it (exec_step). Public tensors — activations, caches, checkpoints, fault
 // injection coordinates — stay NCHW/OIHW; the packed copy lives only in the
 // workspace and is refreshed whenever the workspace re-binds a different
 // plan (or Workspace::repack is called after mutating weights in place).
@@ -43,11 +43,22 @@
 namespace dnnfi::dnn {
 
 /// Which kernel a plan step routes through (kNone: the layer's own forward).
-enum class StepKernel { kNone, kConv, kFc, kRelu };
+enum class StepKernel {
+  kNone,
+  kConv,
+  kFc,
+  kRelu,
+  kLrn,
+  kMaxPool,
+  kAvgPool,
+  kSoftmax
+};
 
-/// One layer of a compiled plan with its resolved shapes and, for MAC /
-/// relu layers, the pre-resolved kernel call (geometry, weight and bias
-/// pointers, packed-copy placement).
+/// One layer of a compiled plan with its resolved shapes and, for kernel-
+/// routed layers, the pre-resolved kernel call (geometry, weight and bias
+/// pointers, packed-copy placement). Avgpool's channel/plane split and
+/// softmax's length come straight from in_shape at exec time, so only LRN
+/// and maxpool carry extra geometry.
 template <typename T>
 struct PlanStep {
   const Layer<T>* layer = nullptr;
@@ -57,6 +68,8 @@ struct PlanStep {
   StepKernel kernel = StepKernel::kNone;
   kernels::ConvGeom conv;
   kernels::FcGeom fc;
+  kernels::LrnGeom lrn;
+  kernels::PoolGeom pool;
   const T* w = nullptr;     ///< row-major weights (stable: layer storage)
   const T* bias = nullptr;
   std::size_t packed_off = 0;  ///< offset of this step in the packed region

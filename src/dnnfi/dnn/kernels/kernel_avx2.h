@@ -36,6 +36,30 @@ void avx2_fc_half(const FcGeom&, const numeric::Half*, const numeric::Half*,
                   const numeric::Half*, const numeric::Half*, numeric::Half*);
 void avx2_relu_half(const numeric::Half*, numeric::Half*, std::size_t);
 
+// Post-MAC kernels (bit-identical to the scalar reference; shared by the
+// avx2, avx2-relaxed, and avx512 sets). LRN vectorizes the double-precision
+// window bookkeeping across four spatial positions and keeps the per-element
+// std::pow scalar; maxpool vectorizes across output columns with
+// compare+blend (so NaNs lose exactly as in the scalar `if (v > best)`);
+// avgpool runs four channel sums per pass; softmax vectorizes the finite-max
+// and normalize passes around a scalar exp loop.
+void avx2_lrn_float(const LrnGeom&, const float*, float*);
+void avx2_lrn_double(const LrnGeom&, const double*, double*);
+void avx2_lrn_half(const LrnGeom&, const numeric::Half*, numeric::Half*);
+
+void avx2_maxpool_float(const PoolGeom&, const float*, float*);
+void avx2_maxpool_double(const PoolGeom&, const double*, double*);
+void avx2_maxpool_half(const PoolGeom&, const numeric::Half*, numeric::Half*);
+
+void avx2_avgpool_float(const float*, float*, std::size_t, std::size_t);
+void avx2_avgpool_double(const double*, double*, std::size_t, std::size_t);
+void avx2_avgpool_half(const numeric::Half*, numeric::Half*, std::size_t,
+                       std::size_t);
+
+void avx2_softmax_float(const float*, float*, std::size_t);
+void avx2_softmax_double(const double*, double*, std::size_t);
+void avx2_softmax_half(const numeric::Half*, numeric::Half*, std::size_t);
+
 // Relaxed (tolerance) sets: FMA contraction for float/double; FLOAT16
 // accumulates in float and rounds to half once per output. Faster, not
 // bit-identical to the scalar reference.

@@ -26,9 +26,10 @@
 // and the campaign bit-identity gates do not hold under it.
 //
 // Selection happens once per process: the DNNFI_KERNELS environment variable
-// ("scalar" | "avx2" | "avx2-relaxed" | "auto"/unset) is combined with
-// CPUID probes (numeric/cpu.h); requesting an unavailable set falls back to
-// scalar. ExecutionPlan<T> captures the active set at plan-build time.
+// ("scalar" | "avx2" | "avx2-relaxed" | "avx512" | "auto"/unset) is combined
+// with CPUID probes (numeric/cpu.h); "auto" prefers avx512 > avx2 > scalar,
+// and requesting an unavailable set falls back to scalar. ExecutionPlan<T>
+// captures the active set at plan-build time.
 //
 // Packed weights: SIMD sets with pack_lanes > 0 consume a lane-interleaved
 // copy of each MAC layer's weights, produced by pack_rows into the
@@ -64,6 +65,24 @@ struct FcGeom {
   std::size_t in = 0, out = 0;
 };
 
+/// Resolved local-response-normalization geometry: CHW input, odd channel
+/// window of `size`, out[c] = in[c] / (k + alpha/size * sum_window in^2)^beta
+/// with the window sum and pow at double internal precision.
+struct LrnGeom {
+  std::size_t c = 0, h = 0, w = 0;
+  std::size_t size = 0;
+  double alpha = 0.0, beta = 0.0, k = 0.0;
+};
+
+/// Resolved pooling geometry: CHW input and output, square window, no
+/// padding (out_h = (in_h - k) / stride + 1, same for width).
+struct PoolGeom {
+  std::size_t c = 0;
+  std::size_t in_h = 0, in_w = 0;
+  std::size_t out_h = 0, out_w = 0;
+  std::size_t k = 0, stride = 0;
+};
+
 /// Convolution kernel. `w` is the row-major OIHW weight array; `w_packed`
 /// is the pack_rows copy (pass null when the set's pack_lanes == 0, or when
 /// the geometry yields zero full blocks — it is only dereferenced inside
@@ -81,6 +100,26 @@ using FcFn = void (*)(const FcGeom&, const T* in, const T* w,
 template <typename T>
 using EltwiseFn = void (*)(const T* in, T* out, std::size_t n);
 
+/// Local-response-normalization kernel (see LrnGeom).
+template <typename T>
+using LrnFn = void (*)(const LrnGeom&, const T* in, T* out);
+
+/// Max-pooling kernel: per output, the window max under the scalar
+/// reference's `if (v > best)` comparison semantics (NaNs never win).
+template <typename T>
+using PoolFn = void (*)(const PoolGeom&, const T* in, T* out);
+
+/// Global average pool: out[c] = mean of the `plane`-element channel plane,
+/// summed sequentially at double precision then re-quantized to T.
+template <typename T>
+using AvgPoolFn = void (*)(const T* in, T* out, std::size_t channels,
+                           std::size_t plane);
+
+/// Softmax over n elements: max-shifted, exp/sum at double precision,
+/// non-finite inputs contribute exp(-inf) = 0 (see Softmax in layers.h).
+template <typename T>
+using SoftmaxFn = void (*)(const T* in, T* out, std::size_t n);
+
 /// One registered kernel family for one datapath type.
 template <typename T>
 struct KernelSet {
@@ -93,6 +132,10 @@ struct KernelSet {
   ConvFn<T> conv = nullptr;
   FcFn<T> fc = nullptr;
   EltwiseFn<T> relu = nullptr;
+  LrnFn<T> lrn = nullptr;
+  PoolFn<T> maxpool = nullptr;
+  AvgPoolFn<T> avgpool = nullptr;
+  SoftmaxFn<T> softmax = nullptr;
 };
 
 /// The scalar reference set: always available, always bit-identical.
@@ -116,15 +159,17 @@ std::vector<const char*> registered_names();
 
 /// Overrides the mode used by subsequent active_kernels calls (and thus
 /// subsequently built ExecutionPlans) for every datapath type: one of
-/// "scalar", "avx2", "avx2-relaxed", or "auto" to restore the DNNFI_KERNELS
-/// / CPUID default. Returns false (and changes nothing) for unknown names.
-/// For tests and benches; call before building the plans it should affect.
+/// "scalar", "avx2", "avx2-relaxed", "avx512", or "auto" to restore the
+/// DNNFI_KERNELS / CPUID default. Returns false (and changes nothing) for
+/// unknown names. For tests and benches; call before building the plans it
+/// should affect.
 bool set_active_mode(std::string_view mode);
 
 /// The resolved hardware/dispatch profile, for bench JSON attribution.
 struct KernelProfile {
-  std::string mode;            ///< requested: auto/scalar/avx2/avx2-relaxed
+  std::string mode;            ///< requested: auto/scalar/avx2/avx2-relaxed/avx512
   bool cpu_avx2 = false;       ///< CPUID probe results
+  bool cpu_avx512 = false;     ///< the avx512 kernel bundle (F+BW+VL+DQ)
   bool cpu_f16c = false;
   bool f16c_compiled = false;  ///< hardware Half conversions built in
   std::string active_float;    ///< resolved set name for FLOAT
@@ -158,6 +203,15 @@ void fc_forward(const FcGeom& g, const T* in, const T* w, const T* bias,
                 T* out);
 template <typename T>
 void relu_forward(const T* in, T* out, std::size_t n);
+template <typename T>
+void lrn_forward(const LrnGeom& g, const T* in, T* out);
+template <typename T>
+void maxpool_forward(const PoolGeom& g, const T* in, T* out);
+template <typename T>
+void avgpool_forward(const T* in, T* out, std::size_t channels,
+                     std::size_t plane);
+template <typename T>
+void softmax_forward(const T* in, T* out, std::size_t n);
 
 #define DNNFI_KERNELS_EXTERN(T)                                             \
   extern template const KernelSet<T>& scalar_kernels<T>() noexcept;         \
@@ -171,7 +225,12 @@ void relu_forward(const T* in, T* out, std::size_t n);
                                        const T*, T*);                       \
   extern template void fc_forward<T>(const FcGeom&, const T*, const T*,     \
                                      const T*, T*);                         \
-  extern template void relu_forward<T>(const T*, T*, std::size_t)
+  extern template void relu_forward<T>(const T*, T*, std::size_t);          \
+  extern template void lrn_forward<T>(const LrnGeom&, const T*, T*);        \
+  extern template void maxpool_forward<T>(const PoolGeom&, const T*, T*);   \
+  extern template void avgpool_forward<T>(const T*, T*, std::size_t,        \
+                                          std::size_t);                     \
+  extern template void softmax_forward<T>(const T*, T*, std::size_t)
 
 DNNFI_KERNELS_EXTERN(double);
 DNNFI_KERNELS_EXTERN(float);

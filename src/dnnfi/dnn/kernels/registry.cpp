@@ -8,6 +8,7 @@
 
 #include "dnnfi/common/env.h"
 #include "dnnfi/dnn/kernels/kernel_avx2.h"
+#include "dnnfi/dnn/kernels/kernel_avx512.h"
 #include "dnnfi/dnn/kernels/kernel_scalar.h"
 #include "dnnfi/numeric/cpu.h"
 
@@ -15,7 +16,7 @@ namespace dnnfi::dnn::kernels {
 
 namespace {
 
-enum class Mode { kAuto, kScalar, kAvx2, kAvx2Relaxed };
+enum class Mode { kAuto, kScalar, kAvx2, kAvx2Relaxed, kAvx512 };
 
 bool parse_mode(std::string_view s, Mode& out) {
   if (s == "auto") {
@@ -26,6 +27,8 @@ bool parse_mode(std::string_view s, Mode& out) {
     out = Mode::kAvx2;
   } else if (s == "avx2-relaxed") {
     out = Mode::kAvx2Relaxed;
+  } else if (s == "avx512") {
+    out = Mode::kAvx512;
   } else {
     return false;
   }
@@ -40,6 +43,8 @@ const char* mode_name(Mode m) {
       return "avx2";
     case Mode::kAvx2Relaxed:
       return "avx2-relaxed";
+    case Mode::kAvx512:
+      return "avx512";
     case Mode::kAuto:
       break;
   }
@@ -56,7 +61,7 @@ Mode& mode_ref() {
       if (!parse_mode(*v, parsed)) {
         std::fprintf(stderr,
                      "dnnfi: ignoring unknown DNNFI_KERNELS value \"%s\" "
-                     "(expected scalar|avx2|avx2-relaxed|auto)\n",
+                     "(expected scalar|avx2|avx2-relaxed|avx512|auto)\n",
                      v->c_str());
         parsed = Mode::kAuto;
       }
@@ -69,26 +74,35 @@ Mode& mode_ref() {
 #if defined(DNNFI_ENABLE_AVX2_KERNELS)
 
 /// The exact AVX2 set for T, or null when T has none or the CPU lacks the
-/// instructions. FLOAT16 kernels additionally execute F16C converts.
+/// instructions. FLOAT16 kernels additionally execute F16C converts. The
+/// post-MAC kernels (lrn / maxpool / avgpool / softmax) are the AVX2
+/// implementations for all three vector-friendly types; fixed-point stays
+/// the scalar reference across the board.
 template <typename T>
 const KernelSet<T>* avx2_set() {
   if constexpr (std::is_same_v<T, float>) {
     if (!numeric::cpu_has_avx2()) return nullptr;
-    static const KernelSet<float> s{"avx2", true, 8, detail::avx2_conv_float,
-                                    detail::avx2_fc_float,
-                                    detail::avx2_relu_float};
+    static const KernelSet<float> s{
+        "avx2", true, 8, detail::avx2_conv_float, detail::avx2_fc_float,
+        detail::avx2_relu_float, detail::avx2_lrn_float,
+        detail::avx2_maxpool_float, detail::avx2_avgpool_float,
+        detail::avx2_softmax_float};
     return &s;
   } else if constexpr (std::is_same_v<T, double>) {
     if (!numeric::cpu_has_avx2()) return nullptr;
-    static const KernelSet<double> s{"avx2", true, 4, detail::avx2_conv_double,
-                                     detail::avx2_fc_double,
-                                     detail::avx2_relu_double};
+    static const KernelSet<double> s{
+        "avx2", true, 4, detail::avx2_conv_double, detail::avx2_fc_double,
+        detail::avx2_relu_double, detail::avx2_lrn_double,
+        detail::avx2_maxpool_double, detail::avx2_avgpool_double,
+        detail::avx2_softmax_double};
     return &s;
   } else if constexpr (std::is_same_v<T, numeric::Half>) {
     if (!numeric::cpu_has_avx2() || !numeric::cpu_has_f16c()) return nullptr;
     static const KernelSet<numeric::Half> s{
         "avx2", true, 8, detail::avx2_conv_half, detail::avx2_fc_half,
-        detail::avx2_relu_half};
+        detail::avx2_relu_half, detail::avx2_lrn_half,
+        detail::avx2_maxpool_half, detail::avx2_avgpool_half,
+        detail::avx2_softmax_half};
     return &s;
   } else {
     return nullptr;  // fixed-point stays scalar-only
@@ -96,8 +110,9 @@ const KernelSet<T>* avx2_set() {
 }
 
 /// The relaxed (FMA / float-accumulation) set; requires FMA on top of the
-/// exact set's features. Relu is shared with the exact set — elementwise max
-/// has no reassociation to relax.
+/// exact set's features. Relu and the post-MAC kernels are shared with the
+/// exact set — elementwise max has no reassociation to relax, and the
+/// post-MAC ops already run their internals at double precision.
 template <typename T>
 const KernelSet<T>* relaxed_set() {
   if (!numeric::cpu_has_fma()) return nullptr;
@@ -105,19 +120,25 @@ const KernelSet<T>* relaxed_set() {
     if (!numeric::cpu_has_avx2()) return nullptr;
     static const KernelSet<float> s{
         "avx2-relaxed", false, 8, detail::avx2_relaxed_conv_float,
-        detail::avx2_relaxed_fc_float, detail::avx2_relu_float};
+        detail::avx2_relaxed_fc_float, detail::avx2_relu_float,
+        detail::avx2_lrn_float, detail::avx2_maxpool_float,
+        detail::avx2_avgpool_float, detail::avx2_softmax_float};
     return &s;
   } else if constexpr (std::is_same_v<T, double>) {
     if (!numeric::cpu_has_avx2()) return nullptr;
     static const KernelSet<double> s{
         "avx2-relaxed", false, 4, detail::avx2_relaxed_conv_double,
-        detail::avx2_relaxed_fc_double, detail::avx2_relu_double};
+        detail::avx2_relaxed_fc_double, detail::avx2_relu_double,
+        detail::avx2_lrn_double, detail::avx2_maxpool_double,
+        detail::avx2_avgpool_double, detail::avx2_softmax_double};
     return &s;
   } else if constexpr (std::is_same_v<T, numeric::Half>) {
     if (!numeric::cpu_has_avx2() || !numeric::cpu_has_f16c()) return nullptr;
     static const KernelSet<numeric::Half> s{
         "avx2-relaxed", false, 8, detail::avx2_relaxed_conv_half,
-        detail::avx2_relaxed_fc_half, detail::avx2_relu_half};
+        detail::avx2_relaxed_fc_half, detail::avx2_relu_half,
+        detail::avx2_lrn_half, detail::avx2_maxpool_half,
+        detail::avx2_avgpool_half, detail::avx2_softmax_half};
     return &s;
   } else {
     return nullptr;
@@ -137,12 +158,62 @@ const KernelSet<T>* relaxed_set() {
 
 #endif  // DNNFI_ENABLE_AVX2_KERNELS
 
+#if defined(DNNFI_ENABLE_AVX512_KERNELS) && defined(DNNFI_ENABLE_AVX2_KERNELS)
+
+/// The AVX-512 set for T: 16-lane float, 8-lane double, 16-lane F16C-path
+/// Half MAC kernels from the -mavx512f TU, post-MAC kernels shared with the
+/// AVX2 TU (every AVX-512 CPU also runs AVX2). Gated on the full avx512
+/// kernel bundle (F+BW+VL+DQ, see numeric/cpu.h) so Knights-Landing-class
+/// parts fall back rather than fault in the Half mask blends.
+template <typename T>
+const KernelSet<T>* avx512_set() {
+  if (!numeric::cpu_has_avx512_kernel_bundle() || !numeric::cpu_has_avx2())
+    return nullptr;
+  if constexpr (std::is_same_v<T, float>) {
+    static const KernelSet<float> s{
+        "avx512", true, 16, detail::avx512_conv_float, detail::avx512_fc_float,
+        detail::avx512_relu_float, detail::avx2_lrn_float,
+        detail::avx2_maxpool_float, detail::avx2_avgpool_float,
+        detail::avx2_softmax_float};
+    return &s;
+  } else if constexpr (std::is_same_v<T, double>) {
+    static const KernelSet<double> s{
+        "avx512", true, 8, detail::avx512_conv_double,
+        detail::avx512_fc_double, detail::avx512_relu_double,
+        detail::avx2_lrn_double, detail::avx2_maxpool_double,
+        detail::avx2_avgpool_double, detail::avx2_softmax_double};
+    return &s;
+  } else if constexpr (std::is_same_v<T, numeric::Half>) {
+    if (!numeric::cpu_has_f16c()) return nullptr;
+    static const KernelSet<numeric::Half> s{
+        "avx512", true, 16, detail::avx512_conv_half, detail::avx512_fc_half,
+        detail::avx512_relu_half, detail::avx2_lrn_half,
+        detail::avx2_maxpool_half, detail::avx2_avgpool_half,
+        detail::avx2_softmax_half};
+    return &s;
+  } else {
+    return nullptr;  // fixed-point stays scalar-only
+  }
+}
+
+#else  // !(DNNFI_ENABLE_AVX512_KERNELS && DNNFI_ENABLE_AVX2_KERNELS)
+
+template <typename T>
+const KernelSet<T>* avx512_set() {
+  return nullptr;
+}
+
+#endif  // DNNFI_ENABLE_AVX512_KERNELS && DNNFI_ENABLE_AVX2_KERNELS
+
 }  // namespace
 
 template <typename T>
 const KernelSet<T>& scalar_kernels() noexcept {
-  static const KernelSet<T> s{"scalar", true, 0, &scalar_conv<T>,
-                              &scalar_fc<T>, &scalar_relu<T>};
+  static const KernelSet<T> s{"scalar",         true,
+                              0,                &scalar_conv<T>,
+                              &scalar_fc<T>,    &scalar_relu<T>,
+                              &scalar_lrn<T>,   &scalar_maxpool<T>,
+                              &scalar_avgpool<T>, &scalar_softmax<T>};
   return s;
 }
 
@@ -155,10 +226,18 @@ const KernelSet<T>& active_kernels() noexcept {
       const KernelSet<T>* s = relaxed_set<T>();
       return s ? *s : scalar_kernels<T>();
     }
-    case Mode::kAvx2:
-    case Mode::kAuto: {
+    case Mode::kAvx2: {
       const KernelSet<T>* s = avx2_set<T>();
       return s ? *s : scalar_kernels<T>();
+    }
+    case Mode::kAvx512: {
+      const KernelSet<T>* s = avx512_set<T>();
+      return s ? *s : scalar_kernels<T>();
+    }
+    case Mode::kAuto: {
+      if (const KernelSet<T>* s = avx512_set<T>()) return *s;
+      if (const KernelSet<T>* s = avx2_set<T>()) return *s;
+      return scalar_kernels<T>();
     }
   }
   return scalar_kernels<T>();
@@ -169,6 +248,7 @@ const KernelSet<T>* kernel_set(std::string_view name) noexcept {
   if (name == "scalar") return &scalar_kernels<T>();
   if (name == "avx2") return avx2_set<T>();
   if (name == "avx2-relaxed") return relaxed_set<T>();
+  if (name == "avx512") return avx512_set<T>();
   return nullptr;
 }
 
@@ -177,6 +257,7 @@ std::vector<const char*> registered_names() {
   std::vector<const char*> names{"scalar"};
   if (avx2_set<T>()) names.push_back("avx2");
   if (relaxed_set<T>()) names.push_back("avx2-relaxed");
+  if (avx512_set<T>()) names.push_back("avx512");
   return names;
 }
 
@@ -192,6 +273,7 @@ KernelProfile kernel_profile() {
   p.mode = mode_name(mode_ref());
   p.cpu_avx2 = numeric::cpu_has_avx2();
   p.cpu_f16c = numeric::cpu_has_f16c();
+  p.cpu_avx512 = numeric::cpu_has_avx512_kernel_bundle();
 #if defined(DNNFI_ENABLE_F16C)
   p.f16c_compiled = true;
 #endif
@@ -238,6 +320,27 @@ void relu_forward(const T* in, T* out, std::size_t n) {
   active_kernels<T>().relu(in, out, n);
 }
 
+template <typename T>
+void lrn_forward(const LrnGeom& g, const T* in, T* out) {
+  active_kernels<T>().lrn(g, in, out);
+}
+
+template <typename T>
+void maxpool_forward(const PoolGeom& g, const T* in, T* out) {
+  active_kernels<T>().maxpool(g, in, out);
+}
+
+template <typename T>
+void avgpool_forward(const T* in, T* out, std::size_t channels,
+                     std::size_t plane) {
+  active_kernels<T>().avgpool(in, out, channels, plane);
+}
+
+template <typename T>
+void softmax_forward(const T* in, T* out, std::size_t n) {
+  active_kernels<T>().softmax(in, out, n);
+}
+
 #define DNNFI_KERNELS_INSTANTIATE(T)                                        \
   template const KernelSet<T>& scalar_kernels<T>() noexcept;                \
   template const KernelSet<T>& active_kernels<T>() noexcept;                \
@@ -249,7 +352,11 @@ void relu_forward(const T* in, T* out, std::size_t n) {
                                 const T*, T*);                              \
   template void fc_forward<T>(const FcGeom&, const T*, const T*, const T*,  \
                               T*);                                          \
-  template void relu_forward<T>(const T*, T*, std::size_t)
+  template void relu_forward<T>(const T*, T*, std::size_t);                 \
+  template void lrn_forward<T>(const LrnGeom&, const T*, T*);               \
+  template void maxpool_forward<T>(const PoolGeom&, const T*, T*);          \
+  template void avgpool_forward<T>(const T*, T*, std::size_t, std::size_t); \
+  template void softmax_forward<T>(const T*, T*, std::size_t)
 
 DNNFI_KERNELS_INSTANTIATE(double);
 DNNFI_KERNELS_INSTANTIATE(float);

@@ -597,19 +597,12 @@ class MaxPool2d final : public Layer<T> {
   void forward(ConstTensorView<T> in, TensorView<T> out,
                const LayerFaults* = nullptr,
                InjectionRecord* = nullptr) const override {
+    const Shape& is = in.shape();
     const Shape os = out.shape();
-    DNNFI_EXPECTS(os == out_shape(in.shape()));
-    for (std::size_t c = 0; c < os.c; ++c)
-      for (std::size_t oy = 0; oy < os.h; ++oy)
-        for (std::size_t ox = 0; ox < os.w; ++ox) {
-          T best = in.at(0, c, oy * stride_, ox * stride_);
-          for (std::size_t ky = 0; ky < k_; ++ky)
-            for (std::size_t kx = 0; kx < k_; ++kx) {
-              const T v = in.at(0, c, oy * stride_ + ky, ox * stride_ + kx);
-              if (v > best) best = v;
-            }
-          out.at(0, c, oy, ox) = best;
-        }
+    DNNFI_EXPECTS(os == out_shape(is));
+    kernels::maxpool_forward<T>(
+        kernels::PoolGeom{os.c, is.h, is.w, os.h, os.w, k_, stride_},
+        in.data().data(), out.data().data());
   }
 
   void backward(const Tensor<T>& in, const Tensor<T>&, const Tensor<T>& gout,
@@ -671,16 +664,9 @@ class Lrn final : public Layer<T> {
                InjectionRecord* = nullptr) const override {
     const Shape& is = in.shape();
     DNNFI_EXPECTS(out.size() == in.size());
-    const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(size_ / 2);
-    for (std::size_t y = 0; y < is.h; ++y) {
-      for (std::size_t x = 0; x < is.w; ++x) {
-        for (std::size_t c = 0; c < is.c; ++c) {
-          const double denom = scale_at(in, c, y, x, half);
-          const double v = detail::to_d(in.at(0, c, y, x));
-          out.at(0, c, y, x) = detail::from_d<T>(v / denom);
-        }
-      }
-    }
+    kernels::lrn_forward<T>(
+        kernels::LrnGeom{is.c, is.h, is.w, size_, alpha_, beta_, k_},
+        in.data().data(), out.data().data());
   }
 
   void backward(const Tensor<T>& in, const Tensor<T>&, const Tensor<T>& gout,
@@ -705,8 +691,11 @@ class Lrn final : public Layer<T> {
             const double s = raw_scale(in, cu, y, x, half);
             const double go = detail::to_d(gout.at(0, cu, y, x));
             const double vc = detail::to_d(in.at(0, cu, y, x));
-            if (cu == i) g += go * std::pow(s, -beta_);
-            g -= go * coef * vc * vi * std::pow(s, -beta_ - 1.0);
+            // pow(s, -beta) == pow(s, -beta-1) * s up to rounding; one pow
+            // call per window term instead of two.
+            const double p1 = std::pow(s, -beta_ - 1.0);
+            if (cu == i) g += go * (p1 * s);
+            g -= go * coef * vc * vi * p1;
           }
           gin.at(0, i, y, x) = detail::from_d<T>(g);
         }
@@ -736,20 +725,14 @@ class Lrn final : public Layer<T> {
     return k_ + alpha_ / static_cast<double>(size_) * ss;
   }
 
-  double scale_at(ConstTensorView<T> in, std::size_t c, std::size_t y,
-                  std::size_t x, std::ptrdiff_t half) const {
-    return std::pow(raw_scale(in, c, y, x, half), beta_);
-  }
-
   std::size_t size_;
   double alpha_, beta_, k_;
 };
 
 /// Numerically stabilized softmax over the flattened input. Produces the
 /// per-class confidence scores used by the SDC-10%/SDC-20% criteria.
-/// Runs three passes (max, exp-sum, normalize), recomputing exp() in the
-/// last pass instead of buffering it — exp is deterministic, so the result
-/// is bit-identical to the buffered form and the layer stays allocation-free.
+/// Forward dispatches to the kernel registry (max, exp-sum, normalize
+/// passes; see kernel_scalar.h for the reference semantics).
 template <typename T>
 class Softmax final : public Layer<T> {
  public:
@@ -764,17 +747,8 @@ class Softmax final : public Layer<T> {
                const LayerFaults* = nullptr,
                InjectionRecord* = nullptr) const override {
     DNNFI_EXPECTS(out.size() == in.size());
-    double mx = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const double v = detail::to_d(in[i]);
-      if (std::isfinite(v)) mx = std::max(mx, v);
-    }
-    if (!std::isfinite(mx)) mx = 0;
-    double sum = 0;
-    for (std::size_t i = 0; i < in.size(); ++i)
-      sum += shifted_exp(in[i], mx);
-    for (std::size_t i = 0; i < in.size(); ++i)
-      out[i] = detail::from_d<T>(sum > 0 ? shifted_exp(in[i], mx) / sum : 0.0);
+    kernels::softmax_forward<T>(in.data().data(), out.data().data(),
+                                in.size());
   }
 
   void backward(const Tensor<T>& /*in*/, const Tensor<T>& out,
@@ -788,13 +762,6 @@ class Softmax final : public Layer<T> {
       const double oi = detail::to_d(out[i]);
       gin[i] = detail::from_d<T>(oi * (detail::to_d(gout[i]) - dot));
     }
-  }
-
- private:
-  static double shifted_exp(T raw, double mx) {
-    double v = detail::to_d(raw);
-    if (std::isnan(v)) v = -std::numeric_limits<double>::infinity();
-    return std::exp(std::min(v - mx, 700.0));
   }
 };
 
@@ -812,14 +779,8 @@ class GlobalAvgPool final : public Layer<T> {
                InjectionRecord* = nullptr) const override {
     const Shape& is = in.shape();
     DNNFI_EXPECTS(out.size() == is.c);
-    const double inv = 1.0 / static_cast<double>(is.h * is.w);
-    for (std::size_t c = 0; c < is.c; ++c) {
-      double s = 0;
-      for (std::size_t y = 0; y < is.h; ++y)
-        for (std::size_t x = 0; x < is.w; ++x)
-          s += detail::to_d(in.at(0, c, y, x));
-      out[c] = detail::from_d<T>(s * inv);
-    }
+    kernels::avgpool_forward<T>(in.data().data(), out.data().data(), is.c,
+                                is.h * is.w);
   }
 
   void backward(const Tensor<T>& in, const Tensor<T>&, const Tensor<T>& gout,

@@ -10,5 +10,18 @@ bool cpu_has_avx() noexcept;
 bool cpu_has_avx2() noexcept;
 bool cpu_has_f16c() noexcept;
 bool cpu_has_fma() noexcept;
+bool cpu_has_avx512f() noexcept;
+bool cpu_has_avx512bw() noexcept;
+bool cpu_has_avx512vl() noexcept;
+bool cpu_has_avx512dq() noexcept;
+
+/// The feature bundle the avx512 kernel set needs: foundation zmm arithmetic
+/// (F), 16-bit mask blends for the Half path (BW + VL), and float<->mask
+/// conversions (DQ). Skylake-SP and every later AVX-512 server part has all
+/// four; Knights Landing (F without BW/VL/DQ) does not and falls back.
+inline bool cpu_has_avx512_kernel_bundle() noexcept {
+  return cpu_has_avx512f() && cpu_has_avx512bw() && cpu_has_avx512vl() &&
+         cpu_has_avx512dq();
+}
 
 }  // namespace dnnfi::numeric

@@ -4,9 +4,12 @@
 // zero-full-blocks case), non-finite inputs (NaN / ±Inf / -0 propagation,
 // canonical-NaN rule for FLOAT16), and 100-run buffer reuse — asserting
 // tensor::bitwise_equal for bit_identical sets and a coarse tolerance for
-// the opt-in relaxed sets. Plus the packed-layout formula itself and an
-// executor-level integration check that set_active_mode("scalar") and the
-// SIMD default produce byte-identical network outputs.
+// the opt-in relaxed sets. The post-MAC ops (lrn / maxpool / avgpool /
+// softmax) are bitwise-checked in every set, with restructure-lock tests
+// pinning the scalar reference to the formulas the layers used to inline.
+// Plus the packed-layout formula itself and executor-level integration
+// checks that set_active_mode("scalar") and each SIMD mode produce
+// byte-identical network outputs.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -89,6 +92,38 @@ Tensor<T> run_fc(const KernelSet<T>& ks, const FcGeom& g,
   return out;
 }
 
+template <typename T>
+Tensor<T> run_lrn(const KernelSet<T>& ks, const LrnGeom& g,
+                  const std::vector<T>& in) {
+  Tensor<T> out(Shape{1, g.c, g.h, g.w});
+  ks.lrn(g, in.data(), out.data().data());
+  return out;
+}
+
+template <typename T>
+Tensor<T> run_maxpool(const KernelSet<T>& ks, const PoolGeom& g,
+                      const std::vector<T>& in) {
+  Tensor<T> out(Shape{1, g.c, g.out_h, g.out_w});
+  ks.maxpool(g, in.data(), out.data().data());
+  return out;
+}
+
+template <typename T>
+Tensor<T> run_avgpool(const KernelSet<T>& ks, std::size_t channels,
+                      std::size_t plane, const std::vector<T>& in) {
+  Tensor<T> out(Shape{1, channels, 1, 1});
+  ks.avgpool(in.data(), out.data().data(), channels, plane);
+  return out;
+}
+
+template <typename T>
+Tensor<T> run_softmax(const KernelSet<T>& ks, std::size_t n,
+                      const std::vector<T>& in) {
+  Tensor<T> out(Shape{1, 1, 1, n});
+  ks.softmax(in.data(), out.data().data(), n);
+  return out;
+}
+
 /// Coarse closeness for the relaxed sets: per-element absolute tolerance
 /// scaled by the accumulation length (the real contract for the default
 /// sets is bitwise, tested separately).
@@ -114,6 +149,26 @@ const ConvGeom kConvGeoms[] = {
     {4, 5, 5, 9, 2, 2, 3, 2, 0},    // stride 2, no padding
 };
 const FcGeom kFcGeoms[] = {{37, 19}, {64, 32}, {10, 3}};
+
+// Post-MAC geometries, odd on purpose. LRN: a window (size 5) wider than the
+// whole channel range; 1x1 spatial (the blocked AVX2 path needs >= 4
+// positions, so this forces its scalar fallback); odd channel count with a
+// position tail. MaxPool: a window covering the entire input (single 1x1
+// output); strided odd-channel case; non-square input.
+const LrnGeom kLrnGeoms[] = {
+    {3, 5, 7, 5, 1e-4, 0.75, 2.0},
+    {16, 1, 1, 5, 2e-5, 0.75, 1.0},
+    {13, 6, 5, 3, 1e-3, 0.5, 1.0},
+};
+const PoolGeom kPoolGeoms[] = {
+    {3, 5, 5, 1, 1, 5, 1},
+    {5, 9, 9, 4, 4, 3, 2},
+    {8, 6, 8, 3, 4, 2, 2},
+};
+const std::size_t kAvgPools[][2] = {{3, 25}, {8, 1}, {13, 30}};
+// 1030 exceeds the 1024-element exp stack buffer, forcing the recompute
+// fallback in both the scalar reference and the SIMD sets.
+const std::size_t kSoftmaxNs[] = {10, 100, 1030};
 
 template <typename T>
 class KernelProperty : public ::testing::Test {};
@@ -181,6 +236,47 @@ TYPED_TEST(KernelProperty, SimdSetsBitIdenticalToScalarOnOddShapes) {
   }
 }
 
+TYPED_TEST(KernelProperty, PostMacOpsBitIdenticalToScalarOnOddShapes) {
+  using T = TypeParam;
+  const KernelSet<T>& ref = scalar_kernels<T>();
+  for (const char* name : registered_names<T>()) {
+    const KernelSet<T>* ks = kernel_set<T>(name);
+    ASSERT_NE(ks, nullptr) << name;
+    // No bit_identical filter: the post-MAC kernels are exact in EVERY set,
+    // the relaxed one included (their internals already run at double).
+    for (const Season season : {Season::kFinite, Season::kNaN, Season::kInf}) {
+      for (const LrnGeom& g : kLrnGeoms) {
+        const auto in = awkward<T>(g.c * g.h * g.w, 51, season);
+        EXPECT_TRUE(tensor::bitwise_equal(run_lrn(*ks, g, in),
+                                          run_lrn(ref, g, in)))
+            << name << " lrn c=" << g.c << " size=" << g.size
+            << " season=" << static_cast<int>(season);
+      }
+      for (const PoolGeom& g : kPoolGeoms) {
+        const auto in = awkward<T>(g.c * g.in_h * g.in_w, 57, season);
+        EXPECT_TRUE(tensor::bitwise_equal(run_maxpool(*ks, g, in),
+                                          run_maxpool(ref, g, in)))
+            << name << " maxpool c=" << g.c << " k=" << g.k
+            << " season=" << static_cast<int>(season);
+      }
+      for (const auto& cp : kAvgPools) {
+        const auto in = awkward<T>(cp[0] * cp[1], 61, season);
+        EXPECT_TRUE(tensor::bitwise_equal(run_avgpool(*ks, cp[0], cp[1], in),
+                                          run_avgpool(ref, cp[0], cp[1], in)))
+            << name << " avgpool c=" << cp[0] << " plane=" << cp[1]
+            << " season=" << static_cast<int>(season);
+      }
+      for (const std::size_t n : kSoftmaxNs) {
+        const auto in = awkward<T>(n, 67, season);
+        EXPECT_TRUE(tensor::bitwise_equal(run_softmax(*ks, n, in),
+                                          run_softmax(ref, n, in)))
+            << name << " softmax n=" << n
+            << " season=" << static_cast<int>(season);
+      }
+    }
+  }
+}
+
 TYPED_TEST(KernelProperty, RelaxedSetsWithinToleranceOfScalar) {
   using T = TypeParam;
   const KernelSet<T>& ref = scalar_kernels<T>();
@@ -243,6 +339,91 @@ TYPED_TEST(KernelProperty, HundredRunReuseIsStable) {
   }
 }
 
+/// Locks the restructured scalar LRN (column-buffered squares, pow(1,b)==1
+/// and previous-base memo shortcuts) to the formula the Lrn layer used to
+/// inline: a fresh pow per output over a window summed clo->chi. If the
+/// restructure ever stops being bit-identical, fault-injection ground truth
+/// silently shifts — this test is the tripwire.
+template <typename T>
+void lrn_restructure_locked() {
+  using Tr = numeric_traits<T>;
+  for (const LrnGeom& g : kLrnGeoms) {
+    for (const Season season : {Season::kFinite, Season::kNaN, Season::kInf}) {
+      const auto in = awkward<T>(g.c * g.h * g.w, 71, season);
+      const Tensor<T> got = run_lrn(scalar_kernels<T>(), g, in);
+      const auto half = static_cast<std::ptrdiff_t>(g.size / 2);
+      const std::size_t plane = g.h * g.w;
+      for (std::size_t c = 0; c < g.c; ++c)
+        for (std::size_t p = 0; p < plane; ++p) {
+          const std::ptrdiff_t clo =
+              std::max<std::ptrdiff_t>(0, static_cast<std::ptrdiff_t>(c) - half);
+          const std::ptrdiff_t chi =
+              std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(g.c) - 1,
+                                       static_cast<std::ptrdiff_t>(c) + half);
+          double ss = 0;
+          for (std::ptrdiff_t cc = clo; cc <= chi; ++cc) {
+            const double v =
+                Tr::to_double(in[static_cast<std::size_t>(cc) * plane + p]);
+            ss += v * v;
+          }
+          const double denom = std::pow(
+              g.k + g.alpha / static_cast<double>(g.size) * ss, g.beta);
+          const T want =
+              Tr::from_double(Tr::to_double(in[c * plane + p]) / denom);
+          EXPECT_EQ(Tr::to_bits(got[c * plane + p]),
+                    Tr::to_bits(want))
+              << "c=" << c << " p=" << p
+              << " season=" << static_cast<int>(season);
+        }
+    }
+  }
+}
+
+/// Same tripwire for softmax: the buffered-exp restructure must match the
+/// recompute-every-pass form the Softmax layer used to inline.
+template <typename T>
+void softmax_restructure_locked() {
+  using Tr = numeric_traits<T>;
+  for (const std::size_t n : kSoftmaxNs) {
+    for (const Season season : {Season::kFinite, Season::kNaN, Season::kInf}) {
+      const auto in = awkward<T>(n, 73, season);
+      const Tensor<T> got = run_softmax(scalar_kernels<T>(), n, in);
+      double mx = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = Tr::to_double(in[i]);
+        if (std::isfinite(v)) mx = std::max(mx, v);
+      }
+      if (!std::isfinite(mx)) mx = 0;
+      const auto shifted_exp = [&](T raw) {
+        double v = Tr::to_double(raw);
+        if (std::isnan(v)) v = -std::numeric_limits<double>::infinity();
+        return std::exp(std::min(v - mx, 700.0));
+      };
+      double sum = 0;
+      for (std::size_t i = 0; i < n; ++i) sum += shifted_exp(in[i]);
+      for (std::size_t i = 0; i < n; ++i) {
+        const T want =
+            Tr::from_double(sum > 0 ? shifted_exp(in[i]) / sum : 0.0);
+        EXPECT_EQ(Tr::to_bits(got[i]), Tr::to_bits(want))
+            << "i=" << i << " n=" << n
+            << " season=" << static_cast<int>(season);
+      }
+    }
+  }
+}
+
+TEST(KernelRestructure, ScalarLrnMatchesLegacyFormulaBitwise) {
+  lrn_restructure_locked<float>();
+  lrn_restructure_locked<double>();
+  lrn_restructure_locked<numeric::Half>();
+}
+
+TEST(KernelRestructure, ScalarSoftmaxMatchesLegacyFormulaBitwise) {
+  softmax_restructure_locked<float>();
+  softmax_restructure_locked<double>();
+  softmax_restructure_locked<numeric::Half>();
+}
+
 TEST(KernelPacking, PackRowsInterleavesFullBlocksOnly) {
   const std::size_t rows = 10, cols = 3, lanes = 4;
   ASSERT_EQ(packed_elems(rows, cols, lanes), (rows / lanes) * cols * lanes);
@@ -265,7 +446,7 @@ struct ModeGuard {
 };
 
 template <typename T>
-void executor_modes_match() {
+void executor_modes_match(const char* simd_mode) {
   const auto spec = zoo::network_spec(zoo::NetworkId::kConvNet);
   WeightsBlob blob;
   {
@@ -292,16 +473,24 @@ void executor_modes_match() {
     return out;
   };
   const Tensor<T> scalar_out = run_with("scalar");
-  const Tensor<T> simd_out = run_with("avx2");
-  EXPECT_TRUE(tensor::bitwise_equal(simd_out, scalar_out));
+  const Tensor<T> simd_out = run_with(simd_mode);
+  EXPECT_TRUE(tensor::bitwise_equal(simd_out, scalar_out)) << simd_mode;
 }
 
 TEST(KernelDispatch, ExecutorScalarAndAvx2ModesBitIdentical) {
   if (kernel_set<float>("avx2") == nullptr)
     GTEST_SKIP() << "avx2 kernels not available on this build/CPU";
-  executor_modes_match<float>();
-  executor_modes_match<numeric::Half>();
-  executor_modes_match<double>();
+  executor_modes_match<float>("avx2");
+  executor_modes_match<numeric::Half>("avx2");
+  executor_modes_match<double>("avx2");
+}
+
+TEST(KernelDispatch, ExecutorScalarAndAvx512ModesBitIdentical) {
+  if (kernel_set<float>("avx512") == nullptr)
+    GTEST_SKIP() << "avx512 kernels not available on this build/CPU";
+  executor_modes_match<float>("avx512");
+  executor_modes_match<numeric::Half>("avx512");
+  executor_modes_match<double>("avx512");
 }
 
 TEST(KernelDispatch, UnknownModeRejected) {
