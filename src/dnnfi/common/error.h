@@ -34,6 +34,10 @@ enum class Errc : std::uint8_t {
   kTimeout,              ///< wall-clock or heartbeat deadline exceeded
   kWorkerCrash,          ///< subprocess died on a signal or unknown status
   kInterrupted,          ///< clean SIGINT/SIGTERM shutdown mid-run
+  kTransport,            ///< worker channel damaged (frame CRC, broken pipe,
+                         ///< ssh connection loss); retry on a healthy host
+  kCheckpointShip,       ///< shipped checkpoint failed validation or could
+                         ///< not be landed; the next attempt re-ships
   // Fatal: deterministic; retrying reproduces the same failure.
   kCorruptData,          ///< CRC mismatch, truncation, bad magic
   kVersionSkew,          ///< file format version this build does not read
@@ -41,6 +45,8 @@ enum class Errc : std::uint8_t {
   kShardMismatch,        ///< checkpoint covers a different trial range
   kInvalidArgument,      ///< unusable options (usage errors)
   kQuarantineOverflow,   ///< more poison trials than the configured cap
+  kNoHosts,              ///< the fleet has zero remaining hosts with work
+                         ///< still pending (every host left via --hosts-file)
   kInternal,             ///< unclassified (treated as retryable once)
 };
 
@@ -53,6 +59,8 @@ constexpr bool retryable(Errc c) noexcept {
     case Errc::kTimeout:
     case Errc::kWorkerCrash:
     case Errc::kInterrupted:
+    case Errc::kTransport:
+    case Errc::kCheckpointShip:
     case Errc::kInternal:
       return true;
     case Errc::kOk:
@@ -62,6 +70,7 @@ constexpr bool retryable(Errc c) noexcept {
     case Errc::kShardMismatch:
     case Errc::kInvalidArgument:
     case Errc::kQuarantineOverflow:
+    case Errc::kNoHosts:
       return false;
   }
   return false;
@@ -75,12 +84,15 @@ constexpr std::string_view errc_name(Errc c) noexcept {
     case Errc::kTimeout: return "timeout";
     case Errc::kWorkerCrash: return "worker-crash";
     case Errc::kInterrupted: return "interrupted";
+    case Errc::kTransport: return "transport";
+    case Errc::kCheckpointShip: return "checkpoint-ship";
     case Errc::kCorruptData: return "corrupt-data";
     case Errc::kVersionSkew: return "version-skew";
     case Errc::kFingerprintMismatch: return "fingerprint-mismatch";
     case Errc::kShardMismatch: return "shard-mismatch";
     case Errc::kInvalidArgument: return "invalid-argument";
     case Errc::kQuarantineOverflow: return "quarantine-overflow";
+    case Errc::kNoHosts: return "no-hosts";
     case Errc::kInternal: return "internal";
   }
   return "internal";
@@ -99,11 +111,14 @@ constexpr int exit_code(Errc c) noexcept {
     case Errc::kOutOfMemory: return 11;
     case Errc::kTimeout: return 12;
     case Errc::kWorkerCrash: return 13;
+    case Errc::kTransport: return 14;
+    case Errc::kCheckpointShip: return 15;
     case Errc::kCorruptData: return 20;
     case Errc::kVersionSkew: return 21;
     case Errc::kFingerprintMismatch: return 22;
     case Errc::kShardMismatch: return 23;
     case Errc::kQuarantineOverflow: return 24;
+    case Errc::kNoHosts: return 25;
     case Errc::kInternal: return 1;
   }
   return 1;
@@ -121,11 +136,14 @@ constexpr Errc errc_from_exit(int status) noexcept {
     case 11: return Errc::kOutOfMemory;
     case 12: return Errc::kTimeout;
     case 13: return Errc::kWorkerCrash;
+    case 14: return Errc::kTransport;
+    case 15: return Errc::kCheckpointShip;
     case 20: return Errc::kCorruptData;
     case 21: return Errc::kVersionSkew;
     case 22: return Errc::kFingerprintMismatch;
     case 23: return Errc::kShardMismatch;
     case 24: return Errc::kQuarantineOverflow;
+    case 25: return Errc::kNoHosts;
     default: return Errc::kInternal;
   }
 }

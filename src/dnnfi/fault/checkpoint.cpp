@@ -70,8 +70,13 @@ Expected<ShardCheckpoint> try_load_shard_checkpoint(const std::string& path) {
   if (!in) return defect(Errc::kIo, path, "cannot open for reading");
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
+  return parse_checkpoint_bytes(bytes.data(), bytes.size(), path);
+}
 
-  ByteReader r(bytes);
+Expected<ShardCheckpoint> parse_checkpoint_bytes(const std::uint8_t* data,
+                                                 std::size_t size,
+                                                 const std::string& path) {
+  ByteReader r(data, size);
   try {
     std::uint8_t magic[sizeof(kCheckpointMagic)];
     for (auto& m : magic) m = r.u8();
@@ -92,7 +97,7 @@ Expected<ShardCheckpoint> try_load_shard_checkpoint(const std::string& path) {
                         std::to_string(payload_size) + ", file holds " +
                         std::to_string(r.remaining()));
     const std::uint32_t actual_crc =
-        crc32(bytes.data() + (bytes.size() - payload_size), payload_size);
+        crc32(data + (size - payload_size), payload_size);
     if (actual_crc != stored_crc)
       return defect(Errc::kCorruptData, path,
                     "CRC mismatch (stored " + std::to_string(stored_crc) +
@@ -181,6 +186,35 @@ Expected<ShardCheckpoint> try_load_shard_checkpoint(const std::string& path) {
     return defect(Errc::kCorruptData, path,
                   std::string("malformed payload: ") + e.what());
   }
+}
+
+Expected<std::vector<std::uint8_t>> read_checkpoint_bytes(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return defect(Errc::kIo, path, "cannot open for shipping");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  // Never ship an image the receiver would reject: a torn local file is
+  // better caught at the source, where "which disk is bad" is unambiguous.
+  if (auto parsed = parse_checkpoint_bytes(bytes.data(), bytes.size(), path);
+      !parsed.ok())
+    return parsed.error();
+  return bytes;
+}
+
+Expected<void> write_checkpoint_bytes(const std::string& path,
+                                      const std::uint8_t* data,
+                                      std::size_t size) {
+  auto parsed = parse_checkpoint_bytes(data, size, path);
+  if (!parsed.ok())
+    return fail(Errc::kCheckpointShip,
+                "shipped checkpoint for " + path +
+                    " failed validation: " + parsed.error().message);
+  auto written = write_file_atomic(
+      path,
+      std::string_view(reinterpret_cast<const char*>(data), size));
+  if (!written.ok()) return defect(Errc::kIo, path, written.error().message);
+  return {};
 }
 
 void save_shard_checkpoint(const std::string& path,

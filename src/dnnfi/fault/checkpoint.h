@@ -146,6 +146,32 @@ Expected<void> try_save_shard_checkpoint(const std::string& path,
 /// kVersionSkew (format this build does not read).
 Expected<ShardCheckpoint> try_load_shard_checkpoint(const std::string& path);
 
+// ---- checkpoint shipping (fault/transport.h frame channel) ---------------
+//
+// Remote workers persist to their own node-local disk; the supervisor's
+// durable copy arrives as the raw file image over a transport frame. These
+// helpers move validated *bytes* (the exact on-disk file image, magic and
+// CRC included — no format bump) so both ends agree on what was shipped.
+
+/// Parses and fully validates a checkpoint file image held in memory.
+/// `origin` names the source ("frame from host X", a path) in errors.
+/// Same failure codes as try_load_shard_checkpoint, minus kIo.
+Expected<ShardCheckpoint> parse_checkpoint_bytes(const std::uint8_t* data,
+                                                 std::size_t size,
+                                                 const std::string& origin);
+
+/// Reads a checkpoint file whole for shipping, validating that the image
+/// parses before putting it on the wire. kIo when unreadable.
+Expected<std::vector<std::uint8_t>> read_checkpoint_bytes(
+    const std::string& path);
+
+/// Lands a shipped checkpoint image: validates it parses, then writes it
+/// atomically (tmp + rename) to `path`. kCheckpointShip on a damaged image,
+/// kIo when the write fails.
+Expected<void> write_checkpoint_bytes(const std::string& path,
+                                      const std::uint8_t* data,
+                                      std::size_t size);
+
 /// Throwing wrapper over try_save_shard_checkpoint.
 void save_shard_checkpoint(const std::string& path, const ShardCheckpoint& ck);
 

@@ -12,11 +12,15 @@
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
+#include "dnnfi/common/atomic_file.h"
 #include "dnnfi/common/rng.h"
 #include "dnnfi/fault/checkpoint.h"
+#include "dnnfi/fault/fleet.h"
+#include "dnnfi/fault/transport.h"
 
 namespace dnnfi::fault {
 
@@ -35,24 +39,44 @@ std::string range_str(std::uint64_t begin, std::uint64_t end) {
   return "[" + std::to_string(begin) + ", " + std::to_string(end) + ")";
 }
 
+/// Last `n` lines of a file, for post-mortem failure reports.
+std::vector<std::string> tail_lines(const std::string& path, std::size_t n) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::deque<std::string> tail;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    tail.push_back(line);
+    if (tail.size() > n) tail.pop_front();
+  }
+  return {tail.begin(), tail.end()};
+}
+
 /// A trial range queued for execution (fresh, retrying, or bisected).
 struct Task {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
   int attempts = 0;       ///< failed attempts so far
   TimePoint ready{};      ///< earliest launch time (backoff)
+  std::string last_node;  ///< fleet node the last failure ran on ("" = none)
 };
 
-/// A live worker subprocess and its heartbeat channel.
+/// A live worker subprocess and its channel to the supervisor.
 struct Worker {
   pid_t pid = -1;
-  int fd = -1;  ///< nonblocking read end of the heartbeat pipe; -1 once EOF
+  int fd = -1;  ///< nonblocking worker->supervisor fd; -1 once EOF
   Task task;
+  Fleet::Node* node = nullptr;  ///< owning fleet node; nullptr in local mode
+  WorkerChannel channel{false};
+  std::string ckpt_path;  ///< supervisor-side checkpoint for this shard
+  std::string log_path;   ///< per-shard stderr log ("" = inherited stderr)
   TimePoint started{};
   TimePoint last_beat{};
   std::uint64_t trials_done = 0;
   bool watchdog_killed = false;
-  std::vector<std::uint8_t> partial;  ///< bytes of an incomplete beat frame
+  bool channel_corrupt = false;  ///< frame damage or bad shipped checkpoint
+  Error channel_error;           ///< set when channel_corrupt
 };
 
 /// A shard whose checkpoint on disk is complete.
@@ -81,7 +105,30 @@ class Supervisor {
     if (ec)
       return fail(Errc::kIo, "supervise: cannot create " +
                                  opt_.checkpoint_dir + ": " + ec.message());
+    std::filesystem::create_directories(opt_.checkpoint_dir + "/logs", ec);
+    if (ec)
+      return fail(Errc::kIo, "supervise: cannot create " +
+                                 opt_.checkpoint_dir + "/logs: " +
+                                 ec.message());
     target_workers_ = opt_.workers;
+
+    if (!opt_.hosts.empty() || !opt_.hosts_file.empty()) {
+      auto specs = opt_.hosts_file.empty()
+                       ? parse_hosts(opt_.hosts)
+                       : parse_hosts_file(opt_.hosts_file);
+      if (!specs.ok()) return specs.error();
+      FleetConfig fc;
+      fc.fail_limit = opt_.host_fail_limit;
+      fc.quarantine_base_s = opt_.quarantine_base_s;
+      fc.quarantine_cap_s = opt_.quarantine_cap_s;
+      fc.scratch_root = opt_.checkpoint_dir;
+      fleet_.emplace(std::move(specs).value(), fc);
+      // Init frames to workers that die instantly surface as EPIPE write
+      // errors, not process death.
+      signal(SIGPIPE, SIG_IGN);
+      log("fleet: " + std::to_string(fleet_->nodes().size()) + " host(s), " +
+          std::to_string(fleet_->total_slots()) + " slot(s)");
+    }
 
     if (auto scanned = scan_checkpoint_dir(); !scanned.ok())
       return scanned.error();
@@ -91,6 +138,9 @@ class Supervisor {
     while (true) {
       if (opt_.cancel && opt_.cancel->load(std::memory_order_relaxed))
         return shutdown_cancelled();
+      if (fleet_ && opt_.reload_hosts &&
+          opt_.reload_hosts->exchange(false, std::memory_order_relaxed))
+        reload_fleet();
       promote_waiting();
       if (auto launched = launch_ready(); !launched.ok()) {
         kill_all(SIGKILL);
@@ -98,6 +148,12 @@ class Supervisor {
         return launched.error();
       }
       if (active_.empty() && waiting_.empty() && ready_.empty()) break;
+      if (fleet_ && active_.empty() && !fleet_->any_member())
+        return fail(Errc::kNoHosts,
+                    "supervise: every fleet host has left (--hosts-file) "
+                    "with " +
+                        std::to_string(ready_.size() + waiting_.size()) +
+                        " shard(s) still pending");
       poll_heartbeats();
       if (auto reaped = reap(); !reaped.ok()) {
         kill_all(SIGKILL);
@@ -117,7 +173,8 @@ class Supervisor {
   /// resumed implicitly when their range is rescheduled under the same
   /// deterministic file name. A corrupt or version-skewed file is fatal —
   /// atomic writes mean it cannot be a torn write, so something real is
-  /// wrong with the directory.
+  /// wrong with the directory. (Node scratch subdirectories are not
+  /// scanned: the iteration is non-recursive by design.)
   Expected<void> scan_checkpoint_dir() {
     std::optional<std::uint64_t> fingerprint;
     for (const auto& entry :
@@ -154,7 +211,10 @@ class Supervisor {
   /// (greedy by begin, widest first). Overlaps arise legitimately — a
   /// finished campaign leaves campaign.ckpt covering everything alongside
   /// its shard files — and merging overlapping accumulators would double-
-  /// count trials, so redundant files are dropped, not merged.
+  /// count trials, so redundant files are dropped, not merged. Each drop
+  /// is announced: a stale overlapping checkpoint means some past run
+  /// worked a range another file already covers, and silently discarding
+  /// that work would make "why is my campaign re-running?" undebuggable.
   void select_cover() {
     std::sort(completed_.begin(), completed_.end(),
               [](const Completed& a, const Completed& b) {
@@ -167,18 +227,27 @@ class Supervisor {
       if (c.begin >= cursor && c.end > c.begin) {
         cursor = c.end;
         chosen.push_back(std::move(c));
+      } else {
+        log("warning: discarding stale checkpoint " + c.path + " covering " +
+            range_str(c.begin, c.end) +
+            " — range already covered by the greedy disjoint cover");
       }
     }
     completed_ = std::move(chosen);
   }
 
   /// Schedules every trial range not covered by a complete checkpoint or
-  /// an already-quarantined singleton, chunked to the shard size.
+  /// an already-quarantined singleton, chunked to the shard size. Fleet
+  /// mode sizes shards against the fleet's total slots (topology-aware):
+  /// ~4 shards per slot keeps every host busy while bounding the work a
+  /// dead host strands.
   void schedule_gaps() {
     std::uint64_t shard_size = opt_.shard_size;
     if (shard_size == 0) {
       const std::uint64_t lanes =
-          static_cast<std::uint64_t>(opt_.workers) * 4;
+          static_cast<std::uint64_t>(fleet_ ? std::max(1, fleet_->total_slots())
+                                            : opt_.workers) *
+          4;
       shard_size = std::max<std::uint64_t>(1, (opt_.trials + lanes - 1) / lanes);
     }
 
@@ -219,20 +288,58 @@ class Supervisor {
     }
   }
 
+  /// Re-reads the hosts file after SIGHUP. A malformed file keeps the
+  /// current membership — elasticity must never turn a typo into a dead
+  /// fleet mid-campaign.
+  void reload_fleet() {
+    if (opt_.hosts_file.empty()) {
+      log("reload requested but no --hosts-file was given; ignoring");
+      return;
+    }
+    auto specs = parse_hosts_file(opt_.hosts_file);
+    if (!specs.ok()) {
+      log("warning: hosts-file reload failed (" + specs.error().to_string() +
+          "); keeping current membership");
+      return;
+    }
+    const auto [joined, drained] = fleet_->reload(specs.value());
+    log("hosts-file reloaded: " + std::to_string(joined) + " host(s) joined, " +
+        std::to_string(drained) + " draining; " +
+        std::to_string(fleet_->total_slots()) + " slot(s) now");
+  }
+
   // ---- process management ----------------------------------------------
 
   Expected<void> launch_ready() {
-    while (!ready_.empty() &&
-           active_.size() < static_cast<std::size_t>(target_workers_)) {
+    while (!ready_.empty()) {
+      if (!fleet_) {
+        if (active_.size() >= static_cast<std::size_t>(target_workers_)) break;
+        Task task = ready_.front();
+        ready_.pop_front();
+        if (auto spawned = launch(task, nullptr); !spawned.ok()) {
+          // fork/pipe/exec-level failure: count toward degradation and
+          // retry the task through the normal backoff path.
+          note_resource_failure("launch failure for shard " +
+                                range_str(task.begin, task.end));
+          if (auto handled = handle_failure(
+                  task, Error{Errc::kWorkerCrash, "could not launch worker"});
+              !handled.ok())
+            return handled.error();
+        }
+        continue;
+      }
+      // Fleet mode: a slot must be available; prefer a node other than the
+      // one the shard last failed on (retry-elsewhere).
+      Fleet::Node* node = fleet_->acquire(ready_.front().last_node);
+      if (node == nullptr) break;
       Task task = ready_.front();
       ready_.pop_front();
-      if (!launch(task)) {
-        // fork/pipe/exec-level failure: count toward degradation and
-        // retry the task through the normal backoff path.
-        note_resource_failure("launch failure for shard " +
-                              range_str(task.begin, task.end));
-        if (auto handled = handle_failure(
-                task, Error{Errc::kWorkerCrash, "could not launch worker"});
+      auto spawned = launch(task, node);
+      if (!spawned.ok()) {
+        note_host_release(*node, /*success=*/false);
+        log("spawn on " + node->id + " failed: " +
+            spawned.error().to_string());
+        if (auto handled = handle_failure(task, spawned.error());
             !handled.ok())
           return handled.error();
       }
@@ -240,61 +347,71 @@ class Supervisor {
     return {};
   }
 
-  bool launch(const Task& task) {
-    int fds[2];
-    if (pipe(fds) != 0) return false;
-    // Heartbeat read ends must not leak into other workers (a surviving
-    // duplicate write end would defeat EOF detection and hold fds open).
-    fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  /// Starts `task` on `node` (fleet mode) or on the classic local
+  /// transport (node == nullptr). On success the worker joins active_.
+  Expected<void> launch(const Task& task, Fleet::Node* node) {
+    WorkerSpawn spawn;
+    spawn.binary = opt_.binary;
+    spawn.flags = opt_.worker_flags;
+    spawn.begin = task.begin;
+    spawn.end = task.end;
+    spawn.checkpoint = shard_path(opt_.checkpoint_dir, task.begin, task.end);
+    spawn.stderr_log = opt_.checkpoint_dir + "/logs/shard_" +
+                       std::to_string(task.begin) + "_" +
+                       std::to_string(task.end) + ".log";
 
-    std::vector<std::string> args;
-    args.push_back(opt_.binary);
-    args.push_back("worker");
-    for (const auto& f : opt_.worker_flags) args.push_back(f);
-    args.push_back("--shard");
-    args.push_back(std::to_string(task.begin) + ":" +
-                   std::to_string(task.end));
-    args.push_back("--checkpoint");
-    args.push_back(shard_path(opt_.checkpoint_dir, task.begin, task.end));
-    args.push_back("--heartbeat-fd");
-    args.push_back(std::to_string(fds[1]));
+    // Fleet workers checkpoint on their own node; resume state travels in
+    // the init frame from the supervisor's durable copy (landed by a prior
+    // attempt on any host). Local workers read the shared file themselves.
+    std::vector<std::uint8_t> resume_bytes;
+    if (node != nullptr && std::filesystem::exists(spawn.checkpoint)) {
+      auto bytes = read_checkpoint_bytes(spawn.checkpoint);
+      if (bytes.ok()) {
+        resume_bytes = std::move(bytes).value();
+        spawn.resume = &resume_bytes;
+      } else {
+        log("warning: not shipping resume state for shard " +
+            range_str(task.begin, task.end) + ": " +
+            bytes.error().to_string());
+      }
+    }
 
-    const pid_t pid = fork();
-    if (pid < 0) {
-      close(fds[0]);
-      close(fds[1]);
-      return false;
-    }
-    if (pid == 0) {
-      // Child: exec the worker; 127 signals "could not even start".
-      close(fds[0]);
-      std::vector<char*> argv;
-      argv.reserve(args.size() + 1);
-      for (auto& a : args) argv.push_back(a.data());
-      argv.push_back(nullptr);
-      execv(opt_.binary.c_str(), argv.data());
-      _exit(127);
-    }
-    close(fds[1]);
-    fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    WorkerTransport& transport =
+        node != nullptr ? *node->transport
+                        : static_cast<WorkerTransport&>(local_transport_);
+    auto handle = transport.spawn(spawn);
+    if (!handle.ok()) return handle.error();
 
     Worker w;
-    w.pid = pid;
-    w.fd = fds[0];
+    w.pid = handle.value().pid;
+    w.fd = handle.value().rx;
     w.task = task;
+    w.node = node;
+    w.channel = WorkerChannel(transport.framed());
+    w.ckpt_path = spawn.checkpoint;
+    w.log_path = spawn.stderr_log;
     w.started = w.last_beat = Clock::now();
-    active_.push_back(std::move(w));
     ++report_.workers_spawned;
-    log("shard " + range_str(task.begin, task.end) + " -> pid " +
-        std::to_string(pid) +
+    if (node != nullptr && !task.last_node.empty() &&
+        node->id != task.last_node) {
+      ++report_.retries_elsewhere;
+      log("shard " + range_str(task.begin, task.end) + " moves " +
+          task.last_node + " -> " + node->id + " (retry-elsewhere" +
+          (spawn.resume != nullptr ? ", resuming from shipped checkpoint)"
+                                   : ")"));
+    }
+    log("shard " + range_str(task.begin, task.end) + " -> " +
+        (node != nullptr ? node->id + " " : "") + "pid " +
+        std::to_string(w.pid) +
         (task.attempts > 0 ? " (attempt " + std::to_string(task.attempts + 1) +
                                  "/" + std::to_string(opt_.max_attempts) + ")"
                            : ""));
-    return true;
+    active_.push_back(std::move(w));
+    return {};
   }
 
   /// Blocks up to the nearest deadline waiting for heartbeats; drains
-  /// every readable pipe and stamps last_beat.
+  /// every readable channel and stamps last_beat.
   void poll_heartbeats() {
     std::vector<pollfd> fds;
     std::vector<std::size_t> owner;
@@ -313,8 +430,9 @@ class Supervisor {
     }
   }
 
-  /// Wakeup bound: soonest of worker deadlines and backoff expiries,
-  /// clamped to [10, 200] ms so reaping and cancellation stay responsive.
+  /// Wakeup bound: soonest of worker deadlines, backoff expiries, and
+  /// fleet quarantine releases, clamped to [10, 200] ms so reaping and
+  /// cancellation stay responsive.
   int next_wakeup_ms() const {
     double soonest = 0.2;
     const TimePoint now = Clock::now();
@@ -329,6 +447,10 @@ class Supervisor {
             soonest, until(w.started + to_duration(opt_.shard_timeout_s)));
     }
     for (const Task& t : waiting_) soonest = std::min(soonest, until(t.ready));
+    if (fleet_) {
+      if (const auto release = fleet_->earliest_release(now))
+        soonest = std::min(soonest, until(*release));
+    }
     return std::clamp(static_cast<int>(soonest * 1000.0), 10, 200);
   }
 
@@ -337,28 +459,95 @@ class Supervisor {
         std::chrono::duration<double>(seconds));
   }
 
+  /// Reads everything the worker's channel holds, decoding beats (and, on
+  /// framed channels, shipped checkpoints). Short reads and EINTR are
+  /// retried by the io layer — a signal landing mid-read must not drop a
+  /// beat. Structural damage poisons the worker: it is SIGKILLed and its
+  /// exit is classified kTransport / kCheckpointShip (both retryable, on
+  /// another host when one exists).
   void drain(Worker& w) {
-    std::uint8_t buf[256];
-    while (true) {
-      const ssize_t n = read(w.fd, buf, sizeof buf);
-      if (n > 0) {
-        w.last_beat = Clock::now();
-        w.partial.insert(w.partial.end(), buf, buf + n);
-        while (w.partial.size() >= 8) {
-          std::uint64_t v = 0;
-          for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(w.partial[static_cast<std::size_t>(i)])
-                 << (8 * i);
-          w.trials_done = v;
-          w.partial.erase(w.partial.begin(), w.partial.begin() + 8);
-        }
-        continue;
+    std::uint8_t buf[4096];
+    while (w.fd >= 0 && !w.channel_corrupt) {
+      auto got = io_read_chunk(w.fd, buf, sizeof buf);
+      if (!got.ok()) {
+        channel_fault(w, got.error());
+        return;
       }
-      if (n == 0) {  // worker closed its end (exiting)
+      const long n = got.value();
+      if (n < 0) break;  // EAGAIN: nothing more to read now
+      if (n == 0) {      // worker closed its end (exiting)
         close(w.fd);
         w.fd = -1;
+        break;
       }
-      break;  // EOF, EAGAIN, or EINTR: nothing more to read now
+      w.last_beat = Clock::now();
+      std::vector<ChannelEvent> events;
+      auto fed = w.channel.feed(buf, static_cast<std::size_t>(n), events);
+      for (const ChannelEvent& ev : events) {
+        if (ev.kind == ChannelEvent::Kind::kBeat)
+          w.trials_done = ev.done;
+        else
+          land_checkpoint(w, ev.bytes);
+        if (w.channel_corrupt) return;
+      }
+      if (!fed.ok()) {
+        channel_fault(w, fed.error());
+        return;
+      }
+    }
+  }
+
+  /// Validates and lands a shipped checkpoint image as the supervisor's
+  /// durable copy for the worker's shard (atomic tmp + rename). An image
+  /// that fails to parse or covers the wrong range is channel damage; a
+  /// local write failure is a plain retryable kIo for this attempt.
+  void land_checkpoint(Worker& w, const std::vector<std::uint8_t>& bytes) {
+    const std::string origin =
+        "checkpoint frame from " + (w.node ? w.node->id : "worker");
+    auto parsed = parse_checkpoint_bytes(bytes.data(), bytes.size(), origin);
+    if (!parsed.ok()) {
+      channel_fault(w, Error{Errc::kCheckpointShip,
+                             origin + ": " + parsed.error().message});
+      return;
+    }
+    const ShardCheckpoint& ck = parsed.value();
+    if (ck.shard_begin != w.task.begin || ck.shard_end != w.task.end ||
+        ck.trials_total != opt_.trials) {
+      channel_fault(
+          w, Error{Errc::kCheckpointShip,
+                   origin + ": image covers shard " +
+                       range_str(ck.shard_begin, ck.shard_end) + " of " +
+                       std::to_string(ck.trials_total) +
+                       " trials, expected " +
+                       range_str(w.task.begin, w.task.end) + " of " +
+                       std::to_string(opt_.trials)});
+      return;
+    }
+    auto written = write_file_atomic(
+        w.ckpt_path,
+        std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size()));
+    if (!written.ok()) {
+      channel_fault(w, Error{Errc::kIo, "landing " + w.ckpt_path + ": " +
+                                            written.error().message});
+      return;
+    }
+    ++report_.checkpoints_shipped;
+  }
+
+  /// Marks a worker's channel unusable and kills the process; the reap
+  /// path turns this into a retryable failure carrying `err`.
+  void channel_fault(Worker& w, const Error& err) {
+    if (w.channel_corrupt) return;
+    w.channel_corrupt = true;
+    w.channel_error = err;
+    log("pid " + std::to_string(w.pid) + " shard " +
+        range_str(w.task.begin, w.task.end) + ": channel fault: " +
+        err.to_string() + "; sending SIGKILL");
+    kill(w.pid, SIGKILL);
+    if (w.fd >= 0) {
+      close(w.fd);
+      w.fd = -1;
     }
   }
 
@@ -368,7 +557,7 @@ class Supervisor {
   void enforce_deadlines() {
     const TimePoint now = Clock::now();
     for (Worker& w : active_) {
-      if (w.watchdog_killed) continue;
+      if (w.watchdog_killed || w.channel_corrupt) continue;
       const bool hb_expired =
           now - w.last_beat > to_duration(opt_.heartbeat_timeout_s);
       const bool wall_expired =
@@ -396,7 +585,7 @@ class Supervisor {
       Worker w = std::move(*it);
       it = active_.erase(it);
       if (w.fd >= 0) {
-        drain(w);  // final beats written between last poll and exit
+        drain(w);  // final beats/checkpoints written between last poll and exit
         if (w.fd >= 0) close(w.fd);
       }
       if (auto handled = handle_exit(w, status); !handled.ok())
@@ -405,28 +594,61 @@ class Supervisor {
     return {};
   }
 
+  /// Gives a slot back to the fleet and narrates a tripped quarantine.
+  void note_host_release(Fleet::Node& node, bool success) {
+    const ReleaseOutcome out = fleet_->release(node, success);
+    if (out.quarantined) {
+      ++report_.host_quarantines;
+      log("host " + node.id + " quarantined for " +
+          std::to_string(out.quarantine_s) + "s after " +
+          std::to_string(opt_.host_fail_limit) +
+          " consecutive failures (quarantine #" +
+          std::to_string(node.quarantine_count) + ")");
+    }
+  }
+
+  /// Last lines of the worker's stderr log, prefixed [host:shard], so a
+  /// failure report carries the worker's own words.
+  void log_failure_tail(const Worker& w) {
+    if (w.log_path.empty()) return;
+    const auto lines = tail_lines(w.log_path, 10);
+    if (lines.empty()) return;
+    const std::string prefix = "[" + (w.node ? w.node->spec.host : "local") +
+                               ":shard_" + std::to_string(w.task.begin) + "_" +
+                               std::to_string(w.task.end) + "] ";
+    log("last " + std::to_string(lines.size()) + " stderr line(s):");
+    for (const std::string& line : lines) log(prefix + line);
+  }
+
   Expected<void> handle_exit(const Worker& w, int status) {
-    const Task& task = w.task;
-    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
-      // Trust but verify: the shard is only done if its checkpoint says so.
-      const std::string path =
-          shard_path(opt_.checkpoint_dir, task.begin, task.end);
-      auto loaded = try_load_shard_checkpoint(path);
+    Task task = w.task;
+    if (w.node != nullptr) task.last_node = w.node->id;
+
+    if (!w.channel_corrupt && WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      // Trust but verify: the shard is only done if its checkpoint says
+      // so. In fleet mode the verified copy is the supervisor-side one the
+      // worker shipped — a worker whose final ship never landed retries.
+      auto loaded = try_load_shard_checkpoint(w.ckpt_path);
       if (loaded.ok() && loaded.value().complete) {
-        completed_.push_back(Completed{task.begin, task.end, path});
+        completed_.push_back(Completed{task.begin, task.end, w.ckpt_path});
         resource_failure_streak_ = 0;
+        if (w.node != nullptr) note_host_release(*w.node, /*success=*/true);
         log("shard " + range_str(task.begin, task.end) + " complete (" +
             std::to_string(w.trials_done) + " trials this attempt)");
         return {};
       }
+      if (w.node != nullptr) note_host_release(*w.node, /*success=*/false);
+      log_failure_tail(w);
       return handle_failure(
           task, Error{Errc::kIo,
-                      "worker exited 0 but checkpoint " + path +
+                      "worker exited 0 but checkpoint " + w.ckpt_path +
                           " is missing or incomplete"});
     }
 
     Error err;
-    if (WIFSIGNALED(status)) {
+    if (w.channel_corrupt) {
+      err = w.channel_error;
+    } else if (WIFSIGNALED(status)) {
       const int sig = WTERMSIG(status);
       err.code = w.watchdog_killed ? Errc::kTimeout : Errc::kWorkerCrash;
       err.message = w.watchdog_killed
@@ -436,15 +658,17 @@ class Supervisor {
       const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
       if (code == 127) {
         err = Error{Errc::kWorkerCrash, "exec failed (exit 127)"};
-        note_resource_failure("worker exec failure");
+        if (!fleet_) note_resource_failure("worker exec failure");
       } else {
         err.code = errc_from_exit(code);
         err.message = "exited with status " + std::to_string(code) + " (" +
                       std::string(errc_name(err.code)) + ")";
       }
-      if (err.code == Errc::kOutOfMemory)
+      if (err.code == Errc::kOutOfMemory && !fleet_)
         note_resource_failure("worker out-of-memory");
     }
+    if (w.node != nullptr) note_host_release(*w.node, /*success=*/false);
+    log_failure_tail(w);
     return handle_failure(task, err);
   }
 
@@ -476,12 +700,13 @@ class Supervisor {
     }
     // Bisect: both halves restart the attempt budget; the half without the
     // poison completes, the other converges on it in O(log shard) splits.
+    // Both halves inherit last_node so they too prefer a different host.
     const std::uint64_t mid = task.begin + (task.end - task.begin) / 2;
     ++report_.bisections;
     log("bisecting " + range_str(task.begin, task.end) + " -> " +
         range_str(task.begin, mid) + " + " + range_str(mid, task.end));
-    ready_.push_back(Task{task.begin, mid, 0, {}});
-    ready_.push_back(Task{mid, task.end, 0, {}});
+    ready_.push_back(Task{task.begin, mid, 0, {}, task.last_node});
+    ready_.push_back(Task{mid, task.end, 0, {}, task.last_node});
     return {};
   }
 
@@ -507,7 +732,8 @@ class Supervisor {
   }
 
   /// Repeated OOM/exec failures mean the machine is oversubscribed, not
-  /// unlucky: halve concurrency (never below one) and keep going.
+  /// unlucky: halve concurrency (never below one) and keep going. Local
+  /// mode only — fleet mode expresses host sickness as quarantine instead.
   void note_resource_failure(const std::string& what) {
     ++resource_failure_streak_;
     log(what + " (streak " + std::to_string(resource_failure_streak_) + ")");
@@ -536,10 +762,11 @@ class Supervisor {
     active_.clear();
   }
 
-  /// SIGTERM the fleet and wait for the graceful worker exits (each
-  /// finishes its in-flight batch and checkpoints); stragglers past the
-  /// grace period are SIGKILLed. At most one batch per worker is lost,
-  /// and a later `supervise` resumes from the same directory.
+  /// SIGTERM the workers and wait for the graceful exits (each finishes
+  /// its in-flight batch and checkpoints — fleet workers ship that final
+  /// batch home first); stragglers past the grace period are SIGKILLed.
+  /// At most one batch per worker is lost, and a later `supervise`
+  /// resumes from the same directory.
   Expected<SupervisorReport> shutdown_cancelled() {
     log("cancellation requested; stopping " +
         std::to_string(active_.size()) + " worker(s)");
@@ -551,7 +778,10 @@ class Supervisor {
       for (auto it = active_.begin(); it != active_.end();) {
         int status = 0;
         if (waitpid(it->pid, &status, WNOHANG) == it->pid) {
-          if (it->fd >= 0) close(it->fd);
+          if (it->fd >= 0) {
+            drain(*it);  // land the final shipped batch before letting go
+            if (it->fd >= 0) close(it->fd);
+          }
           it = active_.erase(it);
         } else {
           ++it;
@@ -573,7 +803,10 @@ class Supervisor {
 
   /// Loads every completed shard checkpoint and merges exactly. The result
   /// is byte-identical to the monolithic run over the same trials —
-  /// quarantined trials excepted, and those are enumerated.
+  /// quarantined trials excepted, and those are enumerated. Fleet mode
+  /// changes nothing here: shipped checkpoints carry the same exact
+  /// accumulators, and ExactSum merges are associative, so where a shard
+  /// ran (or how often it moved) cannot change a single bit.
   Expected<SupervisorReport> merge() {
     std::sort(completed_.begin(), completed_.end(),
               [](const Completed& a, const Completed& b) {
@@ -654,6 +887,9 @@ class Supervisor {
   SupervisorReport report_;
   int target_workers_ = 1;
   int resource_failure_streak_ = 0;
+
+  LocalTransport local_transport_;  ///< classic single-host path
+  std::optional<Fleet> fleet_;      ///< engaged by --hosts / --hosts-file
 
   std::deque<Task> ready_;
   std::vector<Task> waiting_;

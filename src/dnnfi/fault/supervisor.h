@@ -40,6 +40,14 @@
 // checkpoint for a rescheduled range is resumed by its worker. `kill -9`
 // of the supervisor or any worker therefore loses at most one checkpoint
 // batch of work. See DESIGN.md §9.
+//
+// Fleet mode (--hosts / --hosts-file) generalizes the worker wire through
+// fault/transport.h: workers run on member hosts over framed stdin/stdout
+// channels, ship their checkpoints back to the supervisor's directory after
+// every batch, and a shard whose host dies is relaunched on a healthy host
+// resuming from the last shipped batch (retry-elsewhere). Host health is
+// tracked per node with exponential-backoff quarantine, and membership is
+// elastic via SIGHUP-triggered hosts-file reloads. See DESIGN.md §13.
 #pragma once
 
 #include <atomic>
@@ -81,6 +89,27 @@ struct SupervisorOptions {
   /// seed for reproducible schedules).
   std::uint64_t jitter_seed = 0;
 
+  // ---- fleet mode (multi-node campaigns; DESIGN.md §13) ------------------
+
+  /// Comma-separated `host:slots[:workdir]` fleet members. Non-empty turns
+  /// on fleet mode: every worker runs over a framed RemoteTransport (ssh
+  /// for real hosts, direct exec with a private scratch dir for localhost
+  /// entries) and ships its checkpoint back after every batch. Empty — and
+  /// hosts_file empty — keeps the classic single-host fork/exec path,
+  /// bit-for-bit identical to the pre-fleet supervisor.
+  std::string hosts;
+  /// Hosts file: one `host:slots[:workdir]` per line, `#` comments. Takes
+  /// precedence over `hosts`, and is re-read whenever *reload_hosts reads
+  /// true (the CLI sets it from SIGHUP) — elastic membership: new hosts
+  /// join the running campaign, removed hosts drain.
+  std::string hosts_file;
+  std::atomic<bool>* reload_hosts = nullptr;
+  /// Per-host health: consecutive failed attempts before the host is
+  /// quarantined for quarantine_base_s * 2^(prior quarantines), capped.
+  int host_fail_limit = 3;
+  double quarantine_base_s = 2.0;
+  double quarantine_cap_s = 300.0;
+
   bool verbose = true;  ///< narrate launches/retries/quarantines on stderr
 
   /// Graceful shutdown: when it reads true, workers receive SIGTERM
@@ -104,6 +133,11 @@ struct SupervisorReport {
   int watchdog_kills = 0;   ///< heartbeat/wall-clock SIGKILLs
   int bisections = 0;
   int degradations = 0;     ///< times concurrency was halved
+
+  // Fleet-mode telemetry (all zero in single-host mode).
+  int retries_elsewhere = 0;    ///< failed shards relaunched on another host
+  int checkpoints_shipped = 0;  ///< checkpoint frames landed in --ckpt-dir
+  int host_quarantines = 0;     ///< times a host was benched for its streak
 };
 
 /// Runs the supervised campaign to completion (or cancellation). Returns

@@ -1,0 +1,412 @@
+#include "dnnfi/fault/transport.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "dnnfi/common/env.h"
+#include "dnnfi/common/serial.h"
+
+namespace dnnfi::fault {
+
+namespace {
+
+Error transport_error(const std::string& what) {
+  return Error{Errc::kTransport, what};
+}
+
+Error transport_errno(const std::string& what) {
+  return transport_error(what + ": " + std::strerror(errno));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+constexpr std::size_t kFrameHeader = 9;  // u32 len + u8 type + u32 crc
+
+bool known_frame_type(std::uint8_t t) {
+  return t == static_cast<std::uint8_t>(FrameType::kInit) ||
+         t == static_cast<std::uint8_t>(FrameType::kBeat) ||
+         t == static_cast<std::uint8_t>(FrameType::kCheckpoint);
+}
+
+/// Leaf component of a path ("a/b/c.ckpt" -> "c.ckpt").
+std::string path_leaf(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+// ---- hardened low-level I/O ----------------------------------------------
+
+Expected<void> io_write_full(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return transport_errno("write to fd " + std::to_string(fd) + " failed");
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return {};
+}
+
+Expected<long> io_read_chunk(int fd, std::uint8_t* buf, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r >= 0) return static_cast<long>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1L;
+    return transport_errno("read from fd " + std::to_string(fd) + " failed");
+  }
+}
+
+// ---- frame codec ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::uint8_t* payload,
+                                       std::size_t n) {
+  DNNFI_EXPECTS(n <= kMaxFramePayload);
+  std::vector<std::uint8_t> out(kFrameHeader + n);
+  store_u32(out.data(), static_cast<std::uint32_t>(n));
+  out[4] = static_cast<std::uint8_t>(type);
+  store_u32(out.data() + 5, crc32(payload, n));
+  if (n != 0) std::memcpy(out.data() + kFrameHeader, payload, n);
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact the consumed prefix before growing; keeps the buffer bounded by
+  // one frame plus whatever the last read appended.
+  if (pos_ != 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+Expected<std::optional<Frame>> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeader) return std::optional<Frame>{};
+  const std::uint8_t* h = buf_.data() + pos_;
+  const std::uint32_t len = load_u32(h);
+  if (len > kMaxFramePayload)
+    return transport_error("frame length " + std::to_string(len) +
+                           " exceeds limit " + std::to_string(kMaxFramePayload) +
+                           " — stream is damaged");
+  if (!known_frame_type(h[4]))
+    return transport_error("unknown frame type " + std::to_string(h[4]) +
+                           " — stream is damaged");
+  if (avail < kFrameHeader + len) return std::optional<Frame>{};
+  const std::uint32_t stored_crc = load_u32(h + 5);
+  const std::uint32_t actual_crc = crc32(h + kFrameHeader, len);
+  if (stored_crc != actual_crc)
+    return transport_error(
+        "frame CRC mismatch (stored " + std::to_string(stored_crc) +
+        ", computed " + std::to_string(actual_crc) + ") — stream is damaged");
+  Frame f;
+  f.type = static_cast<FrameType>(h[4]);
+  f.payload.assign(h + kFrameHeader, h + kFrameHeader + len);
+  pos_ += kFrameHeader + len;
+  return std::optional<Frame>{std::move(f)};
+}
+
+Expected<void> send_frame(int fd, FrameType type, const std::uint8_t* payload,
+                          std::size_t n) {
+  const std::vector<std::uint8_t> wire = encode_frame(type, payload, n);
+  return io_write_full(fd, wire.data(), wire.size());
+}
+
+Expected<std::optional<std::vector<std::uint8_t>>> read_init_frame(int fd) {
+  FrameDecoder dec;
+  std::uint8_t chunk[4096];
+  while (true) {
+    auto parsed = dec.next();
+    if (!parsed.ok()) return parsed.error();
+    if (parsed.value().has_value()) {
+      Frame f = std::move(*parsed.value());
+      if (f.type != FrameType::kInit)
+        return transport_error("expected init frame, got type " +
+                               std::to_string(static_cast<int>(f.type)));
+      if (f.payload.empty())
+        return transport_error("init frame payload is empty");
+      if (f.payload[0] == 0)
+        return std::optional<std::vector<std::uint8_t>>{};
+      return std::optional<std::vector<std::uint8_t>>{std::vector<std::uint8_t>(
+          f.payload.begin() + 1, f.payload.end())};
+    }
+    auto got = io_read_chunk(fd, chunk, sizeof(chunk));
+    if (!got.ok()) return got.error();
+    if (got.value() == 0)
+      return transport_error("peer closed the channel before the init frame");
+    if (got.value() < 0) continue;  // blocking fd: should not happen
+    dec.feed(chunk, static_cast<std::size_t>(got.value()));
+  }
+}
+
+// ---- supervisor-side channel ---------------------------------------------
+
+Expected<void> WorkerChannel::feed(const std::uint8_t* data, std::size_t n,
+                                   std::vector<ChannelEvent>& out) {
+  if (!framed_) {
+    // Legacy dialect: a stream of 8-byte little-endian counters. A beat can
+    // arrive split across reads; stash the incomplete tail.
+    partial_.insert(partial_.end(), data, data + n);
+    std::size_t consumed = 0;
+    while (partial_.size() - consumed >= 8) {
+      const std::uint8_t* b = partial_.data() + consumed;
+      std::uint64_t done = 0;
+      for (int i = 0; i < 8; ++i)
+        done |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+      ChannelEvent ev;
+      ev.kind = ChannelEvent::Kind::kBeat;
+      ev.done = done;
+      out.push_back(std::move(ev));
+      consumed += 8;
+    }
+    partial_.erase(partial_.begin(),
+                   partial_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    return {};
+  }
+
+  decoder_.feed(data, n);
+  while (true) {
+    auto parsed = decoder_.next();
+    if (!parsed.ok()) return parsed.error();
+    if (!parsed.value().has_value()) return {};
+    Frame f = std::move(*parsed.value());
+    switch (f.type) {
+      case FrameType::kBeat: {
+        if (f.payload.size() != 8)
+          return transport_error("beat frame payload is " +
+                                 std::to_string(f.payload.size()) +
+                                 " bytes, expected 8");
+        std::uint64_t done = 0;
+        for (std::size_t i = 0; i < 8; ++i)
+          done |= static_cast<std::uint64_t>(f.payload[i]) << (8 * i);
+        ChannelEvent ev;
+        ev.kind = ChannelEvent::Kind::kBeat;
+        ev.done = done;
+        out.push_back(std::move(ev));
+        break;
+      }
+      case FrameType::kCheckpoint: {
+        ChannelEvent ev;
+        ev.kind = ChannelEvent::Kind::kCheckpoint;
+        ev.bytes = std::move(f.payload);
+        out.push_back(std::move(ev));
+        break;
+      }
+      case FrameType::kInit:
+        return transport_error(
+            "worker sent an init frame (supervisor-only direction)");
+    }
+  }
+}
+
+// ---- LocalTransport ------------------------------------------------------
+
+Expected<WorkerHandle> LocalTransport::spawn(const WorkerSpawn& s) {
+  int fds[2];
+  if (pipe(fds) != 0) return transport_errno("pipe failed");
+  // Heartbeat read ends must not leak into other workers (a surviving
+  // duplicate write end would defeat EOF detection and hold fds open).
+  fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+
+  std::vector<std::string> args;
+  args.push_back(s.binary);
+  args.push_back("worker");
+  for (const auto& f : s.flags) args.push_back(f);
+  args.push_back("--shard");
+  args.push_back(std::to_string(s.begin) + ":" + std::to_string(s.end));
+  args.push_back("--checkpoint");
+  args.push_back(s.checkpoint);
+  args.push_back("--heartbeat-fd");
+  args.push_back(std::to_string(fds[1]));
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return transport_errno("fork failed");
+  }
+  if (pid == 0) {
+    // Child: exec the worker; 127 signals "could not even start".
+    close(fds[0]);
+    if (!s.stderr_log.empty()) {
+      const int lfd =
+          open(s.stderr_log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (lfd >= 0) {
+        dup2(lfd, 2);
+        if (lfd != 2) close(lfd);
+      }
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(s.binary.c_str(), argv.data());
+    _exit(127);
+  }
+  close(fds[1]);
+  fcntl(fds[0], F_SETFL, O_NONBLOCK);
+
+  WorkerHandle h;
+  h.pid = pid;
+  h.rx = fds[0];
+  return h;
+}
+
+// ---- RemoteTransport -----------------------------------------------------
+
+bool is_local_host(const std::string& host) {
+  return host == "localhost" || host == "local" || host == "127.0.0.1" ||
+         host == "::1";
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+RemoteTransport::RemoteTransport(std::string host, std::string scratch_dir)
+    : host_(std::move(host)),
+      scratch_(std::move(scratch_dir)),
+      direct_(is_local_host(host_)) {}
+
+Expected<WorkerHandle> RemoteTransport::spawn(const WorkerSpawn& s) {
+  // The worker keeps its checkpoint on its own node; only the leaf of the
+  // supervisor-side path survives, rehomed into this node's scratch dir.
+  const std::string worker_ckpt = scratch_ + "/" + path_leaf(s.checkpoint);
+
+  std::vector<std::string> words;
+  words.push_back(s.binary);
+  words.push_back("worker");
+  for (const auto& f : s.flags) words.push_back(f);
+  words.push_back("--shard");
+  words.push_back(std::to_string(s.begin) + ":" + std::to_string(s.end));
+  words.push_back("--checkpoint");
+  words.push_back(worker_ckpt);
+  words.push_back("--frame-io");
+
+  // The exec'd argv: the worker command directly for localhost nodes, or an
+  // ssh client carrying the shell-quoted command for real remote hosts.
+  std::vector<std::string> args;
+  if (direct_) {
+    args = words;
+  } else {
+    std::string command;
+    for (const auto& w : words) {
+      if (!command.empty()) command += ' ';
+      command += shell_quote(w);
+    }
+    if (const auto fake = env_string("DNNFI_FLEET_SSH")) {
+      args.push_back(*fake);
+    } else {
+      args.push_back("ssh");
+      args.push_back("-oBatchMode=yes");
+    }
+    args.push_back(host_);
+    args.push_back(std::move(command));
+  }
+
+  int to_worker[2];   // supervisor -> worker stdin (init frame)
+  int from_worker[2]; // worker stdout -> supervisor (beats + checkpoints)
+  if (pipe(to_worker) != 0) return transport_errno("pipe failed");
+  if (pipe(from_worker) != 0) {
+    close(to_worker[0]);
+    close(to_worker[1]);
+    return transport_errno("pipe failed");
+  }
+  // Parent-kept ends must not leak into sibling workers.
+  fcntl(to_worker[1], F_SETFD, FD_CLOEXEC);
+  fcntl(from_worker[0], F_SETFD, FD_CLOEXEC);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(to_worker[0]);
+    close(to_worker[1]);
+    close(from_worker[0]);
+    close(from_worker[1]);
+    return transport_errno("fork failed");
+  }
+  if (pid == 0) {
+    // Child: frames ride the standard streams so the same wiring works
+    // through an ssh hop.
+    dup2(to_worker[0], 0);
+    dup2(from_worker[1], 1);
+    close(to_worker[0]);
+    close(to_worker[1]);
+    close(from_worker[0]);
+    close(from_worker[1]);
+    if (!s.stderr_log.empty()) {
+      const int lfd =
+          open(s.stderr_log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (lfd >= 0) {
+        dup2(lfd, 2);
+        if (lfd != 2) close(lfd);
+      }
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execvp(argv[0], argv.data());
+    _exit(127);
+  }
+  close(to_worker[0]);
+  close(from_worker[1]);
+
+  // Ship the resume state (or "start fresh") as the one and only downstream
+  // frame, then close: the worker reads stdin to EOF-after-frame and the
+  // supervisor never writes again. A worker that died instantly surfaces
+  // here as EPIPE (SIGPIPE is ignored by the supervisor); reap it so the
+  // caller never learns about the pid.
+  std::vector<std::uint8_t> init;
+  init.push_back(s.resume != nullptr ? 1 : 0);
+  if (s.resume != nullptr)
+    init.insert(init.end(), s.resume->begin(), s.resume->end());
+  auto sent = send_frame(to_worker[1], FrameType::kInit, init.data(),
+                         init.size());
+  close(to_worker[1]);
+  if (!sent.ok()) {
+    close(from_worker[0]);
+    kill(pid, SIGKILL);
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+    return transport_error("init frame to " + host_ +
+                           " failed: " + sent.error().message);
+  }
+  fcntl(from_worker[0], F_SETFL, O_NONBLOCK);
+
+  WorkerHandle h;
+  h.pid = pid;
+  h.rx = from_worker[0];
+  return h;
+}
+
+}  // namespace dnnfi::fault

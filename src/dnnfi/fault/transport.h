@@ -1,0 +1,240 @@
+// Pluggable worker transports for the campaign supervisor.
+//
+// PR 5's supervisor fork/execs workers on the local host and watches them
+// over a raw pipe carrying 8-byte little-endian heartbeats. This header
+// generalizes that wire into a `WorkerTransport`:
+//
+//   LocalTransport  — today's fork/exec path, bit-for-bit: same argv, same
+//                     raw --heartbeat-fd pipe, worker checkpoints written
+//                     straight into the shared --ckpt-dir.
+//   RemoteTransport — workers spawned on another host (ssh, or exec'd
+//                     directly when the host is localhost — the multi-node-
+//                     on-one-machine test configuration). The worker runs
+//                     in `--frame-io` mode: the supervisor ships a resume
+//                     checkpoint down the worker's stdin at spawn, and the
+//                     worker's stdout carries heartbeats AND its checkpoint
+//                     file image back after every batch, as length-prefixed
+//                     CRC-checked frames. The supervisor lands each shipped
+//                     image atomically in --ckpt-dir, so retry-elsewhere can
+//                     resume a dead host's shard on a healthy one from the
+//                     last shipped batch.
+//
+// Frame layout (little-endian):
+//
+//   offset  size  field
+//   0       4     payload length N (bounded by kMaxFramePayload)
+//   4       1     frame type (FrameType)
+//   5       4     CRC-32 of the payload
+//   9       N     payload
+//
+//   kInit       supervisor -> worker: u8 has_checkpoint + checkpoint image.
+//               has_checkpoint=0 orders the worker to discard any stale
+//               node-local checkpoint and start the shard fresh.
+//   kBeat       worker -> supervisor: u64 trials completed this attempt.
+//   kCheckpoint worker -> supervisor: the worker's checkpoint file image,
+//               exactly as written to its node-local disk (shipped after
+//               every batch; doubly integrity-checked — frame CRC plus the
+//               checkpoint's own envelope CRC).
+//
+// A structurally damaged stream (bad CRC, oversized length) is a kTransport
+// error: the channel, not the shard, is at fault, so the supervisor kills
+// the worker and retries the shard — preferring a different host.
+//
+// All reads and writes here loop on EINTR and short transfers (write(2) to
+// a pipe is not atomic past PIPE_BUF; read(2) returns early at buffer
+// boundaries). The raw-beat dialect tolerates arbitrary fragmentation for
+// the same reason. See DESIGN.md §13.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnnfi/common/error.h"
+
+namespace dnnfi::fault {
+
+// ---- hardened low-level I/O ----------------------------------------------
+
+/// write(2) until every byte is out; loops on EINTR and short writes.
+/// kTransport on a hard error (EPIPE included — callers that tolerate a
+/// dead peer check the message, not errno).
+Expected<void> io_write_full(int fd, const std::uint8_t* data, std::size_t n);
+
+/// One read(2) retried on EINTR. Returns bytes read, 0 on EOF, or -1 when
+/// the (nonblocking) fd has nothing now. kTransport on a hard error.
+Expected<long> io_read_chunk(int fd, std::uint8_t* buf, std::size_t n);
+
+// ---- frame codec ---------------------------------------------------------
+
+enum class FrameType : std::uint8_t {
+  kInit = 1,        ///< supervisor->worker resume state (or "start fresh")
+  kBeat = 2,        ///< worker->supervisor liveness + progress
+  kCheckpoint = 3,  ///< worker->supervisor checkpoint file image
+};
+
+/// Upper bound on a frame payload. Checkpoints are kilobytes; anything
+/// approaching this is stream damage, not data, and must not drive
+/// allocations.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kBeat;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Encodes one frame (header + CRC + payload) into a contiguous buffer.
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::uint8_t* payload,
+                                       std::size_t n);
+
+/// Incremental frame parser over an arbitrarily fragmented byte stream.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes received from the peer.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extracts the next complete frame: a Frame, std::nullopt while the
+  /// buffer holds only a partial frame, or kTransport on structural damage
+  /// (unknown type, oversized length, CRC mismatch). After an error the
+  /// stream is unrecoverable — there is no resynchronization point.
+  Expected<std::optional<Frame>> next();
+
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix; compacted between feeds
+};
+
+/// Encodes and writes one frame. kTransport on failure.
+Expected<void> send_frame(int fd, FrameType type, const std::uint8_t* payload,
+                          std::size_t n);
+
+/// Worker-side blocking read of the supervisor's kInit frame from `fd`:
+/// the resume checkpoint image, or std::nullopt for "start fresh".
+/// kTransport on EOF-before-frame or a damaged stream.
+Expected<std::optional<std::vector<std::uint8_t>>> read_init_frame(int fd);
+
+// ---- supervisor-side channel ---------------------------------------------
+
+/// One decoded message from a worker, dialect-independent.
+struct ChannelEvent {
+  enum class Kind { kBeat, kCheckpoint };
+  Kind kind = Kind::kBeat;
+  std::uint64_t done = 0;            ///< kBeat: trials this attempt
+  std::vector<std::uint8_t> bytes;   ///< kCheckpoint: shipped file image
+};
+
+/// Turns a worker's byte stream into events. Two wire dialects: the legacy
+/// raw 8-byte little-endian beat stream (LocalTransport) and the framed
+/// protocol (RemoteTransport). Both tolerate arbitrary fragmentation.
+class WorkerChannel {
+ public:
+  explicit WorkerChannel(bool framed) : framed_(framed) {}
+
+  /// Decodes as many complete messages as `data` completes, appending them
+  /// to `out`. kTransport on structural damage (framed dialect only — the
+  /// raw dialect has no structure to damage).
+  Expected<void> feed(const std::uint8_t* data, std::size_t n,
+                      std::vector<ChannelEvent>& out);
+
+ private:
+  bool framed_;
+  FrameDecoder decoder_;              // framed dialect
+  std::vector<std::uint8_t> partial_; // raw dialect: incomplete beat bytes
+};
+
+// ---- transports ----------------------------------------------------------
+
+/// Everything a transport needs to start one shard attempt.
+struct WorkerSpawn {
+  std::string binary;                    ///< dnnfi_campaign path (both ends)
+  std::vector<std::string> flags;        ///< campaign flags, forwarded as-is
+  std::uint64_t begin = 0;               ///< shard range [begin, end)
+  std::uint64_t end = 0;
+  std::string checkpoint;                ///< worker-side checkpoint path
+  std::string stderr_log;                ///< append worker stderr here; "" = inherit
+  /// Framed transports only: checkpoint image to resume from, shipped as
+  /// the kInit frame. nullptr = start fresh (worker discards stale state).
+  const std::vector<std::uint8_t>* resume = nullptr;
+};
+
+/// A spawned worker as the supervisor sees it.
+struct WorkerHandle {
+  pid_t pid = -1;  ///< local child (the worker itself, or its ssh client)
+  int rx = -1;     ///< nonblocking worker->supervisor fd (owned by caller)
+};
+
+/// How worker processes are created and wired. One transport per fleet
+/// node; the supervisor owns scheduling, deadlines, and retry policy.
+class WorkerTransport {
+ public:
+  virtual ~WorkerTransport() = default;
+
+  /// Host label for logs and retry-elsewhere bookkeeping.
+  virtual const std::string& host() const noexcept = 0;
+
+  /// True when workers speak the framed dialect (and ship checkpoints).
+  virtual bool framed() const noexcept = 0;
+
+  /// Starts one worker. On success the caller owns handle.rx and must
+  /// waitpid(handle.pid). Spawn-level failures are kTransport.
+  virtual Expected<WorkerHandle> spawn(const WorkerSpawn& s) = 0;
+};
+
+/// PR-5 fork/exec on this host: raw heartbeat pipe, shared checkpoint
+/// directory, no shipping. Byte-for-byte the original supervisor path.
+class LocalTransport final : public WorkerTransport {
+ public:
+  LocalTransport() : host_("local") {}
+
+  const std::string& host() const noexcept override { return host_; }
+  bool framed() const noexcept override { return false; }
+  Expected<WorkerHandle> spawn(const WorkerSpawn& s) override;
+
+ private:
+  std::string host_;
+};
+
+/// Frame-mode workers on a (possibly remote) host. For `localhost`/`local`/
+/// `127.0.0.1` the worker is exec'd directly — same machine, but with its
+/// own scratch directory and the full ship-over-frames protocol, which is
+/// exactly the multi-node simulation the tests and nightly drive. Any other
+/// host name is reached through `ssh -oBatchMode=yes <host> <command>`, or
+/// through `$DNNFI_FLEET_SSH <host> <command>` when that variable is set
+/// (test harnesses substitute a fake; deployments substitute wrappers).
+/// The dnnfi_campaign binary must exist at the same path on the remote
+/// host; the worker creates its scratch directory itself.
+class RemoteTransport final : public WorkerTransport {
+ public:
+  RemoteTransport(std::string host, std::string scratch_dir);
+
+  const std::string& host() const noexcept override { return host_; }
+  bool framed() const noexcept override { return true; }
+  /// Worker-side checkpoint paths are rewritten into this node's scratch
+  /// directory (s.checkpoint names the supervisor-side file; only its leaf
+  /// is kept).
+  Expected<WorkerHandle> spawn(const WorkerSpawn& s) override;
+
+  const std::string& scratch_dir() const noexcept { return scratch_; }
+  bool direct_exec() const noexcept { return direct_; }
+
+ private:
+  std::string host_;
+  std::string scratch_;
+  bool direct_;  ///< localhost: exec the worker without ssh
+};
+
+/// True for host names that mean "this machine, no ssh".
+bool is_local_host(const std::string& host);
+
+/// Single-quotes a string for a POSIX shell (ssh joins the command words
+/// and hands them to the remote shell).
+std::string shell_quote(const std::string& s);
+
+}  // namespace dnnfi::fault

@@ -28,10 +28,11 @@ constexpr Errc kAllCodes[] = {
     Errc::kOk,          Errc::kIo,
     Errc::kOutOfMemory, Errc::kTimeout,
     Errc::kWorkerCrash, Errc::kInterrupted,
+    Errc::kTransport,   Errc::kCheckpointShip,
     Errc::kCorruptData, Errc::kVersionSkew,
     Errc::kFingerprintMismatch, Errc::kShardMismatch,
     Errc::kInvalidArgument, Errc::kQuarantineOverflow,
-    Errc::kInternal};
+    Errc::kNoHosts,     Errc::kInternal};
 
 TEST(Errc, ExitCodeRoundTripsForEveryCode) {
   for (const Errc c : kAllCodes) {
@@ -48,13 +49,15 @@ TEST(Errc, ExitCodeRoundTripsForEveryCode) {
 TEST(Errc, RetryablePartitionsTransientFromFatal) {
   // Transient: retrying can plausibly succeed.
   for (const Errc c : {Errc::kIo, Errc::kOutOfMemory, Errc::kTimeout,
-                       Errc::kWorkerCrash, Errc::kInterrupted, Errc::kInternal})
+                       Errc::kWorkerCrash, Errc::kInterrupted, Errc::kTransport,
+                       Errc::kCheckpointShip, Errc::kInternal})
     EXPECT_TRUE(retryable(c)) << errc_name(c);
   // Fatal: the same inputs fail the same way; retrying wastes the budget
   // and bisecting would quarantine every trial.
   for (const Errc c : {Errc::kOk, Errc::kCorruptData, Errc::kVersionSkew,
                        Errc::kFingerprintMismatch, Errc::kShardMismatch,
-                       Errc::kInvalidArgument, Errc::kQuarantineOverflow})
+                       Errc::kInvalidArgument, Errc::kQuarantineOverflow,
+                       Errc::kNoHosts})
     EXPECT_FALSE(retryable(c)) << errc_name(c);
 }
 

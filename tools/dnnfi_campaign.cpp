@@ -26,8 +26,18 @@
 //             is quarantined instead of aborting the campaign. Crashed
 //             workers (and a crashed supervisor) resume from the shard
 //             checkpoints in --ckpt-dir. See DESIGN.md §9.
+//             Fleet mode: [--hosts h1:slots,h2:slots[:workdir]] or
+//             [--hosts-file FILE] runs workers across member hosts over
+//             framed stdin/stdout channels (ssh for real hosts, direct
+//             exec for localhost entries). Workers ship checkpoints home
+//             every batch; a dead host's shards relaunch elsewhere from
+//             the last shipped batch. [--host-quarantine S] and
+//             [--host-fail-limit N] tune per-host health; SIGHUP re-reads
+//             --hosts-file (elastic membership). See DESIGN.md §13.
 //   worker    (internal) one supervised shard: `run` plus a heartbeat pipe
-//             (--heartbeat-fd) and taxonomy-coded exit statuses.
+//             (--heartbeat-fd), or --frame-io for fleet workers (framed
+//             init/beat/checkpoint protocol on stdin/stdout), and
+//             taxonomy-coded exit statuses.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown everywhere: the in-flight
 // batch finishes, a final checkpoint is written, and the process exits 4
@@ -53,6 +63,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "dnnfi/common/env.h"
@@ -63,6 +74,7 @@
 #include "dnnfi/fault/checkpoint.h"
 #include "dnnfi/fault/stats_io.h"
 #include "dnnfi/fault/supervisor.h"
+#include "dnnfi/fault/transport.h"
 
 namespace {
 
@@ -71,8 +83,12 @@ using dnn::zoo::NetworkId;
 
 /// Set by the SIGINT/SIGTERM handler; campaign batch loops poll it.
 std::atomic<bool> g_cancel{false};
+/// Set by SIGHUP; the fleet supervisor re-reads --hosts-file when it reads
+/// true (elastic membership).
+std::atomic<bool> g_reload{false};
 
 void on_signal(int) { g_cancel.store(true, std::memory_order_relaxed); }
+void on_sighup(int) { g_reload.store(true, std::memory_order_relaxed); }
 
 void install_signal_handlers() {
   struct sigaction sa = {};
@@ -81,6 +97,8 @@ void install_signal_handlers() {
   sigemptyset(&sa.sa_mask);
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  sa.sa_handler = on_sighup;
+  sigaction(SIGHUP, &sa, nullptr);
 }
 
 [[noreturn]] void usage(const std::string& why) {
@@ -102,7 +120,10 @@ void install_signal_handlers() {
          "            --distances --out FILE --no-progress --no-incremental\n"
          "  supervise: --workers W --shard-size N --ckpt-dir DIR\n"
          "            --heartbeat-timeout S --shard-timeout S\n"
-         "            --max-attempts N --backoff S --max-quarantine N\n";
+         "            --max-attempts N --backoff S --max-quarantine N\n"
+         "  fleet:    --hosts host:slots[:workdir],... | --hosts-file FILE\n"
+         "            --host-quarantine S --host-fail-limit N\n"
+         "            (SIGHUP re-reads --hosts-file mid-campaign)\n";
   std::exit(2);
 }
 
@@ -173,6 +194,13 @@ struct Args {
   double backoff = 0.25;
   std::size_t max_quarantine = 16;
   int heartbeat_fd = -1;
+
+  // fleet mode
+  std::string hosts;
+  std::string hosts_file;
+  double host_quarantine = 2.0;  ///< quarantine base seconds
+  int host_fail_limit = 3;
+  bool frame_io = false;  ///< worker: framed protocol on stdin/stdout
 };
 
 Args parse(int argc, char** argv) {
@@ -196,6 +224,10 @@ Args parse(int argc, char** argv) {
     }
     if (key == "--no-incremental") {
       a.incremental = false;
+      continue;
+    }
+    if (key == "--frame-io") {
+      a.frame_io = true;
       continue;
     }
     if (i + 1 >= argc) usage("missing value for " + key);
@@ -273,6 +305,16 @@ Args parse(int argc, char** argv) {
       a.max_quarantine = std::stoull(val);
     } else if (key == "--heartbeat-fd") {
       a.heartbeat_fd = std::stoi(val);
+    } else if (key == "--hosts") {
+      a.hosts = val;
+    } else if (key == "--hosts-file") {
+      a.hosts_file = val;
+    } else if (key == "--host-quarantine") {
+      a.host_quarantine = std::stod(val);
+      if (a.host_quarantine < 0) usage("--host-quarantine must be >= 0");
+    } else if (key == "--host-fail-limit") {
+      a.host_fail_limit = std::stoi(val);
+      if (a.host_fail_limit < 1) usage("--host-fail-limit must be >= 1");
     } else {
       usage("unknown option " + key);
     }
@@ -548,15 +590,41 @@ int cmd_run(const Args& a, bool resume) {
 
 // ---- worker mode ---------------------------------------------------------
 
-/// One heartbeat frame: completed-trial count, 8 bytes little-endian. A
+/// The worker's upstream channel: the classic raw heartbeat pipe
+/// (--heartbeat-fd) or the framed fleet protocol (--frame-io).
+struct WorkerWire {
+  int fd = -1;
+  bool framed = false;
+};
+
+/// One heartbeat: completed-trial count, as a raw 8-byte little-endian
+/// counter or a kBeat frame. Writes ride io_write_full, so a signal landing
+/// mid-write (EINTR) or a short pipe write can never truncate a beat. A
 /// dead supervisor turns writes into EPIPE noise (SIGPIPE is ignored); the
 /// worker keeps going and its checkpoint remains the source of truth.
-void heartbeat(int fd, std::uint64_t done) {
-  if (fd < 0) return;
+void heartbeat(const WorkerWire& w, std::uint64_t done) {
+  if (w.fd < 0) return;
   std::uint8_t b[8];
   for (int i = 0; i < 8; ++i)
     b[i] = static_cast<std::uint8_t>(done >> (8 * i));
-  [[maybe_unused]] const ssize_t n = ::write(fd, b, sizeof b);
+  if (w.framed)
+    [[maybe_unused]] auto sent =
+        fault::send_frame(w.fd, fault::FrameType::kBeat, b, sizeof b);
+  else
+    [[maybe_unused]] auto wrote = fault::io_write_full(w.fd, b, sizeof b);
+}
+
+/// Ships the worker's node-local checkpoint file image home as a
+/// kCheckpoint frame (fleet mode; no-op otherwise). Failure is deliberately
+/// quiet here: the supervisor's trust-but-verify pass re-runs any shard
+/// whose durable copy never landed.
+void ship_checkpoint(const WorkerWire& w, const std::string& path) {
+  if (w.fd < 0 || !w.framed || path.empty()) return;
+  auto bytes = fault::read_checkpoint_bytes(path);
+  if (!bytes.ok()) return;
+  [[maybe_unused]] auto sent =
+      fault::send_frame(w.fd, fault::FrameType::kCheckpoint,
+                        bytes.value().data(), bytes.value().size());
 }
 
 /// Fires a fail-once fault-injection hook: creates the sentinel file first
@@ -569,9 +637,66 @@ bool fire_once(const std::optional<std::string>& sentinel) {
   return true;
 }
 
+/// Fleet worker setup: moves the frame stream off stdout (stray prints from
+/// anywhere in the library would corrupt frames; they go to stderr instead),
+/// then lands the supervisor's init frame — the resume checkpoint image, or
+/// an order to discard stale node-local state. Returns the wire, or the
+/// exit code to die with.
+std::variant<WorkerWire, int> setup_frame_io(const Args& a) {
+  WorkerWire wire;
+  wire.framed = true;
+  wire.fd = dup(1);
+  if (wire.fd < 0) {
+    std::cerr << "error: cannot dup stdout for frame I/O\n";
+    return exit_code(Errc::kTransport);
+  }
+  dup2(2, 1);
+
+  if (a.checkpoint.empty()) {
+    std::cerr << "error: --frame-io requires --checkpoint\n";
+    return 2;
+  }
+  std::error_code ec;
+  const auto parent = std::filesystem::path(a.checkpoint).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    std::cerr << "error: cannot create " << parent.string() << ": "
+              << ec.message() << "\n";
+    return exit_code(Errc::kIo);
+  }
+
+  auto init = fault::read_init_frame(0);
+  if (!init.ok()) {
+    std::cerr << "error: " << init.error().to_string() << "\n";
+    return exit_code(init.error().code);
+  }
+  if (init.value().has_value()) {
+    const auto& image = *init.value();
+    auto landed =
+        fault::write_checkpoint_bytes(a.checkpoint, image.data(), image.size());
+    if (!landed.ok()) {
+      std::cerr << "error: " << landed.error().to_string() << "\n";
+      return exit_code(landed.error().code);
+    }
+  } else {
+    // Start fresh: a stale checkpoint from an earlier attempt on this node
+    // would resurrect state the supervisor has already moved past.
+    std::filesystem::remove(a.checkpoint, ec);
+  }
+  return wire;
+}
+
 int cmd_worker(const Args& a) {
   signal(SIGPIPE, SIG_IGN);
-  heartbeat(a.heartbeat_fd, 0);  // liveness before the (slow) model load
+  WorkerWire wire;
+  if (a.frame_io) {
+    auto set_up = setup_frame_io(a);
+    if (std::holds_alternative<int>(set_up)) return std::get<int>(set_up);
+    wire = std::get<WorkerWire>(set_up);
+  } else {
+    wire.fd = a.heartbeat_fd;
+  }
+  heartbeat(wire, 0);  // liveness before the (slow) model load
 
   // Supervisor-robustness test hooks; inert without the env vars.
   const auto crash_once = env_string("DNNFI_TEST_CRASH_ONCE_FILE");
@@ -585,12 +710,14 @@ int cmd_worker(const Args& a) {
                           test_inputs(a.network, a.inputs));
 
   fault::CampaignOptions opt = campaign_options(a);
-  const int fd = a.heartbeat_fd;
   const std::uint64_t span =
       (a.shard_end == 0 ? a.trials : a.shard_end) - a.shard_begin;
-  opt.progress = [fd, span, &crash_once, &hang_once](
+  // The campaign saves the shard checkpoint *before* invoking progress, so
+  // shipping here always ships the batch that was just made durable.
+  opt.progress = [&wire, &a, span, &crash_once, &hang_once](
                      const fault::CampaignProgress& p) {
-    heartbeat(fd, p.done);
+    heartbeat(wire, p.done);
+    ship_checkpoint(wire, a.checkpoint);
     if (p.done * 2 >= span) {
       if (fire_once(crash_once)) raise(SIGKILL);
       if (fire_once(hang_once))
@@ -618,7 +745,10 @@ int cmd_worker(const Args& a) {
   } else {
     res = c.run_shard(opt, shard);
   }
-  heartbeat(fd, res.next_trial - a.shard_begin);
+  heartbeat(wire, res.next_trial - a.shard_begin);
+  // Final ship: the completion checkpoint must land with the supervisor
+  // before exit 0, or trust-but-verify will (correctly) re-run the shard.
+  ship_checkpoint(wire, a.checkpoint);
   if (!res.complete)
     return g_cancel.load(std::memory_order_relaxed)
                ? exit_code(Errc::kInterrupted)
@@ -653,6 +783,11 @@ int cmd_supervise(const Args& a, const char* argv0) {
   so.jitter_seed = a.seed;
   so.verbose = a.progress;
   so.cancel = &g_cancel;
+  so.hosts = a.hosts;
+  so.hosts_file = a.hosts_file;
+  so.reload_hosts = &g_reload;
+  so.host_fail_limit = a.host_fail_limit;
+  so.quarantine_base_s = a.host_quarantine;
   so.worker_flags = {
       "--network", cli_network_name(a.network),
       "--dtype",   std::string(numeric::dtype_name(a.dtype)),
@@ -697,6 +832,11 @@ int cmd_supervise(const Args& a, const char* argv0) {
             << ", " << rep.watchdog_kills << " watchdog kill(s), "
             << rep.bisections << " bisection(s), " << rep.degradations
             << " degradation(s)\n";
+  if (!a.hosts.empty() || !a.hosts_file.empty())
+    std::cerr << "fleet: " << rep.checkpoints_shipped
+              << " checkpoint(s) shipped, " << rep.retries_elsewhere
+              << " retry(s) elsewhere, " << rep.host_quarantines
+              << " host quarantine(s)\n";
   if (!rep.aborted_trials.empty()) {
     std::cerr << "supervise: quarantined " << rep.aborted_trials.size()
               << " poison trial(s):";

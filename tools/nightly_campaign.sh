@@ -110,6 +110,41 @@ else
   exit 1
 fi
 
+echo "== fleet: two-node supervised campaign, node0 SIGKILLed repeatedly =="
+# Fleet mode (DESIGN.md §13): the same 2000-trial campaign spread over two
+# localhost fleet nodes (framed stdio transport, per-batch checkpoint
+# shipping). One entire "machine" — every worker whose checkpoint lives in
+# node0's scratch — is SIGKILLed over and over while node1 stays healthy.
+# Stranded shards must be retried elsewhere from their shipped checkpoints
+# and the merge must still be bit-identical to the monolithic reference.
+"$CAMPAIGN" supervise "${COMMON[@]}" --batch 100 \
+    --hosts localhost:2,localhost:2 --max-attempts 100 --host-quarantine 0.5 \
+    --ckpt-dir "$WORK/fleet-ckpt" --backoff 0.1 \
+    --out "$WORK/fleet.stats" 2>"$WORK/fleet.log" &
+SUP_PID=$!
+KILLS=0
+for _ in $(seq 1 1800); do
+  kill -0 "$SUP_PID" 2>/dev/null || break
+  if pkill -9 -f "$WORK/fleet-ckpt/node[0]/" 2>/dev/null; then
+    KILLS=$((KILLS+1))
+  fi
+  sleep 0.3
+done
+rc=0; wait "$SUP_PID" || rc=$?
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: fleet supervise exited $rc" >&2
+  cat "$WORK/fleet.log" >&2; exit 1; }
+echo "node0 workers SIGKILLed $KILLS time(s)"
+[ "$KILLS" -gt 0 ] || echo "warn: killer never caught a node0 worker" >&2
+
+if diff -u "$WORK/full.stats" "$WORK/fleet.stats"; then
+  echo "PASS: two-node fleet survived whole-node kill -9 bit-identically"
+else
+  echo "FAIL: fleet campaign diverged after node0 kills" >&2
+  cat "$WORK/fleet.log" >&2
+  exit 1
+fi
+
 echo "== systolic geometry: supervised 2k-trial campaign, kill/resume merge =="
 # Same contract on the non-default fault-model axes (DESIGN.md §11): a
 # weight-stationary systolic array with stuck-at-1 faults. The supervised
